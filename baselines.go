@@ -1,0 +1,112 @@
+package fairclust
+
+import (
+	"repro/internal/bera"
+	"repro/internal/fairlet"
+	"repro/internal/fairproj"
+	"repro/internal/kcenter"
+	"repro/internal/proportional"
+	"repro/internal/spectral"
+	"repro/internal/zgya"
+)
+
+// Re-exports of the baseline fair-clustering families surveyed in the
+// paper's Table 1, so downstream users can compare FairKM against them
+// through one import. Each baseline's semantics, constraints and cost
+// profile are documented on its underlying package.
+
+// ZGYAConfig parameterizes the ZGYA baseline (Ziko et al. 2019):
+// K-Means plus a KL-divergence fairness penalty for a single
+// multi-valued sensitive attribute.
+type ZGYAConfig = zgya.Config
+
+// ZGYAResult is a completed ZGYA clustering.
+type ZGYAResult = zgya.Result
+
+// ZGYA runs the ZGYA baseline on one categorical sensitive attribute.
+func ZGYA(ds *Dataset, attr string, cfg ZGYAConfig) (*ZGYAResult, error) {
+	return zgya.Run(ds, attr, cfg)
+}
+
+// FairletConfig parameterizes fairlet-decomposition clustering
+// (Chierichetti et al. 2017) for a single binary sensitive attribute.
+type FairletConfig = fairlet.Config
+
+// FairletResult is a completed fairlet clustering.
+type FairletResult = fairlet.Result
+
+// Fairlets runs fairlet-decomposition clustering.
+func Fairlets(ds *Dataset, attr string, cfg FairletConfig) (*FairletResult, error) {
+	return fairlet.Run(ds, attr, cfg)
+}
+
+// BeraConfig parameterizes the LP-based fair-assignment baseline
+// (Bera et al. 2019) over all categorical sensitive attributes.
+type BeraConfig = bera.Config
+
+// BeraResult is a completed Bera et al. run.
+type BeraResult = bera.Result
+
+// BeraAssign runs the Bera et al. pipeline (vanilla centers → fair
+// assignment LP → rounding).
+func BeraAssign(ds *Dataset, cfg BeraConfig) (*BeraResult, error) {
+	return bera.Run(ds, cfg)
+}
+
+// SpectralConfig parameterizes (fair) spectral clustering
+// (Kleindessner et al. 2019).
+type SpectralConfig = spectral.Config
+
+// SpectralResult is a completed spectral clustering.
+type SpectralResult = spectral.Result
+
+// Spectral runs normalized spectral clustering; set Config.Fair for
+// the group-fairness constrained variant.
+func Spectral(ds *Dataset, cfg SpectralConfig) (*SpectralResult, error) {
+	return spectral.Run(ds, cfg)
+}
+
+// KCenterConfig parameterizes fair k-center summarization
+// (Kleindessner et al. 2019).
+type KCenterConfig = kcenter.Config
+
+// KCenterResult is a completed fair k-center run.
+type KCenterResult = kcenter.Result
+
+// KCenter picks k representatives under per-group quotas.
+func KCenter(ds *Dataset, cfg KCenterConfig) (*KCenterResult, error) {
+	return kcenter.Run(ds, cfg)
+}
+
+// ProportionalResult is a completed proportionally-fair clustering.
+type ProportionalResult = proportional.Result
+
+// GreedyCapture runs Chen et al.'s attribute-agnostic proportionally
+// fair clustering over the dataset's features.
+func GreedyCapture(ds *Dataset, k int) (*ProportionalResult, error) {
+	return proportional.GreedyCapture(ds.Features, k)
+}
+
+// FairProjection removes every sensitive group's mean-difference
+// direction from the feature space (the space-transformation family of
+// fair clustering), returning a dataset any vanilla algorithm can
+// cluster with reduced linear group leakage.
+func FairProjection(ds *Dataset) (*Dataset, error) {
+	return fairproj.MeanDifferenceProjection(ds)
+}
+
+// FairPCA composes FairProjection with a top-k principal-component
+// reduction.
+func FairPCA(ds *Dataset, k int) (*Dataset, error) {
+	return fairproj.FairPCA(ds, k)
+}
+
+// ProportionalityViolation is a blocking coalition found by
+// AuditProportionality.
+type ProportionalityViolation = proportional.Violation
+
+// AuditProportionality checks a clustering for ρ-approximate
+// proportionality violations (nil means none found).
+func AuditProportionality(ds *Dataset, assign []int, centers []int, k int, rho float64) *ProportionalityViolation {
+	return proportional.Audit(ds.Features, assign, centers, k, rho)
+}

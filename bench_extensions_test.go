@@ -1,0 +1,251 @@
+package fairclust
+
+import (
+	"testing"
+
+	"repro/internal/bera"
+	"repro/internal/coreset"
+	"repro/internal/data/adult"
+	"repro/internal/data/kinematics"
+	"repro/internal/eigen"
+	"repro/internal/experiments"
+	"repro/internal/fairlet"
+	"repro/internal/kcenter"
+	"repro/internal/kmeans"
+	"repro/internal/lp"
+	"repro/internal/mcmf"
+	"repro/internal/proportional"
+	"repro/internal/spectral"
+	"repro/internal/stats"
+)
+
+// Benchmarks for the extension experiments and the baseline-family
+// substrates (LP, flow, eigensolver) implemented beyond the paper's
+// own evaluation.
+
+// BenchmarkExtBaselineZoo regenerates the cross-family comparison
+// table (cmd/experiments -exp baselines).
+func BenchmarkExtBaselineZoo(b *testing.B) {
+	warmKin(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cmp, err := experiments.RunBaselines(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range cmp.Rows {
+			if row.Method == "FairKM(all)" {
+				b.ReportMetric(row.MeanAE, "fairkm-meanAE")
+			}
+		}
+	}
+}
+
+// BenchmarkExtScalability regenerates the Section 4.3.1 wall-clock
+// scaling measurement.
+func BenchmarkExtScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunScalability(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtNumericSensitive regenerates the Eq. 22 numeric-
+// sensitive-attribute experiment.
+func BenchmarkExtNumericSensitive(b *testing.B) {
+	warmAdult(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ns, err := experiments.RunNumericSensitive(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ns.Blind.AvgGap, "blind-ageGap")
+		b.ReportMetric(ns.FairKM.AvgGap, "fairkm-ageGap")
+	}
+}
+
+// BenchmarkFairletKinematics times fairlet decomposition (min-cost
+// flow) on the 161-problem dataset.
+func BenchmarkFairletKinematics(b *testing.B) {
+	ds := warmKin(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fairlet.Run(ds, "Type-1", fairlet.Config{K: 5, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBeraKinematics times the LP-based baseline end to end
+// (805-variable LP solved by the dense simplex).
+func BenchmarkBeraKinematics(b *testing.B) {
+	ds := warmKin(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bera.Run(ds, bera.Config{K: 5, Delta: 0.4, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFairSpectralKinematics times constrained spectral clustering
+// (dense Jacobi eigensolve on a 161-node graph).
+func BenchmarkFairSpectralKinematics(b *testing.B) {
+	ds := warmKin(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spectral.Run(ds, spectral.Config{K: 5, Fair: true, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFairKCenterKinematics times quota-constrained k-center.
+func BenchmarkFairKCenterKinematics(b *testing.B) {
+	ds := warmKin(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kcenter.Run(ds, kcenter.Config{K: 5, Attr: "Type-1", Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedyCaptureKinematics times proportionally fair
+// clustering.
+func BenchmarkGreedyCaptureKinematics(b *testing.B) {
+	ds := warmKin(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proportional.GreedyCapture(ds.Features, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFairCoreset times fair coreset construction plus weighted
+// K-Means on the compressed set, against full K-Means for context.
+func BenchmarkFairCoreset(b *testing.B) {
+	ds := ablationDataset(b)
+	b.Run("construct+cluster", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w, err := coreset.Fair(ds, "gender", 400, 5, int64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sub := make([][]float64, len(w.Indices))
+			for pos, idx := range w.Indices {
+				sub[pos] = ds.Features[idx]
+			}
+			if _, err := kmeans.RunWeighted(sub, w.Weights, kmeans.Config{K: 5, Seed: int64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-kmeans", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := kmeans.Run(ds.Features, kmeans.Config{K: 5, Seed: int64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSimplexLP times the LP substrate on a mid-size random
+// program.
+func BenchmarkSimplexLP(b *testing.B) {
+	rng := stats.NewRNG(1)
+	const nv, mc = 60, 40
+	p := lp.Problem{C: make([]float64, nv)}
+	for j := range p.C {
+		p.C[j] = rng.Float64()*2 - 1
+	}
+	for i := 0; i < mc; i++ {
+		row := make([]float64, nv)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		p.A = append(p.A, row)
+		p.Ops = append(p.Ops, lp.LE)
+		p.B = append(p.B, 5+rng.Float64()*5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lp.Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinCostFlow times the flow substrate on a dense bipartite
+// assignment instance.
+func BenchmarkMinCostFlow(b *testing.B) {
+	rng := stats.NewRNG(2)
+	const n = 60
+	for i := 0; i < b.N; i++ {
+		g := mcmf.New(2*n + 2)
+		s, t := 0, 2*n+1
+		for u := 0; u < n; u++ {
+			g.AddEdge(s, 1+u, 1, 0)
+			g.AddEdge(n+1+u, t, 1, 0)
+			for v := 0; v < n; v++ {
+				g.AddEdge(1+u, n+1+v, 1, rng.Float64())
+			}
+		}
+		if _, _, err := g.MinCostFlow(s, t, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJacobiEigen times the symmetric eigensolver at the graph
+// sizes fair spectral clustering uses.
+func BenchmarkJacobiEigen(b *testing.B) {
+	rng := stats.NewRNG(3)
+	const n = 120
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.Gaussian(0, 1)
+			a[i][j], a[j][i] = v, v
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eigen.SymEigen(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDatasetGeneration times the two synthetic generators.
+func BenchmarkDatasetGeneration(b *testing.B) {
+	b.Run("adult-8k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := adultGen(int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("kinematics", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := kinematics.Generate(kinematics.Config{Seed: int64(i), Dim: 100, Epochs: 20}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// adultGen generates a reduced Adult dataset for generator benches.
+func adultGen(seed int64) (interface{ N() int }, error) {
+	ds, err := adult.Generate(adult.Config{Seed: seed, Rows: 8000})
+	if err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

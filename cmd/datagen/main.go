@@ -1,0 +1,95 @@
+// Command datagen writes the synthetic stand-in datasets to CSV so they
+// can be inspected or consumed by external tools (or by cmd/fairkm).
+//
+// Usage:
+//
+//	datagen -dataset adult|kinematics [-seed S] [-rows N] [-o FILE]
+//
+// For kinematics, -texts additionally writes the generated word
+// problems (one per line, with their type) next to the embedding CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/data/adult"
+	"repro/internal/data/kinematics"
+	"repro/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the tool against the given arguments, writing progress
+// to out. Split from main for testability.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		which = fs.String("dataset", "adult", "dataset to generate: adult or kinematics")
+		seed  = fs.Int64("seed", 1, "random seed")
+		rows  = fs.Int("rows", 0, "adult: pre-undersampling row count (0 = 32561)")
+		oPath = fs.String("o", "", "output CSV path (default <dataset>.csv)")
+		texts = fs.String("texts", "", "kinematics: also write problem texts to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	path := *oPath
+	if path == "" {
+		path = *which + ".csv"
+	}
+
+	var ds *dataset.Dataset
+	var err error
+	switch *which {
+	case "adult":
+		ds, err = adult.Generate(adult.Config{Seed: *seed, Rows: *rows})
+	case "kinematics":
+		ds, err = kinematics.Generate(kinematics.Config{Seed: *seed})
+		if err == nil && *texts != "" {
+			err = writeTexts(*texts, *seed)
+		}
+	default:
+		return fmt.Errorf("unknown dataset %q (want adult or kinematics)", *which)
+	}
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := dataset.WriteCSV(f, ds); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %d rows x (%d features + %d sensitive) to %s\n",
+		ds.N(), ds.Dim(), len(ds.Sensitive), path)
+	return nil
+}
+
+func writeTexts(path string, seed int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, p := range kinematics.Problems(seed) {
+		if _, err := fmt.Fprintf(f, "Type-%d\t%s\n", p.Type, p.Text); err != nil {
+			return err
+		}
+	}
+	return nil
+}

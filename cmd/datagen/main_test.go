@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunAdultCSV(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "adult.csv")
+	var buf bytes.Buffer
+	err := run([]string{"-dataset", "adult", "-rows", "300", "-o", out}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "wrote") {
+		t.Errorf("missing progress output: %q", buf.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := dataset.ReadCSV(f, dataset.CSVSpec{
+		Features:             []string{"age", "hours-per-week"},
+		CategoricalSensitive: []string{"gender", "race"},
+	})
+	if err != nil {
+		t.Fatalf("re-reading generated CSV: %v", err)
+	}
+	if ds.N() == 0 {
+		t.Error("empty generated dataset")
+	}
+}
+
+func TestRunKinematicsWithTexts(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "kin.csv")
+	texts := filepath.Join(dir, "problems.txt")
+	var buf bytes.Buffer
+	if err := run([]string{"-dataset", "kinematics", "-o", out, "-texts", texts}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 161 {
+		t.Errorf("problem file has %d lines, want 161", lines)
+	}
+	if !strings.Contains(string(data), "Type-3") {
+		t.Error("missing type labels in text output")
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-dataset", "nope"}, &buf); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSelectExperiments(t *testing.T) {
+	all, err := selectExperiments("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 11 {
+		t.Errorf("all selects %d experiments, want 11 (the paper's tables+figures)", len(all))
+	}
+	some, err := selectExperiments("table7, fig5,baselines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) != 3 || some[0].name != "table7" || some[2].name != "baselines" {
+		t.Errorf("selection = %v", names(some))
+	}
+	if _, err := selectExperiments("table9"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func names(rs []runnable) []string {
+	var out []string
+	for _, r := range rs {
+		out = append(out, r.name)
+	}
+	return out
+}
+
+func TestRunKinematicsExperimentEndToEnd(t *testing.T) {
+	outFile := filepath.Join(t.TempDir(), "results.txt")
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "table7", "-reps", "2", "-out", outFile}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"### table7", "CO", "FairKM"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("stdout missing %q", want)
+		}
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != buf.String() {
+		t.Error("-out file differs from stdout")
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "bogus"}, &buf); err == nil {
+		t.Error("bogus experiment accepted")
+	}
+	if err := run([]string{"-bogusflag"}, &buf); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}

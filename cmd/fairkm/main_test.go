@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// writeTestCSV creates a small clusterable CSV with a sensitive column.
+func writeTestCSV(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	var b strings.Builder
+	b.WriteString("x,y,grp,age\n")
+	rng := stats.NewRNG(9)
+	for i := 0; i < 80; i++ {
+		blob := float64(i%2) * 6
+		g := "a"
+		if i%3 == 0 {
+			g = "b"
+		}
+		fmt.Fprintf(&b, "%.4f,%.4f,%s,%.1f\n",
+			rng.Gaussian(blob, 0.5), rng.Gaussian(0, 0.5), g, rng.Gaussian(40, 10))
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	csv := writeTestCSV(t)
+	assignOut := filepath.Join(t.TempDir(), "assign.csv")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-in", csv, "-features", "x,y", "-sensitive", "grp",
+		"-numeric-sensitive", "age",
+		"-k", "2", "-auto-lambda", "-compare", "-assign", assignOut,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"FairKM:", "K-Means(N)", "grp", "DevC", "mean", "avgGap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(assignOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 81 { // header + 80 rows
+		t.Errorf("assignment file has %d lines, want 81", lines)
+	}
+}
+
+func TestRunMissingArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("missing -in accepted")
+	}
+	csv := writeTestCSV(t)
+	if err := run([]string{"-in", csv, "-features", "x,y"}, &buf); err == nil {
+		t.Error("missing sensitive columns accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent.csv", "-features", "x", "-sensitive", "g"}, &buf); err == nil {
+		t.Error("nonexistent input accepted")
+	}
+	if err := run([]string{"-in", csv, "-features", "nope", "-sensitive", "grp"}, &buf); err == nil {
+		t.Error("unknown feature column accepted")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,c ")
+	want := []string{"a", "b", "c"}
+	if len(got) != 3 {
+		t.Fatalf("splitList = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("splitList[%d] = %q", i, got[i])
+		}
+	}
+	if splitList("") != nil {
+		t.Error("empty list should be nil")
+	}
+}

@@ -1,0 +1,91 @@
+// Questionnaire: build balanced questionnaires from a question bank —
+// the paper's Kinematics scenario (Section 5.1).
+//
+// A question bank holds 161 kinematics word problems of five types with
+// very different difficulty. Clustering the bank by textual similarity
+// (Doc2Vec embeddings) yields one questionnaire per cluster — but
+// lexically similar problems are usually of the same type, so blind
+// clusters give one student all the hard two-dimensional projectile
+// problems and another all the easy horizontal-motion ones. Treating
+// the five type flags as sensitive attributes, FairKM makes every
+// questionnaire's type mix reflect the bank's. Run with:
+//
+//	go run ./examples/questionnaire
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/data/kinematics"
+
+	fairclust "repro"
+)
+
+func main() {
+	ds, err := kinematics.Generate(kinematics.Config{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("question bank: %d problems, types ", ds.N())
+	for ty, c := range kinematics.TypeCounts {
+		fmt.Printf("%d:%d ", ty+1, c)
+	}
+	fmt.Print("\n\n")
+
+	const k = 5 // five questionnaires
+
+	km, err := fairclust.KMeans(ds, fairclust.KMeansConfig{K: k, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fkm, err := fairclust.Run(ds, fairclust.Config{K: k, Lambda: 4000, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Type mix per questionnaire (percent of questionnaire, rows = questionnaires):")
+	show(ds, "text-similarity clustering (type-blind)", km.Assign, k)
+	show(ds, "FairKM (type-fair)", fkm.Assign, k)
+
+	kmMean := meanAE(ds, km.Assign, k)
+	fkMean := meanAE(ds, fkm.Assign, k)
+	fmt.Printf("mean type deviation (AE): blind %.4f -> FairKM %.4f (%.0fx fairer)\n",
+		kmMean, fkMean, kmMean/fkMean)
+}
+
+func show(ds *fairclust.Dataset, name string, assign []int, k int) {
+	fmt.Printf("\n%s:\n", name)
+	fmt.Printf("  %-4s %6s   %s\n", "Q#", "size", "type mix %% (1..5)")
+	// Per cluster, count problems of each type.
+	sizes := make([]int, k)
+	mix := make([][]int, k)
+	for c := range mix {
+		mix[c] = make([]int, kinematics.TypeCount)
+	}
+	for i, c := range assign {
+		sizes[c]++
+		for ty, name := range kinematics.TypeNames {
+			s := ds.SensitiveByName(name)
+			if s.Values[s.Codes[i]] == "yes" {
+				mix[c][ty]++
+			}
+		}
+	}
+	for c := 0; c < k; c++ {
+		row := fmt.Sprintf("  Q%-3d %6d   ", c+1, sizes[c])
+		for ty := 0; ty < kinematics.TypeCount; ty++ {
+			pct := 0.0
+			if sizes[c] > 0 {
+				pct = 100 * float64(mix[c][ty]) / float64(sizes[c])
+			}
+			row += fmt.Sprintf("%5.1f", pct)
+		}
+		fmt.Println(row)
+	}
+}
+
+func meanAE(ds *fairclust.Dataset, assign []int, k int) float64 {
+	reps := fairclust.Fairness(ds, assign, k)
+	return reps[len(reps)-1].AE
+}

@@ -1,0 +1,129 @@
+// Package fairclust is the public API of this repository: a Go
+// implementation of FairKM — "Fairness in Clustering with Multiple
+// Sensitive Attributes" (Abraham, Deepak P, Sundaram; EDBT 2020) — with
+// its baselines, datasets and the complete evaluation harness.
+//
+// # Quick start
+//
+//	b := fairclust.NewBuilder("income", "tenure")
+//	b.AddCategoricalSensitive("gender")
+//	b.Row([]float64{52, 3}, []string{"f"}, nil)
+//	// ... more rows ...
+//	ds, err := b.Build()
+//	res, err := fairclust.Run(ds, fairclust.Config{K: 3, AutoLambda: true})
+//	// res.Assign[i] is row i's cluster.
+//
+// The λ parameter trades cluster coherence (over the non-sensitive
+// features) against representational fairness (each cluster's
+// distribution over every sensitive attribute approximating the
+// dataset's). AutoLambda applies the paper's λ=(n/k)² heuristic.
+//
+// # Package map
+//
+//   - internal/core — the FairKM algorithm (re-exported here)
+//   - internal/kmeans — classical K-Means (the S-blind baseline)
+//   - internal/zgya — the ZGYA fair-clustering baseline [Ziko et al. 2019]
+//   - internal/fairlet, internal/bera — further baselines from the
+//     fair-clustering literature
+//   - internal/metrics — the paper's quality and fairness measures
+//   - internal/data/adult, internal/data/kinematics — synthetic
+//     stand-ins for the paper's evaluation datasets
+//   - internal/experiments — regenerates every table and figure
+//
+// See README.md, DESIGN.md and EXPERIMENTS.md for the full tour.
+package fairclust
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/kmeans"
+	"repro/internal/metrics"
+)
+
+// Dataset is a clustering input: numeric non-sensitive features plus
+// categorical/numeric sensitive attributes. See the builder helpers or
+// ReadCSV to construct one.
+type Dataset = dataset.Dataset
+
+// SensitiveAttr is one sensitive column of a Dataset.
+type SensitiveAttr = dataset.SensitiveAttr
+
+// Builder accumulates rows and produces a validated Dataset.
+type Builder = dataset.Builder
+
+// CSVSpec tells ReadCSV how to map CSV columns onto features and
+// sensitive attributes.
+type CSVSpec = dataset.CSVSpec
+
+// Config parameterizes a FairKM run; the zero value plus a K is valid
+// (λ=0 behaves like K-Means).
+type Config = core.Config
+
+// Result is a completed FairKM clustering.
+type Result = core.Result
+
+// FairnessReport carries the AE/AW/ME/MW fairness measures for one
+// sensitive attribute.
+type FairnessReport = metrics.FairnessReport
+
+// KMeansConfig parameterizes the S-blind K-Means baseline.
+type KMeansConfig = kmeans.Config
+
+// KMeansResult is a completed K-Means clustering.
+type KMeansResult = kmeans.Result
+
+// NewBuilder creates a Builder for the given feature column names.
+func NewBuilder(featureNames ...string) *Builder {
+	return dataset.NewBuilder(featureNames...)
+}
+
+// ReadCSV parses a headed CSV stream into a Dataset according to spec.
+func ReadCSV(r io.Reader, spec CSVSpec) (*Dataset, error) {
+	return dataset.ReadCSV(r, spec)
+}
+
+// WriteCSV serializes a Dataset as headed CSV.
+func WriteCSV(w io.Writer, ds *Dataset) error {
+	return dataset.WriteCSV(w, ds)
+}
+
+// Run executes FairKM on the dataset.
+func Run(ds *Dataset, cfg Config) (*Result, error) {
+	return core.Run(ds, cfg)
+}
+
+// DefaultLambda returns the paper's λ = (n/k)² heuristic (Section 5.4).
+func DefaultLambda(n, k int) float64 { return core.DefaultLambda(n, k) }
+
+// Objective evaluates the FairKM objective for an arbitrary assignment
+// from scratch (useful for scoring clusterings produced elsewhere).
+func Objective(ds *Dataset, assign []int, k int, lambda float64) (core.ObjectiveValue, error) {
+	return core.EvaluateObjective(ds, assign, k, lambda, nil)
+}
+
+// KMeans runs the S-blind K-Means baseline on the dataset's features.
+func KMeans(ds *Dataset, cfg KMeansConfig) (*KMeansResult, error) {
+	return kmeans.Run(ds.Features, cfg)
+}
+
+// Fairness computes the paper's fairness measures (AE, AW, ME, MW) for
+// every categorical sensitive attribute of ds under the given
+// assignment, appending a "mean" report across attributes.
+func Fairness(ds *Dataset, assign []int, k int) []FairnessReport {
+	return metrics.FairnessAll(ds, assign, k)
+}
+
+// ClusteringObjective returns the K-Means SSE of an assignment over the
+// dataset's features (the paper's CO measure).
+func ClusteringObjective(ds *Dataset, assign []int, k int) float64 {
+	return metrics.CO(ds.Features, assign, k)
+}
+
+// Silhouette returns the (sampled) silhouette score of an assignment
+// (the paper's SH measure). sample bounds the points averaged; pass
+// ds.N() or more for the exact score.
+func Silhouette(ds *Dataset, assign []int, k, sample int, seed int64) float64 {
+	return metrics.SilhouetteSampled(ds.Features, assign, k, sample, seed)
+}

@@ -1,0 +1,164 @@
+package fairclust_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+
+	fairclust "repro"
+)
+
+// buildDataset constructs a dataset through the public API only.
+func buildDataset(t *testing.T) *fairclust.Dataset {
+	t.Helper()
+	b := fairclust.NewBuilder("f1", "f2")
+	b.AddCategoricalSensitive("g")
+	rng := stats.NewRNG(1)
+	for i := 0; i < 60; i++ {
+		blob := float64(i % 2 * 6)
+		g := "a"
+		if (i/2)%3 == 0 {
+			g = "b"
+		}
+		b.Row([]float64{rng.Gaussian(blob, 0.5), rng.Gaussian(0, 0.5)}, []string{g}, nil)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ds := buildDataset(t)
+	ds.MinMaxNormalize()
+	res, err := fairclust.Run(ds, fairclust.Config{K: 2, AutoLambda: true, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Assign) != ds.N() {
+		t.Fatalf("assignment length %d, want %d", len(res.Assign), ds.N())
+	}
+	km, err := fairclust.KMeans(ds, fairclust.KMeansConfig{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatalf("KMeans: %v", err)
+	}
+	fair := fairclust.Fairness(ds, res.Assign, 2)
+	blind := fairclust.Fairness(ds, km.Assign, 2)
+	if fair[len(fair)-1].AE > blind[len(blind)-1].AE {
+		t.Errorf("FairKM AE %v worse than blind %v", fair[len(fair)-1].AE, blind[len(blind)-1].AE)
+	}
+	co := fairclust.ClusteringObjective(ds, res.Assign, 2)
+	if co <= 0 {
+		t.Errorf("CO = %v", co)
+	}
+	sh := fairclust.Silhouette(ds, res.Assign, 2, 1000, 1)
+	if sh < -1 || sh > 1 {
+		t.Errorf("SH = %v outside [-1,1]", sh)
+	}
+	obj, err := fairclust.Objective(ds, res.Assign, 2, res.Lambda)
+	if err != nil {
+		t.Fatalf("Objective: %v", err)
+	}
+	if math.Abs(obj.Objective-res.Objective) > 1e-6*(1+res.Objective) {
+		t.Errorf("facade objective %v, Run objective %v", obj.Objective, res.Objective)
+	}
+}
+
+func TestPublicCSVRoundTrip(t *testing.T) {
+	ds := buildDataset(t)
+	var buf bytes.Buffer
+	if err := fairclust.WriteCSV(&buf, ds); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := fairclust.ReadCSV(strings.NewReader(buf.String()), fairclust.CSVSpec{
+		Features:             []string{"f1", "f2"},
+		CategoricalSensitive: []string{"g"},
+	})
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.N() != ds.N() {
+		t.Errorf("round-trip N = %d, want %d", got.N(), ds.N())
+	}
+}
+
+func TestDefaultLambda(t *testing.T) {
+	if got := fairclust.DefaultLambda(100, 10); got != 100 {
+		t.Errorf("DefaultLambda(100,10) = %v, want 100", got)
+	}
+}
+
+func TestBaselineFacades(t *testing.T) {
+	ds := buildDataset(t)
+	ds.MinMaxNormalize()
+
+	zg, err := fairclust.ZGYA(ds, "g", fairclust.ZGYAConfig{K: 2, AutoLambda: true, Seed: 1})
+	if err != nil {
+		t.Fatalf("ZGYA: %v", err)
+	}
+	if len(zg.Assign) != ds.N() {
+		t.Error("ZGYA assignment length")
+	}
+
+	fl, err := fairclust.Fairlets(ds, "g", fairclust.FairletConfig{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatalf("Fairlets: %v", err)
+	}
+	if len(fl.Fairlets) == 0 {
+		t.Error("no fairlets")
+	}
+
+	br, err := fairclust.BeraAssign(ds, fairclust.BeraConfig{K: 2, Delta: 0.4, Seed: 1})
+	if err != nil {
+		t.Fatalf("BeraAssign: %v", err)
+	}
+	if br.MaxViolation < 0 {
+		t.Error("negative violation")
+	}
+
+	sp, err := fairclust.Spectral(ds, fairclust.SpectralConfig{K: 2, Fair: true, Seed: 1})
+	if err != nil {
+		t.Fatalf("Spectral: %v", err)
+	}
+	if len(sp.Embedding) != ds.N() {
+		t.Error("embedding rows")
+	}
+
+	kc, err := fairclust.KCenter(ds, fairclust.KCenterConfig{K: 4, Attr: "g", Seed: 1})
+	if err != nil {
+		t.Fatalf("KCenter: %v", err)
+	}
+	if len(kc.Centers) != 4 {
+		t.Error("center count")
+	}
+
+	gc, err := fairclust.GreedyCapture(ds, 2)
+	if err != nil {
+		t.Fatalf("GreedyCapture: %v", err)
+	}
+	if v := fairclust.AuditProportionality(ds, gc.Assign, gc.Centers, 2, 3); v != nil {
+		t.Errorf("greedy capture flagged at rho=3: %+v", v)
+	}
+}
+
+func TestFairProjectionFacade(t *testing.T) {
+	ds := buildDataset(t)
+	proj, err := fairclust.FairProjection(ds)
+	if err != nil {
+		t.Fatalf("FairProjection: %v", err)
+	}
+	if proj.Dim() != ds.Dim() || proj.N() != ds.N() {
+		t.Errorf("projection changed shape")
+	}
+	red, err := fairclust.FairPCA(ds, 1)
+	if err != nil {
+		t.Fatalf("FairPCA: %v", err)
+	}
+	if red.Dim() != 1 {
+		t.Errorf("FairPCA dim = %d", red.Dim())
+	}
+}

@@ -1,0 +1,226 @@
+// Package bera implements the LP-based fair-assignment baseline of
+// Bera, Chakrabarty and Negahbani ("Fair Algorithms for Clustering",
+// 2019), surveyed as reference [4] in the FairKM paper — the method for
+// MULTIPLE (overlapping) group constraints that post-processes a
+// vanilla clustering.
+//
+// The pipeline is the paper's: (i) run vanilla K-Means to fix k
+// centers; (ii) solve a fair partial-assignment LP over variables
+// x_ij ∈ [0,1] minimizing Σ x_ij·d(i,j) subject to Σ_j x_ij = 1 and,
+// for every group g (every value of every categorical sensitive
+// attribute) and center j,
+//
+//	β_g·Σ_i x_ij  ≤  Σ_{i∈g} x_ij  ≤  α_g·Σ_i x_ij
+//
+// with α/β derived from the dataset proportion r_g as α_g = r_g/(1−δ)
+// and β_g = r_g·(1−δ); (iii) round the fractional assignment to an
+// integral one. Bera et al. give a flow-based rounding with additive
+// violation guarantees; this implementation uses greedy largest-mass
+// rounding and reports the realized bound violations in the result,
+// which is sufficient for baseline comparisons.
+//
+// The LP has n·k variables and is solved by the dense two-phase simplex
+// in internal/lp (no external solver exists offline), so this baseline
+// is practical for datasets up to a few hundred points — a scale note
+// the FairKM paper's complexity argument (Section 4.3.1) makes against
+// LP-per-instance methods generally.
+package bera
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/kmeans"
+	"repro/internal/lp"
+	"repro/internal/stats"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// K is the number of clusters.
+	K int
+	// Delta is the proportionality slack δ ∈ [0, 1): group g must make
+	// up between r_g·(1−δ) and r_g/(1−δ) of every cluster. Zero means
+	// the customary 0.2.
+	Delta float64
+	// Seed drives the vanilla K-Means stage.
+	Seed int64
+	// MaxIter bounds the K-Means stage; zero means its default.
+	MaxIter int
+}
+
+// Result is a completed run.
+type Result struct {
+	// Assign is the integral assignment after rounding.
+	Assign []int
+	// Centers are the vanilla K-Means centers the LP assigned against.
+	Centers [][]float64
+	// LPObjective is the fractional assignment's transport cost.
+	LPObjective float64
+	// RoundedObjective is the integral assignment's transport cost.
+	RoundedObjective float64
+	// MaxViolation is the largest additive violation of a group bound
+	// after rounding (0 means all bounds hold exactly).
+	MaxViolation float64
+	// Delta is the slack actually used.
+	Delta float64
+}
+
+// Run executes the three-stage pipeline on all categorical sensitive
+// attributes of ds.
+func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
+	if ds == nil {
+		return nil, errors.New("bera: nil dataset")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("bera: %w", err)
+	}
+	n := ds.N()
+	if cfg.K < 1 || cfg.K > n {
+		return nil, fmt.Errorf("bera: K=%d out of range [1,%d]", cfg.K, n)
+	}
+	delta := cfg.Delta
+	if delta == 0 {
+		delta = 0.2
+	}
+	if delta < 0 || delta >= 1 {
+		return nil, fmt.Errorf("bera: delta=%v outside [0,1)", delta)
+	}
+	// Group membership: one group per (categorical attribute, value).
+	type group struct {
+		members []int
+		rate    float64
+	}
+	var groups []group
+	for _, s := range ds.Sensitive {
+		if s.Kind != dataset.Categorical {
+			continue
+		}
+		byValue := make([][]int, len(s.Values))
+		for i, c := range s.Codes {
+			byValue[c] = append(byValue[c], i)
+		}
+		for _, members := range byValue {
+			if len(members) == 0 {
+				continue
+			}
+			groups = append(groups, group{members, float64(len(members)) / float64(n)})
+		}
+	}
+	if len(groups) == 0 {
+		return nil, errors.New("bera: dataset has no categorical sensitive attributes")
+	}
+
+	// Stage 1: vanilla centers.
+	km, err := kmeans.Run(ds.Features, kmeans.Config{K: cfg.K, Seed: cfg.Seed, MaxIter: cfg.MaxIter})
+	if err != nil {
+		return nil, fmt.Errorf("bera: vanilla stage: %w", err)
+	}
+	k := cfg.K
+
+	// Stage 2: the fair partial-assignment LP.
+	nv := n * k
+	xvar := func(i, j int) int { return i*k + j }
+	prob := lp.Problem{C: make([]float64, nv)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			prob.C[xvar(i, j)] = stats.SqDist(ds.Features[i], km.Centroids[j])
+		}
+	}
+	// Σ_j x_ij = 1 per point.
+	for i := 0; i < n; i++ {
+		row := make([]float64, nv)
+		for j := 0; j < k; j++ {
+			row[xvar(i, j)] = 1
+		}
+		prob.A = append(prob.A, row)
+		prob.Ops = append(prob.Ops, lp.EQ)
+		prob.B = append(prob.B, 1)
+	}
+	// Group bounds per (group, center).
+	for _, g := range groups {
+		alpha := g.rate / (1 - delta)
+		beta := g.rate * (1 - delta)
+		inGroup := make([]bool, n)
+		for _, i := range g.members {
+			inGroup[i] = true
+		}
+		for j := 0; j < k; j++ {
+			upper := make([]float64, nv)
+			lower := make([]float64, nv)
+			for i := 0; i < n; i++ {
+				v := xvar(i, j)
+				if inGroup[i] {
+					upper[v] = 1 - alpha
+					lower[v] = beta - 1
+				} else {
+					upper[v] = -alpha
+					lower[v] = beta
+				}
+			}
+			prob.A = append(prob.A, upper)
+			prob.Ops = append(prob.Ops, lp.LE)
+			prob.B = append(prob.B, 0)
+			prob.A = append(prob.A, lower)
+			prob.Ops = append(prob.Ops, lp.LE)
+			prob.B = append(prob.B, 0)
+		}
+	}
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("bera: LP: %w", err)
+	}
+	switch sol.Status {
+	case lp.Optimal:
+	case lp.Infeasible:
+		return nil, fmt.Errorf("bera: LP infeasible at delta=%v; increase the slack", delta)
+	default:
+		return nil, fmt.Errorf("bera: LP %v (internal error: the program is bounded by construction)", sol.Status)
+	}
+
+	// Stage 3: greedy rounding to the largest fractional mass.
+	assign := make([]int, n)
+	rounded := 0.0
+	for i := 0; i < n; i++ {
+		best, bestV := 0, sol.X[xvar(i, 0)]
+		for j := 1; j < k; j++ {
+			if v := sol.X[xvar(i, j)]; v > bestV {
+				best, bestV = j, v
+			}
+		}
+		assign[i] = best
+		rounded += prob.C[xvar(i, best)]
+	}
+
+	res := &Result{
+		Assign:           assign,
+		Centers:          km.Centroids,
+		LPObjective:      sol.Objective,
+		RoundedObjective: rounded,
+		Delta:            delta,
+	}
+	// Measure realized violations of the integral assignment.
+	sizes := kmeans.Sizes(assign, k)
+	for _, g := range groups {
+		alpha := g.rate / (1 - delta)
+		beta := g.rate * (1 - delta)
+		counts := make([]int, k)
+		for _, i := range g.members {
+			counts[assign[i]]++
+		}
+		for j := 0; j < k; j++ {
+			if sizes[j] == 0 {
+				continue
+			}
+			p := float64(counts[j]) / float64(sizes[j])
+			if v := p - alpha; v > res.MaxViolation {
+				res.MaxViolation = v
+			}
+			if v := beta - p; v > res.MaxViolation {
+				res.MaxViolation = v
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,176 @@
+package bera
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/kmeans"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// skewedDataset: two blobs whose sensitive mix differs, so vanilla
+// clusters violate proportionality.
+func skewedDataset(t *testing.T, n int) *dataset.Dataset {
+	t.Helper()
+	b := dataset.NewBuilder("x", "y")
+	b.AddCategoricalSensitive("g")
+	rng := stats.NewRNG(3)
+	for i := 0; i < n/2; i++ {
+		v := "a"
+		if i%4 == 0 {
+			v = "b"
+		}
+		b.Row([]float64{rng.Gaussian(0, 0.3), rng.Gaussian(0, 0.3)}, []string{v}, nil)
+	}
+	for i := 0; i < n/2; i++ {
+		v := "b"
+		if i%4 == 0 {
+			v = "a"
+		}
+		b.Row([]float64{rng.Gaussian(3, 0.3), rng.Gaussian(3, 0.3)}, []string{v}, nil)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestLPRespectsBounds(t *testing.T) {
+	ds := skewedDataset(t, 60)
+	res, err := Run(ds, Config{K: 2, Delta: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The LP enforces the bounds fractionally; the greedy rounding may
+	// violate them a little, but not grossly.
+	if res.MaxViolation > 0.15 {
+		t.Errorf("rounded violation %v too large", res.MaxViolation)
+	}
+	// The fairness-constrained LP can never beat the unconstrained
+	// nearest-center assignment cost.
+	unconstrained := 0.0
+	for i := 0; i < ds.N(); i++ {
+		best := stats.SqDist(ds.Features[i], res.Centers[0])
+		for j := 1; j < len(res.Centers); j++ {
+			if d := stats.SqDist(ds.Features[i], res.Centers[j]); d < best {
+				best = d
+			}
+		}
+		unconstrained += best
+	}
+	if res.LPObjective < unconstrained-1e-6 {
+		t.Errorf("LP objective %v beats the unconstrained optimum %v", res.LPObjective, unconstrained)
+	}
+}
+
+func TestImprovesFairnessOverVanilla(t *testing.T) {
+	ds := skewedDataset(t, 80)
+	km, err := kmeans.Run(ds.Features, kmeans.Config{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ds, Config{K: 2, Delta: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.SensitiveByName("g")
+	before := metrics.Fairness(ds, g, km.Assign, 2)
+	after := metrics.Fairness(ds, g, res.Assign, 2)
+	if after.AE >= before.AE {
+		t.Errorf("Bera AE %v not better than vanilla %v", after.AE, before.AE)
+	}
+}
+
+func TestTightDeltaGetsTighter(t *testing.T) {
+	ds := skewedDataset(t, 60)
+	loose, err := Run(ds, Config{K: 2, Delta: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Run(ds, Config{K: 2, Delta: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.SensitiveByName("g")
+	lF := metrics.Fairness(ds, g, loose.Assign, 2)
+	tF := metrics.Fairness(ds, g, tight.Assign, 2)
+	if tF.AE > lF.AE+1e-9 {
+		t.Errorf("delta=0.05 AE %v worse than delta=0.5 AE %v", tF.AE, lF.AE)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	ds := skewedDataset(t, 20)
+	if _, err := Run(nil, Config{K: 2}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := Run(ds, Config{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Run(ds, Config{K: 2, Delta: 1.5}); err == nil {
+		t.Error("delta out of range accepted")
+	}
+	if _, err := Run(ds, Config{K: 2, Delta: -0.1}); err == nil {
+		t.Error("negative delta accepted")
+	}
+	// No categorical sensitive attributes.
+	b := dataset.NewBuilder("x")
+	b.AddNumericSensitive("age")
+	b.Row([]float64{1}, nil, []float64{1})
+	b.Row([]float64{2}, nil, []float64{2})
+	num, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(num, Config{K: 2}); err == nil {
+		t.Error("numeric-only dataset accepted")
+	}
+}
+
+func TestMultipleAttributes(t *testing.T) {
+	b := dataset.NewBuilder("x")
+	b.AddCategoricalSensitive("g")
+	b.AddCategoricalSensitive("h")
+	rng := stats.NewRNG(5)
+	for i := 0; i < 40; i++ {
+		g := "a"
+		if i%2 == 0 {
+			g = "b"
+		}
+		h := "p"
+		if i%4 < 2 {
+			h = "q"
+		}
+		b.Row([]float64{rng.Gaussian(float64(i%2)*3, 0.3)}, []string{g, h}, nil)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ds, Config{K: 2, Delta: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run with two attributes: %v", err)
+	}
+	if len(res.Assign) != 40 {
+		t.Errorf("assignment length %d", len(res.Assign))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ds := skewedDataset(t, 40)
+	a, err := Run(ds, Config{K: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ds, Config{K: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("assignment %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package core implements FairKM, the fair clustering algorithm of
+// Abraham, Deepak P and Sundaram, "Fairness in Clustering with Multiple
+// Sensitive Attributes" (EDBT 2020).
+//
+// FairKM minimizes the objective (paper Eq. 1)
+//
+//	O = Σ_C Σ_{X∈C} dist_N(X, C)  +  λ · deviation_S(C, X)
+//
+// where the first term is the classical K-Means SSE over the
+// non-sensitive attributes N and the second penalizes, for every
+// sensitive attribute S and value s, the squared difference between the
+// fractional representation of s inside each cluster and in the whole
+// dataset — weighted by the squared fractional cluster cardinality and
+// normalized by the attribute's domain cardinality (Eq. 7).
+//
+// Optimization is coordinate descent over objects in round-robin order
+// (Section 4.2): each object is moved to the cluster that minimizes the
+// objective given all other assignments, with cluster prototypes and
+// fractional representations updated incrementally after every move.
+//
+// The package also implements the paper's extensions: numeric sensitive
+// attributes (Eq. 22), per-attribute fairness weights (Eq. 23), and the
+// mini-batch prototype-update heuristic sketched as future work in
+// Section 6.1.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/kmeans"
+)
+
+// DefaultMaxIter is the iteration cap used in the paper's experiments
+// (Section 5.4).
+const DefaultMaxIter = 30
+
+// Config parameterizes a FairKM run.
+type Config struct {
+	// K is the number of clusters; required, 1 <= K <= n.
+	K int
+	// Lambda is the fairness weight λ from Eq. 1. When AutoLambda is
+	// set, Lambda is ignored and the paper's heuristic λ = (n/K)² from
+	// Section 5.4 is used instead.
+	Lambda float64
+	// AutoLambda selects the λ = (n/K)² heuristic.
+	AutoLambda bool
+	// MaxIter bounds round-robin iterations; zero means DefaultMaxIter.
+	MaxIter int
+	// Seed drives the random initialization.
+	Seed int64
+	// Init selects the initial clustering. The paper's Algorithm 1 uses
+	// a random partition, which is the zero value here.
+	Init kmeans.InitMethod
+	// Weights optionally assigns per-attribute fairness weights w_S
+	// (Eq. 23), keyed by sensitive attribute name. Attributes absent
+	// from the map get weight 1. Negative weights are an error.
+	Weights map[string]float64
+	// ClusterWeightExponent is the exponent of the fractional-
+	// cardinality cluster weight (|C|/|X|)^e in Eq. 7. Zero means the
+	// paper's e=2; e=1 is the cardinality-weighted sum the paper
+	// rejects in Section 4.1 ("Cluster Weighting") — exposed as an
+	// ablation knob.
+	ClusterWeightExponent float64
+	// NoDomainNormalization drops the 1/|Values(S)| factor of Eq. 4,
+	// letting high-cardinality attributes dominate — the behaviour the
+	// normalization exists to prevent. Ablation knob.
+	NoDomainNormalization bool
+	// SkewCompensation divides each value's squared deviation by
+	// Fr_X(s)·(1−Fr_X(s)) — a χ²-style normalization that amplifies
+	// deviations on rare values, addressing the poor behaviour on
+	// highly skewed attributes the paper observes for Race in Section
+	// 5.6 and lists as future work (Section 6.1, second direction).
+	// Values with dataset frequency 0 or 1 contribute nothing (their
+	// deviation is structurally 0 anyway).
+	SkewCompensation bool
+	// MiniBatch, when m > 0, defers prototype and fractional-
+	// representation updates so they happen once per batch of m
+	// assignment decisions instead of after every move (the Section 6.1
+	// scalability heuristic). Zero reproduces the paper's per-move
+	// updates.
+	MiniBatch int
+	// RecordHistory, when set, stores per-iteration objective values in
+	// Result.History (used by the λ-sweep figures and by tests).
+	RecordHistory bool
+}
+
+// DefaultLambda returns the paper's λ heuristic (|X|/k)² (Section 5.4).
+func DefaultLambda(n, k int) float64 {
+	r := float64(n) / float64(k)
+	return r * r
+}
+
+// IterStats records the objective decomposition after one round-robin
+// iteration.
+type IterStats struct {
+	Iteration int
+	// Moves is the number of objects that changed cluster this iteration.
+	Moves int
+	// KMeansTerm is the SSE over N attributes (first term of Eq. 1).
+	KMeansTerm float64
+	// FairnessTerm is deviation_S(C, X) (Eq. 7 / Eq. 22), unweighted
+	// by λ.
+	FairnessTerm float64
+	// Objective is KMeansTerm + λ·FairnessTerm.
+	Objective float64
+}
+
+// Result is a completed FairKM clustering.
+type Result struct {
+	// Assign maps each row to its cluster in [0, K).
+	Assign []int
+	// Centroids are cluster means over the feature space; empty
+	// clusters have zero vectors.
+	Centroids [][]float64
+	// Sizes are per-cluster cardinalities.
+	Sizes []int
+	// KMeansTerm, FairnessTerm and Objective decompose the final
+	// objective value; Objective = KMeansTerm + λ·FairnessTerm.
+	KMeansTerm   float64
+	FairnessTerm float64
+	Objective    float64
+	// Lambda is the λ actually used (after the AutoLambda heuristic).
+	Lambda float64
+	// Iterations is the number of full round-robin passes executed.
+	Iterations int
+	// Converged reports whether a full pass completed with no moves.
+	Converged bool
+	// TotalMoves counts assignment changes across all iterations.
+	TotalMoves int
+	// History holds per-iteration stats when Config.RecordHistory is set.
+	History []IterStats
+}
+
+// K returns the number of clusters in the result.
+func (r *Result) K() int { return len(r.Centroids) }
+
+// Predict assigns a new feature vector to the nearest cluster centroid
+// (the fairness term has no per-point form for unseen data, so
+// prediction is distance-only — the standard deployment rule for
+// K-Means-family models). It panics if x's dimensionality differs from
+// the training features.
+func (r *Result) Predict(x []float64) int {
+	if len(r.Centroids) == 0 {
+		panic("fairkm: Predict on an empty result")
+	}
+	if len(x) != len(r.Centroids[0]) {
+		panic(fmt.Sprintf("fairkm: Predict with %d features, trained on %d", len(x), len(r.Centroids[0])))
+	}
+	best, bestD := 0, math.Inf(1)
+	for c, cen := range r.Centroids {
+		d := 0.0
+		for j := range x {
+			diff := x[j] - cen[j]
+			d += diff * diff
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+func validate(ds *dataset.Dataset, cfg *Config) error {
+	if ds == nil {
+		return errors.New("fairkm: nil dataset")
+	}
+	if err := ds.Validate(); err != nil {
+		return fmt.Errorf("fairkm: %w", err)
+	}
+	n := ds.N()
+	if n == 0 {
+		return errors.New("fairkm: empty dataset")
+	}
+	if cfg.K < 1 || cfg.K > n {
+		return fmt.Errorf("fairkm: K=%d out of range [1,%d]", cfg.K, n)
+	}
+	if cfg.Lambda < 0 {
+		return fmt.Errorf("fairkm: negative lambda %v", cfg.Lambda)
+	}
+	if cfg.MiniBatch < 0 {
+		return fmt.Errorf("fairkm: negative mini-batch size %d", cfg.MiniBatch)
+	}
+	for name, w := range cfg.Weights {
+		if w < 0 {
+			return fmt.Errorf("fairkm: negative weight %v for attribute %q", w, name)
+		}
+		if ds.SensitiveByName(name) == nil {
+			return fmt.Errorf("fairkm: weight for unknown sensitive attribute %q", name)
+		}
+	}
+	return nil
+}

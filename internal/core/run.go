@@ -1,0 +1,209 @@
+package core
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/kmeans"
+	"repro/internal/stats"
+)
+
+// Run executes FairKM (Algorithm 1) on the dataset.
+func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
+	if err := validate(ds, &cfg); err != nil {
+		return nil, err
+	}
+	lambda := cfg.Lambda
+	if cfg.AutoLambda {
+		lambda = DefaultLambda(ds.N(), cfg.K)
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	assign := initialAssignment(ds.Features, cfg)
+	st := newState(ds, &cfg, lambda, assign)
+
+	res := &Result{Lambda: lambda}
+	for iter := 1; iter <= maxIter; iter++ {
+		res.Iterations = iter
+		var moves int
+		if cfg.MiniBatch > 0 {
+			moves = st.sweepMiniBatch(cfg.MiniBatch)
+		} else {
+			moves = st.sweep()
+		}
+		res.TotalMoves += moves
+		if cfg.RecordHistory {
+			km := st.sseTotal()
+			fair := st.fairnessTotal()
+			res.History = append(res.History, IterStats{
+				Iteration:    iter,
+				Moves:        moves,
+				KMeansTerm:   km,
+				FairnessTerm: fair,
+				Objective:    km + lambda*fair,
+			})
+		}
+		if moves == 0 {
+			res.Converged = true
+			break
+		}
+	}
+	res.Assign = st.assign
+	res.Centroids = st.centroids()
+	res.Sizes = append([]int(nil), st.counts...)
+	res.KMeansTerm = st.sseTotal()
+	res.FairnessTerm = st.fairnessTotal()
+	res.Objective = res.KMeansTerm + lambda*res.FairnessTerm
+	return res, nil
+}
+
+// sweep performs one round-robin pass over all objects, applying the
+// best move for each (Eq. 9) immediately, with prototype and
+// fractional-representation updates after every move (Sections
+// 4.2.1–4.2.3). It returns the number of objects that changed cluster.
+func (st *state) sweep() int {
+	moves := 0
+	for i := 0; i < st.n; i++ {
+		from := st.assign[i]
+		to := st.bestMove(i, from)
+		if to != from {
+			st.move(i, from, to)
+			moves++
+		}
+	}
+	return moves
+}
+
+// sweepMiniBatch is the Section 6.1 heuristic, which the paper frames
+// as "centroid updates are done only once every mini-batch of
+// clustering assignment updates": assignments and the (cheap)
+// fractional-representation bookkeeping still update after every move,
+// but the K-Means term is evaluated against cluster prototypes frozen
+// at the start of each batch, so the expensive prototype refresh
+// happens once per batch instead of once per move.
+func (st *state) sweepMiniBatch(batch int) int {
+	moves := 0
+	frozen := st.centroids()
+	sinceRefresh := 0
+	for i := 0; i < st.n; i++ {
+		from := st.assign[i]
+		to := st.bestMoveFrozen(i, from, frozen)
+		if to != from {
+			st.move(i, from, to)
+			moves++
+		}
+		sinceRefresh++
+		if sinceRefresh == batch {
+			frozen = st.centroids()
+			sinceRefresh = 0
+		}
+	}
+	return moves
+}
+
+// bestMoveFrozen mirrors bestMove but scores the K-Means term against
+// frozen prototypes (the classic nearest-centroid rule) while the
+// fairness term uses live statistics.
+func (st *state) bestMoveFrozen(i, from int, frozen [][]float64) int {
+	x := st.ds.Features[i]
+	dFrom := stats.SqDist(x, frozen[from])
+	devFromBefore := st.devCache[from]
+	devFromAfter := st.deviationWithDelta(from, i, -1)
+
+	best := from
+	bestDelta := 0.0
+	for c := 0; c < st.k; c++ {
+		if c == from {
+			continue
+		}
+		dKM := stats.SqDist(x, frozen[c]) - dFrom
+		dFair := (devFromAfter - devFromBefore) +
+			(st.deviationWithDelta(c, i, +1) - st.devCache[c])
+		delta := dKM + st.lambda*dFair
+		if delta < bestDelta {
+			bestDelta = delta
+			best = c
+		}
+	}
+	return best
+}
+
+// bestMove returns the cluster minimizing the objective change δ(O) of
+// Eq. 10 for row i, which currently sits in cluster from. Ties keep the
+// current cluster (δ = 0 for staying put).
+func (st *state) bestMove(i, from int) int {
+	// Leaving `from` costs the same regardless of destination; compute
+	// those pieces once.
+	kmOut := st.kmeansOutDelta(i, from)
+	devFromBefore := st.devCache[from]
+	devFromAfter := st.deviationWithDelta(from, i, -1)
+
+	best := from
+	bestDelta := 0.0
+	for c := 0; c < st.k; c++ {
+		if c == from {
+			continue
+		}
+		dKM := kmOut + st.kmeansInDelta(i, c)
+		dFair := (devFromAfter - devFromBefore) +
+			(st.deviationWithDelta(c, i, +1) - st.devCache[c])
+		delta := dKM + st.lambda*dFair
+		if delta < bestDelta {
+			bestDelta = delta
+			best = c
+		}
+	}
+	return best
+}
+
+// initialAssignment produces the starting partition per Config.Init.
+func initialAssignment(features [][]float64, cfg Config) []int {
+	n := len(features)
+	rng := stats.NewRNG(cfg.Seed)
+	assign := make([]int, n)
+	switch cfg.Init {
+	case kmeans.KMeansPlusPlus:
+		centroids := kmeans.PlusPlusCentroids(features, cfg.K, rng)
+		for i, x := range features {
+			best, bestD := 0, stats.SqDist(x, centroids[0])
+			for c := 1; c < len(centroids); c++ {
+				if d := stats.SqDist(x, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+		}
+	case kmeans.RandomPoints:
+		pts := rng.SampleWithoutReplacement(n, cfg.K)
+		for i, x := range features {
+			best, bestD := 0, stats.SqDist(x, features[pts[0]])
+			for c := 1; c < len(pts); c++ {
+				if d := stats.SqDist(x, features[pts[c]]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+		}
+	default: // RandomPartition — Algorithm 1 step 1
+		for i := range assign {
+			assign[i] = rng.Intn(cfg.K)
+		}
+		// Repair empty clusters so k-cluster invariants hold from the
+		// start (n >= k is guaranteed by validate).
+		sizes := make([]int, cfg.K)
+		for _, c := range assign {
+			sizes[c]++
+		}
+		for c := 0; c < cfg.K; c++ {
+			for sizes[c] == 0 {
+				i := rng.Intn(n)
+				if sizes[assign[i]] > 1 {
+					sizes[assign[i]]--
+					assign[i] = c
+					sizes[c]++
+				}
+			}
+		}
+	}
+	return assign
+}

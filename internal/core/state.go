@@ -1,0 +1,340 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// state holds the sufficient statistics FairKM maintains so every
+// candidate move is evaluated in O(|N| + Σ_S |Values(S)|) instead of
+// rescanning cluster members (the optimization Section 4.2.1 motivates).
+//
+// Per cluster c it tracks:
+//   - counts[c]: cardinality |c|
+//   - sums[c]: per-feature sums (so the prototype is sums[c]/counts[c])
+//   - ssqs[c]: Σ_{x∈c} ‖x‖², giving SSE_c = ssqs[c] − ‖sums[c]‖²/|c|
+//   - catCounts[a][c][v]: members taking value v of categorical attr a
+//   - numSums[a][c]: sum of numeric sensitive attr a over members
+//   - devCache[c]: the cluster's current fairness deviation
+//     contribution (the (|c|/n)²·ND_C term of Eq. 7 plus Eq. 22 terms)
+type state struct {
+	ds      *dataset.Dataset
+	k       int
+	lambda  float64
+	n       int
+	dim     int
+	weights []float64 // per sensitive attribute, aligned with ds.Sensitive
+
+	exponent float64 // cluster-weight exponent, paper default 2
+	domNorm  bool    // divide by |Values(S)| (Eq. 4), paper default true
+
+	assign []int
+	counts []int
+	sums   [][]float64
+	ssqs   []float64
+
+	catAttrs []int // indexes into ds.Sensitive with Kind == Categorical
+	numAttrs []int // indexes into ds.Sensitive with Kind == Numeric
+
+	// frX[ai] is the dataset fraction vector for categorical attribute
+	// ds.Sensitive[ai]; meanX[ai] the dataset mean for numeric ones.
+	// Both are indexed by the attribute's position in ds.Sensitive (so
+	// slots of the other kind are nil/zero).
+	frX   [][]float64
+	meanX []float64
+	// frMult[ai][v] multiplies value v's squared deviation: all ones by
+	// default, 1/(fr·(1−fr)) under Config.SkewCompensation.
+	frMult [][]float64
+
+	catCounts [][][]int   // [attr][cluster][value], attr indexed as ds.Sensitive
+	numSums   [][]float64 // [attr][cluster]
+
+	devCache []float64
+}
+
+func newState(ds *dataset.Dataset, cfg *Config, lambda float64, assign []int) *state {
+	n := ds.N()
+	st := &state{
+		ds:       ds,
+		k:        cfg.K,
+		lambda:   lambda,
+		n:        n,
+		dim:      ds.Dim(),
+		assign:   assign,
+		exponent: cfg.ClusterWeightExponent,
+		domNorm:  !cfg.NoDomainNormalization,
+	}
+	if st.exponent == 0 {
+		st.exponent = 2
+	}
+	st.weights = make([]float64, len(ds.Sensitive))
+	for i, s := range ds.Sensitive {
+		w := 1.0
+		if cfg.Weights != nil {
+			if cw, ok := cfg.Weights[s.Name]; ok {
+				w = cw
+			}
+		}
+		st.weights[i] = w
+	}
+	st.counts = make([]int, st.k)
+	st.sums = make([][]float64, st.k)
+	for c := range st.sums {
+		st.sums[c] = make([]float64, st.dim)
+	}
+	st.ssqs = make([]float64, st.k)
+	st.frX = make([][]float64, len(ds.Sensitive))
+	st.meanX = make([]float64, len(ds.Sensitive))
+	st.frMult = make([][]float64, len(ds.Sensitive))
+	st.catCounts = make([][][]int, len(ds.Sensitive))
+	st.numSums = make([][]float64, len(ds.Sensitive))
+	for ai, s := range ds.Sensitive {
+		switch s.Kind {
+		case dataset.Categorical:
+			st.catAttrs = append(st.catAttrs, ai)
+			st.frX[ai] = ds.Fractions(s)
+			st.frMult[ai] = skewMultipliers(st.frX[ai], cfg.SkewCompensation)
+			cc := make([][]int, st.k)
+			for c := range cc {
+				cc[c] = make([]int, len(s.Values))
+			}
+			st.catCounts[ai] = cc
+		case dataset.Numeric:
+			st.numAttrs = append(st.numAttrs, ai)
+			st.meanX[ai] = stats.Mean(s.Reals)
+			st.numSums[ai] = make([]float64, st.k)
+		}
+	}
+	for i := 0; i < n; i++ {
+		st.accumulate(i, assign[i])
+	}
+	st.devCache = make([]float64, st.k)
+	for c := 0; c < st.k; c++ {
+		st.devCache[c] = st.clusterDeviation(c)
+	}
+	return st
+}
+
+// accumulate adds row i's contribution to cluster c's statistics
+// (assignment bookkeeping only; devCache is managed by callers).
+func (st *state) accumulate(i, c int) {
+	x := st.ds.Features[i]
+	st.counts[c]++
+	stats.AddTo(st.sums[c], x)
+	st.ssqs[c] += stats.Dot(x, x)
+	for _, ai := range st.catAttrs {
+		st.catCounts[ai][c][st.ds.Sensitive[ai].Codes[i]]++
+	}
+	for _, ai := range st.numAttrs {
+		st.numSums[ai][c] += st.ds.Sensitive[ai].Reals[i]
+	}
+}
+
+// remove subtracts row i's contribution from cluster c's statistics.
+func (st *state) remove(i, c int) {
+	x := st.ds.Features[i]
+	st.counts[c]--
+	stats.SubFrom(st.sums[c], x)
+	st.ssqs[c] -= stats.Dot(x, x)
+	for _, ai := range st.catAttrs {
+		st.catCounts[ai][c][st.ds.Sensitive[ai].Codes[i]]--
+	}
+	for _, ai := range st.numAttrs {
+		st.numSums[ai][c] -= st.ds.Sensitive[ai].Reals[i]
+	}
+}
+
+// move transfers row i from cluster from to cluster to, refreshing the
+// deviation cache of both clusters.
+func (st *state) move(i, from, to int) {
+	st.remove(i, from)
+	st.accumulate(i, to)
+	st.assign[i] = to
+	st.devCache[from] = st.clusterDeviation(from)
+	st.devCache[to] = st.clusterDeviation(to)
+}
+
+// sseCluster returns the K-Means SSE contribution of cluster c from its
+// sufficient statistics: Σ‖x‖² − ‖Σx‖²/|c|.
+func (st *state) sseCluster(c int) float64 {
+	m := st.counts[c]
+	if m == 0 {
+		return 0
+	}
+	s := st.ssqs[c] - stats.Dot(st.sums[c], st.sums[c])/float64(m)
+	if s < 0 {
+		s = 0 // floating-point cancellation guard
+	}
+	return s
+}
+
+// sseTotal returns the full K-Means term.
+func (st *state) sseTotal() float64 {
+	total := 0.0
+	for c := 0; c < st.k; c++ {
+		total += st.sseCluster(c)
+	}
+	return total
+}
+
+// clusterDeviation returns cluster c's fairness contribution:
+//
+//	(|c|/n)² · [ Σ_cat w_S · Σ_s (Fr_C(s) − Fr_X(s))² / |Values(S)|
+//	           + Σ_num w_S · (mean_C(S) − mean_X(S))² ]
+//
+// Empty clusters contribute 0 (Eq. 3).
+func (st *state) clusterDeviation(c int) float64 {
+	m := st.counts[c]
+	if m == 0 {
+		return 0
+	}
+	inv := 1.0 / float64(m)
+	nd := 0.0
+	for _, ai := range st.catAttrs {
+		frX := st.frX[ai]
+		mult := st.frMult[ai]
+		cc := st.catCounts[ai][c]
+		sum := 0.0
+		for v := range frX {
+			d := float64(cc[v])*inv - frX[v]
+			sum += mult[v] * d * d
+		}
+		if st.domNorm {
+			sum /= float64(len(frX))
+		}
+		nd += st.weights[ai] * sum
+	}
+	for _, ai := range st.numAttrs {
+		d := st.numSums[ai][c]*inv - st.meanX[ai]
+		nd += st.weights[ai] * d * d
+	}
+	return st.clusterWeight(m) * nd
+}
+
+// clusterWeight returns (|C|/|X|)^e, with the common e=2 fast-pathed.
+func (st *state) clusterWeight(m int) float64 {
+	frac := float64(m) / float64(st.n)
+	if st.exponent == 2 {
+		return frac * frac
+	}
+	return math.Pow(frac, st.exponent)
+}
+
+// fairnessTotal returns deviation_S(C, X) across all clusters using the
+// cache.
+func (st *state) fairnessTotal() float64 {
+	total := 0.0
+	for _, d := range st.devCache {
+		total += d
+	}
+	return total
+}
+
+// deviationWithDelta computes what cluster c's fairness contribution
+// would become if row i were added (sign=+1) or removed (sign=-1),
+// without mutating state.
+func (st *state) deviationWithDelta(c, i, sign int) float64 {
+	m := st.counts[c] + sign
+	if m == 0 {
+		return 0
+	}
+	inv := 1.0 / float64(m)
+	nd := 0.0
+	for _, ai := range st.catAttrs {
+		frX := st.frX[ai]
+		mult := st.frMult[ai]
+		cc := st.catCounts[ai][c]
+		code := st.ds.Sensitive[ai].Codes[i]
+		sum := 0.0
+		for v := range frX {
+			cnt := float64(cc[v])
+			if v == code {
+				cnt += float64(sign)
+			}
+			d := cnt*inv - frX[v]
+			sum += mult[v] * d * d
+		}
+		if st.domNorm {
+			sum /= float64(len(frX))
+		}
+		nd += st.weights[ai] * sum
+	}
+	for _, ai := range st.numAttrs {
+		val := st.numSums[ai][c] + float64(sign)*st.ds.Sensitive[ai].Reals[i]
+		d := val*inv - st.meanX[ai]
+		nd += st.weights[ai] * d * d
+	}
+	return st.clusterWeight(m) * nd
+}
+
+// kmeansOutDelta returns the change in the K-Means term from removing
+// row i from its cluster c (Eq. 12 in closed sufficient-statistic form:
+// −m/(m−1)·‖x−μ‖², 0 when the cluster is a singleton).
+func (st *state) kmeansOutDelta(i, c int) float64 {
+	m := st.counts[c]
+	if m <= 1 {
+		return 0
+	}
+	x := st.ds.Features[i]
+	d2 := sqDistToMean(x, st.sums[c], m)
+	return -float64(m) / float64(m-1) * d2
+}
+
+// kmeansInDelta returns the change in the K-Means term from adding row
+// i to cluster c (Eq. 14 in closed form: +m/(m+1)·‖x−μ‖², 0 for an
+// empty cluster).
+func (st *state) kmeansInDelta(i, c int) float64 {
+	m := st.counts[c]
+	if m == 0 {
+		return 0
+	}
+	x := st.ds.Features[i]
+	d2 := sqDistToMean(x, st.sums[c], m)
+	return float64(m) / float64(m+1) * d2
+}
+
+// sqDistToMean returns ‖x − sum/m‖² without materializing the mean.
+func sqDistToMean(x, sum []float64, m int) float64 {
+	inv := 1.0 / float64(m)
+	s := 0.0
+	for j := range x {
+		d := x[j] - sum[j]*inv
+		s += d * d
+	}
+	return s
+}
+
+// centroids materializes the cluster prototypes.
+func (st *state) centroids() [][]float64 {
+	out := make([][]float64, st.k)
+	for c := 0; c < st.k; c++ {
+		out[c] = make([]float64, st.dim)
+		if st.counts[c] > 0 {
+			inv := 1.0 / float64(st.counts[c])
+			for j := 0; j < st.dim; j++ {
+				out[c][j] = st.sums[c][j] * inv
+			}
+		}
+	}
+	return out
+}
+
+// skewMultipliers returns the per-value deviation multipliers: all ones
+// normally, 1/(fr·(1−fr)) under skew compensation (0 for degenerate
+// values whose deviation is structurally zero).
+func skewMultipliers(frX []float64, compensate bool) []float64 {
+	mult := make([]float64, len(frX))
+	for v, fr := range frX {
+		switch {
+		case !compensate:
+			mult[v] = 1
+		case fr <= 0 || fr >= 1:
+			mult[v] = 0
+		default:
+			mult[v] = 1 / (fr * (1 - fr))
+		}
+	}
+	return mult
+}

@@ -1,0 +1,186 @@
+// Package coreset implements fair (group-stratified) lightweight
+// coresets for k-means, after Schmidt, Schwiegelshohn and Sohler
+// ("Fair Coresets and Streaming Algorithms for Fair k-Means
+// Clustering", 2018), surveyed as reference [20] in the FairKM paper's
+// Table 1.
+//
+// A coreset is a small weighted point set whose weighted k-means cost
+// approximates the full dataset's cost for EVERY candidate solution.
+// Schmidt et al.'s observation is that fair clustering needs the
+// coreset property to hold per sensitive group, which is achieved by
+// building one coreset per group and taking the union.
+//
+// The per-group construction here is the lightweight coreset of Bachem
+// et al.: sample m points with probability q(x) = ½·1/|G| +
+// ½·d(x,μ_G)²/Σ_{y∈G} d(y,μ_G)², weighting each sampled point by
+// 1/(m·q(x)). Sampling is with replacement; duplicates merge their
+// weights.
+package coreset
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Weighted is a weighted subset of a dataset's rows.
+type Weighted struct {
+	// Indices are row indexes into the source dataset.
+	Indices []int
+	// Weights are the corresponding coreset weights (each ≈ how many
+	// original points the row stands for).
+	Weights []float64
+}
+
+// TotalWeight returns the summed weight (≈ n of the source data).
+func (w *Weighted) TotalWeight() float64 { return stats.Sum(w.Weights) }
+
+// Lightweight builds a lightweight coreset of m points over the given
+// rows of features (subset == nil means all rows).
+func Lightweight(features [][]float64, subset []int, m int, rng *stats.RNG) (*Weighted, error) {
+	return LightweightWeighted(features, subset, nil, m, rng)
+}
+
+// LightweightWeighted is Lightweight over an already-weighted point
+// set (weights == nil means unit weights, aligned with subset). It is
+// the "reduce" step of the streaming merge-and-reduce construction:
+// coresets of coresets remain coresets.
+func LightweightWeighted(features [][]float64, subset []int, weights []float64, m int, rng *stats.RNG) (*Weighted, error) {
+	if subset == nil {
+		subset = make([]int, len(features))
+		for i := range subset {
+			subset[i] = i
+		}
+	}
+	n := len(subset)
+	if n == 0 {
+		return nil, errors.New("coreset: empty point set")
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("coreset: size m=%d must be positive", m)
+	}
+	if weights != nil && len(weights) != n {
+		return nil, fmt.Errorf("coreset: %d weights for %d points", len(weights), n)
+	}
+	wOf := func(pos int) float64 {
+		if weights == nil {
+			return 1
+		}
+		return weights[pos]
+	}
+	if m >= n {
+		// Degenerate: keep everything at its current weight.
+		w := &Weighted{Indices: append([]int(nil), subset...), Weights: make([]float64, n)}
+		for pos := range w.Weights {
+			w.Weights[pos] = wOf(pos)
+		}
+		return w, nil
+	}
+	// Weighted mean and weighted squared distances.
+	dim := len(features[subset[0]])
+	mu := make([]float64, dim)
+	totalW := 0.0
+	for pos, i := range subset {
+		w := wOf(pos)
+		for j, v := range features[i] {
+			mu[j] += w * v
+		}
+		totalW += w
+	}
+	stats.Scale(mu, 1/totalW)
+	d2 := make([]float64, n)
+	total := 0.0
+	for pos, i := range subset {
+		d2[pos] = wOf(pos) * stats.SqDist(features[i], mu)
+		total += d2[pos]
+	}
+	q := make([]float64, n)
+	for pos := range q {
+		q[pos] = 0.5 * wOf(pos) / totalW
+		if total > 0 {
+			q[pos] += 0.5 * d2[pos] / total
+		} else {
+			q[pos] += 0.5 * wOf(pos) / totalW
+		}
+	}
+	// Sample m with replacement; merge duplicates by accumulating
+	// weight. The estimator Σ w_x/(m·q_x) is unbiased for Σ w_x.
+	accW := make([]float64, n)
+	sampled := make([]bool, n)
+	for s := 0; s < m; s++ {
+		pos := rng.Categorical(q)
+		accW[pos] += wOf(pos) / (float64(m) * q[pos])
+		sampled[pos] = true
+	}
+	w := &Weighted{}
+	for pos, i := range subset {
+		if sampled[pos] {
+			w.Indices = append(w.Indices, i)
+			w.Weights = append(w.Weights, accW[pos])
+		}
+	}
+	return w, nil
+}
+
+// Fair builds a fair coreset over the named categorical attribute:
+// one lightweight coreset per attribute value (size proportional to
+// the group, at least k points each), merged. The result preserves
+// each group's total weight, so group proportions — the quantity fair
+// clustering constrains — survive the compression.
+func Fair(ds *dataset.Dataset, attr string, m, k int, seed int64) (*Weighted, error) {
+	if ds == nil {
+		return nil, errors.New("coreset: nil dataset")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("coreset: %w", err)
+	}
+	s := ds.SensitiveByName(attr)
+	if s == nil {
+		return nil, fmt.Errorf("coreset: no sensitive attribute %q", attr)
+	}
+	if s.Kind != dataset.Categorical {
+		return nil, fmt.Errorf("coreset: attribute %q is not categorical", attr)
+	}
+	n := ds.N()
+	if m < len(s.Values)*max(1, k) {
+		return nil, fmt.Errorf("coreset: m=%d too small for %d groups at k=%d", m, len(s.Values), k)
+	}
+	rng := stats.NewRNG(seed)
+	byValue := make([][]int, len(s.Values))
+	for i, c := range s.Codes {
+		byValue[c] = append(byValue[c], i)
+	}
+	out := &Weighted{}
+	for _, members := range byValue {
+		if len(members) == 0 {
+			continue
+		}
+		gm := m * len(members) / n
+		if gm < max(1, k) {
+			gm = max(1, k)
+		}
+		gw, err := Lightweight(ds.Features, members, gm, rng.Fork())
+		if err != nil {
+			return nil, err
+		}
+		// Rescale so the group's weight equals its population exactly:
+		// proportions are what fairness measures; sampling noise in the
+		// total is pure harm.
+		scale := float64(len(members)) / gw.TotalWeight()
+		for i := range gw.Weights {
+			gw.Weights[i] *= scale
+		}
+		out.Indices = append(out.Indices, gw.Indices...)
+		out.Weights = append(out.Weights, gw.Weights...)
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,209 @@
+package coreset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/kmeans"
+	"repro/internal/stats"
+)
+
+func clusteredDataset(t *testing.T, n int) *dataset.Dataset {
+	t.Helper()
+	b := dataset.NewBuilder("x", "y")
+	b.AddCategoricalSensitive("g")
+	rng := stats.NewRNG(4)
+	for i := 0; i < n; i++ {
+		blob := float64(i % 3 * 8)
+		v := "a"
+		if i%5 == 0 {
+			v = "b"
+		}
+		b.Row([]float64{rng.Gaussian(blob, 0.5), rng.Gaussian(0, 0.5)}, []string{v}, nil)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestLightweightWeightsSumApproxN(t *testing.T) {
+	ds := clusteredDataset(t, 600)
+	w, err := Lightweight(ds.Features, nil, 120, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Importance weights are unbiased: total weight ≈ n.
+	if total := w.TotalWeight(); math.Abs(total-600) > 150 {
+		t.Errorf("total weight %v far from n=600", total)
+	}
+	if len(w.Indices) > 120 {
+		t.Errorf("coreset has %d points, want <= 120 (merging duplicates)", len(w.Indices))
+	}
+	for _, wt := range w.Weights {
+		if wt <= 0 {
+			t.Fatalf("non-positive weight %v", wt)
+		}
+	}
+}
+
+func TestLightweightDegenerate(t *testing.T) {
+	ds := clusteredDataset(t, 10)
+	w, err := Lightweight(ds.Features, nil, 50, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Indices) != 10 {
+		t.Errorf("m >= n should keep all points, got %d", len(w.Indices))
+	}
+	for _, wt := range w.Weights {
+		if wt != 1 {
+			t.Errorf("unit weights expected, got %v", wt)
+		}
+	}
+	if _, err := Lightweight(ds.Features, []int{}, 5, stats.NewRNG(1)); err == nil {
+		t.Error("empty subset accepted")
+	}
+	if _, err := Lightweight(ds.Features, nil, 0, stats.NewRNG(1)); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+// TestCoresetApproximatesKMeansCost: the weighted k-means cost of a
+// solution computed on the coreset must be close to the full-data cost
+// of the same solution.
+func TestCoresetApproximatesKMeansCost(t *testing.T) {
+	ds := clusteredDataset(t, 900)
+	full, err := kmeans.Run(ds.Features, kmeans.Config{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Lightweight(ds.Features, nil, 250, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate the FULL solution's centroids on the coreset.
+	sub := make([][]float64, len(w.Indices))
+	assign := make([]int, len(w.Indices))
+	for pos, i := range w.Indices {
+		sub[pos] = ds.Features[i]
+		assign[pos] = full.Assign[i]
+	}
+	coresetCost := kmeans.WeightedSSE(sub, w.Weights, assign, full.Centroids)
+	if rel := math.Abs(coresetCost-full.Objective) / full.Objective; rel > 0.35 {
+		t.Errorf("coreset cost %v vs full %v (rel err %v)", coresetCost, full.Objective, rel)
+	}
+}
+
+// TestFairCoresetPreservesGroupProportions: the defining property.
+func TestFairCoresetPreservesGroupProportions(t *testing.T) {
+	ds := clusteredDataset(t, 800)
+	w, err := Fair(ds, "g", 200, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.SensitiveByName("g")
+	var aWeight, bWeight float64
+	for pos, i := range w.Indices {
+		if g.Values[g.Codes[i]] == "a" {
+			aWeight += w.Weights[pos]
+		} else {
+			bWeight += w.Weights[pos]
+		}
+	}
+	// Dataset is 80% a / 20% b; the fair construction preserves group
+	// mass exactly (rescaled per group).
+	total := aWeight + bWeight
+	if math.Abs(aWeight/total-0.8) > 1e-9 {
+		t.Errorf("group-a proportion %v, want 0.8 exactly", aWeight/total)
+	}
+	if math.Abs(total-800) > 1e-6 {
+		t.Errorf("total weight %v, want 800", total)
+	}
+}
+
+// TestWeightedKMeansOnCoresetApproximatesFull: clustering the coreset
+// should find centroids nearly as good as clustering everything.
+func TestWeightedKMeansOnCoresetApproximatesFull(t *testing.T) {
+	ds := clusteredDataset(t, 900)
+	full, err := kmeans.Run(ds.Features, kmeans.Config{K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Fair(ds, "g", 250, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := make([][]float64, len(w.Indices))
+	for pos, i := range w.Indices {
+		sub[pos] = ds.Features[i]
+	}
+	wres, err := kmeans.RunWeighted(sub, w.Weights, kmeans.Config{K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate coreset centroids on the FULL data.
+	assign := make([]int, ds.N())
+	cost := 0.0
+	for i, x := range ds.Features {
+		best, bestD := 0, math.Inf(1)
+		for c, cen := range wres.Centroids {
+			if d := stats.SqDist(x, cen); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+		cost += bestD
+	}
+	if cost > 1.3*full.Objective {
+		t.Errorf("coreset-derived solution costs %v vs full %v (>30%% worse)", cost, full.Objective)
+	}
+}
+
+func TestFairErrors(t *testing.T) {
+	ds := clusteredDataset(t, 50)
+	if _, err := Fair(nil, "g", 20, 2, 1); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := Fair(ds, "nope", 20, 2, 1); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := Fair(ds, "g", 1, 2, 1); err == nil {
+		t.Error("m too small accepted")
+	}
+}
+
+func TestRunWeightedValidation(t *testing.T) {
+	feats := [][]float64{{1}, {2}, {3}}
+	if _, err := kmeans.RunWeighted(feats, []float64{1, 1}, kmeans.Config{K: 2}); err == nil {
+		t.Error("weight arity mismatch accepted")
+	}
+	if _, err := kmeans.RunWeighted(feats, []float64{1, -1, 1}, kmeans.Config{K: 2}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := kmeans.RunWeighted(nil, nil, kmeans.Config{K: 1}); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+// TestWeightedMatchesUnweightedAtUnitWeights: RunWeighted with all-1
+// weights should produce the same objective scale as Run (not exactly
+// the same clustering since initialization differs, but evaluating the
+// same assignment must give identical SSE).
+func TestWeightedSSEMatchesUnweighted(t *testing.T) {
+	ds := clusteredDataset(t, 120)
+	res, err := kmeans.Run(ds.Features, kmeans.Config{K: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := make([]float64, ds.N())
+	for i := range ones {
+		ones[i] = 1
+	}
+	wsse := kmeans.WeightedSSE(ds.Features, ones, res.Assign, res.Centroids)
+	if math.Abs(wsse-res.Objective) > 1e-9*(1+res.Objective) {
+		t.Errorf("unit-weight SSE %v differs from SSE %v", wsse, res.Objective)
+	}
+}

@@ -1,0 +1,179 @@
+package coreset
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Stream maintains a fair coreset over an unbounded point stream with
+// the classical merge-and-reduce scheme (the streaming construction of
+// Schmidt et al.): points buffer into blocks; each full block becomes a
+// level-0 coreset; whenever two coresets occupy the same level they are
+// merged (union) and reduced (re-sampled to m points) into the next
+// level. At any moment the summary is the union of at most log(n/block)
+// live levels, each of size ≤ m, built per sensitive group so group
+// proportions survive.
+//
+// The stream stores the features of retained points only — memory is
+// O(m·log n), independent of the stream length.
+type Stream struct {
+	m     int
+	block int
+	rng   *stats.RNG
+
+	// Per group: buffered raw points and the merge-and-reduce levels.
+	groups map[int]*groupStream
+	count  int
+}
+
+// groupStream is the per-sensitive-value state.
+type groupStream struct {
+	buffer [][]float64
+	seen   int // total points of this group observed
+	levels []*levelSet
+}
+
+// levelSet is one coreset in the binary merge tree: retained feature
+// rows with weights.
+type levelSet struct {
+	features [][]float64
+	weights  []float64
+}
+
+// NewStream creates a streaming fair coreset builder: per sensitive
+// group, blocks of blockSize raw points are compressed to coresets of m
+// points. blockSize must be ≥ m.
+func NewStream(m, blockSize int, seed int64) (*Stream, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("coreset: stream m=%d must be positive", m)
+	}
+	if blockSize < m {
+		return nil, fmt.Errorf("coreset: blockSize=%d must be at least m=%d", blockSize, m)
+	}
+	return &Stream{
+		m:      m,
+		block:  blockSize,
+		rng:    stats.NewRNG(seed),
+		groups: map[int]*groupStream{},
+	}, nil
+}
+
+// Add consumes one point with its sensitive-group code. The feature
+// slice is copied.
+func (s *Stream) Add(features []float64, group int) error {
+	if len(features) == 0 {
+		return errors.New("coreset: empty feature vector")
+	}
+	g := s.groups[group]
+	if g == nil {
+		g = &groupStream{}
+		s.groups[group] = g
+	}
+	g.buffer = append(g.buffer, append([]float64(nil), features...))
+	g.seen++
+	s.count++
+	if len(g.buffer) >= s.block {
+		if err := s.flushGroup(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushGroup compresses the buffer into a level-0 coreset and carries
+// merges up the tree.
+func (s *Stream) flushGroup(g *groupStream) error {
+	w, err := LightweightWeighted(g.buffer, nil, nil, s.m, s.rng)
+	if err != nil {
+		return err
+	}
+	ls := &levelSet{}
+	for pos, i := range w.Indices {
+		ls.features = append(ls.features, g.buffer[i])
+		ls.weights = append(ls.weights, w.Weights[pos])
+	}
+	g.buffer = nil
+	// Carry: like binary addition, merge equal levels upward.
+	level := 0
+	for {
+		if level == len(g.levels) {
+			g.levels = append(g.levels, nil)
+		}
+		if g.levels[level] == nil {
+			g.levels[level] = ls
+			return nil
+		}
+		merged, err := s.reduce(g.levels[level], ls)
+		if err != nil {
+			return err
+		}
+		g.levels[level] = nil
+		ls = merged
+		level++
+	}
+}
+
+// reduce merges two level sets and re-samples down to m points.
+func (s *Stream) reduce(a, b *levelSet) (*levelSet, error) {
+	features := append(append([][]float64{}, a.features...), b.features...)
+	weights := append(append([]float64{}, a.weights...), b.weights...)
+	w, err := LightweightWeighted(features, nil, weights, s.m, s.rng)
+	if err != nil {
+		return nil, err
+	}
+	out := &levelSet{}
+	for pos, i := range w.Indices {
+		out.features = append(out.features, features[i])
+		out.weights = append(out.weights, w.Weights[pos])
+	}
+	return out, nil
+}
+
+// Count returns how many points the stream has consumed.
+func (s *Stream) Count() int { return s.count }
+
+// Summary materializes the current coreset: all live levels of all
+// groups plus any unflushed buffer points (at unit weight), with each
+// group's total weight rescaled to exactly match its observed count.
+// It returns parallel slices of features, weights, and group codes.
+func (s *Stream) Summary() (features [][]float64, weights []float64, groups []int) {
+	codes := make([]int, 0, len(s.groups))
+	for code := range s.groups {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		g := s.groups[code]
+		start := len(weights)
+		for _, ls := range g.levels {
+			if ls == nil {
+				continue
+			}
+			for pos := range ls.features {
+				features = append(features, ls.features[pos])
+				weights = append(weights, ls.weights[pos])
+				groups = append(groups, code)
+			}
+		}
+		for _, x := range g.buffer {
+			features = append(features, x)
+			weights = append(weights, 1)
+			groups = append(groups, code)
+		}
+		// Exact group-mass rescale (as in Fair).
+		total := 0.0
+		for _, w := range weights[start:] {
+			total += w
+		}
+		if total > 0 {
+			scale := float64(g.seen) / total
+			for i := start; i < len(weights); i++ {
+				weights[i] *= scale
+			}
+		}
+	}
+	return features, weights, groups
+}

@@ -1,0 +1,130 @@
+package coreset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kmeans"
+	"repro/internal/stats"
+)
+
+func TestStreamBoundsMemory(t *testing.T) {
+	st, err := NewStream(40, 80, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(2)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Gaussian(float64(i%4)*6, 0.5), rng.Gaussian(0, 0.5)}
+		if err := st.Add(x, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Count() != n {
+		t.Errorf("Count = %d", st.Count())
+	}
+	features, weights, groups := st.Summary()
+	// Memory bound: per group at most m·log2(n/block) + block points.
+	maxPerGroup := 40*15 + 80
+	if len(features) > 2*maxPerGroup {
+		t.Errorf("summary holds %d points; streaming bound violated (~%d allowed)", len(features), 2*maxPerGroup)
+	}
+	if len(weights) != len(features) || len(groups) != len(features) {
+		t.Fatalf("misaligned summary slices")
+	}
+	// Total weight must equal the stream length exactly (rescaled).
+	if total := stats.Sum(weights); math.Abs(total-n) > 1e-6 {
+		t.Errorf("total weight %v, want %d", total, n)
+	}
+	// Group masses preserved exactly: the stream alternated groups.
+	var g0 float64
+	for i, g := range groups {
+		if g == 0 {
+			g0 += weights[i]
+		}
+	}
+	if math.Abs(g0-n/2) > 1e-6 {
+		t.Errorf("group-0 weight %v, want %d", g0, n/2)
+	}
+}
+
+// TestStreamSummaryClusterable: weighted k-means on the stream summary
+// must recover centroids competitive with batch k-means on all points.
+func TestStreamSummaryClusterable(t *testing.T) {
+	st, err := NewStream(60, 120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(4)
+	var all [][]float64
+	const n = 6000
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Gaussian(float64(i%3)*10, 0.6), rng.Gaussian(0, 0.6)}
+		all = append(all, x)
+		if err := st.Add(x, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	features, weights, _ := st.Summary()
+	wres, err := kmeans.RunWeighted(features, weights, kmeans.Config{K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := kmeans.Run(all, kmeans.Config{K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Score the stream-derived centroids on the full data.
+	cost := 0.0
+	for _, x := range all {
+		best := math.Inf(1)
+		for _, cen := range wres.Centroids {
+			if d := stats.SqDist(x, cen); d < best {
+				best = d
+			}
+		}
+		cost += best
+	}
+	if cost > 1.25*full.Objective {
+		t.Errorf("stream solution costs %v vs batch %v (>25%% worse)", cost, full.Objective)
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	if _, err := NewStream(0, 10, 1); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := NewStream(20, 10, 1); err == nil {
+		t.Error("blockSize < m accepted")
+	}
+	st, err := NewStream(5, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Add(nil, 0); err == nil {
+		t.Error("empty feature vector accepted")
+	}
+}
+
+func TestStreamSmallResidue(t *testing.T) {
+	// Fewer points than one block: summary is exactly the buffer.
+	st, _ := NewStream(5, 10, 1)
+	for i := 0; i < 7; i++ {
+		if err := st.Add([]float64{float64(i)}, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	features, weights, groups := st.Summary()
+	if len(features) != 7 {
+		t.Fatalf("summary has %d points, want 7", len(features))
+	}
+	for i := range weights {
+		if math.Abs(weights[i]-1) > 1e-12 {
+			t.Errorf("buffered weight %v, want 1", weights[i])
+		}
+		if groups[i] != 3 {
+			t.Errorf("group %d, want 3", groups[i])
+		}
+	}
+}

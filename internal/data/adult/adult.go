@@ -1,0 +1,302 @@
+// Package adult generates a synthetic stand-in for the UCI Adult
+// (Census Income, 1994) dataset used in the FairKM paper's evaluation
+// (Section 5.1).
+//
+// The real dataset cannot be shipped here, so this generator reproduces
+// the properties the experiments actually depend on:
+//
+//   - the same five sensitive attributes with the paper's exact domain
+//     cardinalities (Table 3): marital status (7), relationship status
+//     (6), race (5), gender (2), native country (41);
+//   - realistic marginal skews: ~86% White (the paper quotes 87% for
+//     the dominant race value), ~90% United-States with a long Zipf
+//     tail over 40 other countries, a ~2:1 male:female ratio;
+//   - eight numeric non-sensitive attributes (age, workclass code,
+//     workclass tenure, education years, education score, occupation
+//     code, capital gain, weekly hours) whose values CORRELATE with the
+//     sensitive attributes through a latent socio-economic score, so an
+//     S-blind clustering of N still produces sensitive skew — the
+//     phenomenon fair clustering exists to correct;
+//   - a binary income label with ~24.1% positives so the paper's
+//     undersampling step (32561 rows → 15682 rows with a 1:1 income
+//     split) can be reproduced exactly.
+//
+// See DESIGN.md ("Substitutions") for the full rationale.
+package adult
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// FullSize is the row count of the original UCI Adult dataset.
+const FullSize = 32561
+
+// ParitySize is the dataset size after the paper's income-parity
+// undersampling (Section 5.1).
+const ParitySize = 15682
+
+// SensitiveNames lists the five sensitive attributes in the paper's
+// order.
+var SensitiveNames = []string{
+	"marital-status", "relationship", "race", "gender", "native-country",
+}
+
+// FeatureNames lists the eight numeric non-sensitive attributes.
+var FeatureNames = []string{
+	"age", "workclass-code", "workclass-tenure", "education-years",
+	"education-score", "occupation-code", "capital-gain", "hours-per-week",
+}
+
+// Domain values mirror the UCI codebook.
+var (
+	maritalValues = []string{
+		"Married-civ-spouse", "Divorced", "Never-married", "Separated",
+		"Widowed", "Married-spouse-absent", "Married-AF-spouse",
+	}
+	relationshipValues = []string{
+		"Wife", "Own-child", "Husband", "Not-in-family", "Other-relative",
+		"Unmarried",
+	}
+	raceValues = []string{
+		"White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other",
+	}
+	genderValues = []string{"Male", "Female"}
+)
+
+// countryValues holds 41 countries; the first dominates as in the real
+// data.
+var countryValues = []string{
+	"United-States", "Mexico", "Philippines", "Germany", "Canada",
+	"Puerto-Rico", "El-Salvador", "India", "Cuba", "England",
+	"Jamaica", "South", "China", "Italy", "Dominican-Republic",
+	"Vietnam", "Guatemala", "Japan", "Poland", "Columbia",
+	"Taiwan", "Haiti", "Iran", "Portugal", "Nicaragua",
+	"Peru", "France", "Greece", "Ecuador", "Ireland",
+	"Hong", "Cambodia", "Trinadad&Tobago", "Laos", "Thailand",
+	"Yugoslavia", "Outlying-US", "Honduras", "Hungary", "Scotland",
+	"Holand-Netherlands",
+}
+
+// Config parameterizes generation.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Rows is the pre-undersampling size; zero means FullSize.
+	Rows int
+	// SkipParity disables the income-parity undersampling, returning
+	// all generated rows.
+	SkipParity bool
+}
+
+// Generate produces the synthetic Adult dataset. With default Config it
+// generates FullSize rows and undersamples to income parity exactly as
+// the paper describes, returning ~ParitySize rows.
+func Generate(cfg Config) (*dataset.Dataset, error) {
+	rows := cfg.Rows
+	if rows == 0 {
+		rows = FullSize
+	}
+	if rows < 2 {
+		return nil, fmt.Errorf("adult: need at least 2 rows, got %d", rows)
+	}
+	rng := stats.NewRNG(cfg.Seed)
+
+	b := dataset.NewBuilder(FeatureNames...)
+	domains := [][]string{
+		maritalValues, relationshipValues, raceValues, genderValues,
+		countryValues,
+	}
+	for i, name := range SensitiveNames {
+		// Fixed domains preserve the paper's Table 3 cardinalities even
+		// when a rare value (e.g. Holand-Netherlands) is never sampled.
+		b.AddCategoricalSensitiveWithDomain(name, domains[i])
+	}
+
+	income := make([]bool, 0, rows)
+	countryWeights := countryDistribution()
+	for i := 0; i < rows; i++ {
+		r := sampleRecord(rng, countryWeights)
+		b.Row(r.features, r.sensitive, nil)
+		income = append(income, r.highIncome)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("adult: %w", err)
+	}
+	if cfg.SkipParity {
+		return ds, nil
+	}
+	return undersampleParity(ds, income, rng), nil
+}
+
+// incomeIntercept calibrates the income logit so ~24.1% of generated
+// rows are high-income, matching the real Adult dataset's base rate
+// (32561·0.241·2 ≈ 15682 rows after parity undersampling).
+const incomeIntercept = -3.17
+
+// record is one sampled person.
+type record struct {
+	features   []float64
+	sensitive  []string
+	highIncome bool
+}
+
+// countryDistribution gives United-States ~90% mass and a Zipf tail
+// over the remaining 40 countries.
+func countryDistribution() []float64 {
+	w := make([]float64, len(countryValues))
+	w[0] = 0.90
+	tail := stats.ZipfWeights(len(countryValues)-1, 1.1)
+	tailSum := stats.Sum(tail)
+	for i, t := range tail {
+		w[i+1] = 0.10 * t / tailSum
+	}
+	return w
+}
+
+// sampleRecord draws one person from the latent model. The generative
+// story: demographics (gender, age, race, country) feed a latent
+// socio-economic score that shifts education, occupation, hours,
+// capital gains and income — which is what makes S recoverable from N
+// by a clustering algorithm.
+func sampleRecord(rng *stats.RNG, countryWeights []float64) record {
+	male := rng.Bernoulli(2.0 / 3.0)
+	gender := "Female"
+	if male {
+		gender = "Male"
+	}
+
+	age := clamp(17, 90, rng.Gaussian(38.6, 13.6))
+
+	race := raceValues[rng.Categorical([]float64{0.855, 0.096, 0.031, 0.010, 0.008})]
+	country := countryValues[rng.Categorical(countryWeights)]
+	// Country-race coherence: non-US countries shift race composition.
+	if country != "United-States" && race == "White" && rng.Bernoulli(0.5) {
+		race = raceValues[1+rng.Intn(len(raceValues)-1)]
+	}
+
+	marital := sampleMarital(rng, age)
+	relationship := sampleRelationship(rng, marital, male)
+
+	// Latent socio-economic score: correlates with gender, age, race
+	// and country so that the numeric features (and hence S-blind
+	// clusters) carry sensitive information.
+	ses := rng.Gaussian(0, 1)
+	if male {
+		ses += 0.45
+	}
+	ses += 0.35 * math.Min((age-25)/20, 1.5)
+	switch race {
+	case "White", "Asian-Pac-Islander":
+		ses += 0.20
+	case "Black", "Amer-Indian-Eskimo":
+		ses -= 0.25
+	}
+	if country != "United-States" {
+		ses -= 0.30
+	}
+	if marital == "Married-civ-spouse" {
+		ses += 0.25
+	}
+
+	eduYears := clamp(1, 16, rng.Gaussian(10+1.8*ses, 2.2))
+	eduScore := clamp(0, 100, rng.Gaussian(40+14*ses, 12))
+	occupation := clamp(0, 14, rng.Gaussian(7+2.4*ses+boolTo(male, 1.2, -1.2), 2.8))
+	workclass := clamp(0, 7, rng.Gaussian(3+0.8*ses, 1.6))
+	tenure := clamp(0, 45, rng.Gaussian((age-18)*0.45+2*ses, 5))
+	hours := clamp(1, 99, rng.Gaussian(40+4.5*ses+boolTo(male, 2.5, -2.5), 9))
+	gain := 0.0
+	if rng.Bernoulli(0.08 + 0.05*sigmoid(ses)) {
+		gain = math.Exp(rng.Gaussian(7.5+0.8*ses, 1.1))
+		if gain > 99999 {
+			gain = 99999
+		}
+	}
+
+	// Income: logistic in the latent score plus feature noise,
+	// calibrated to ~24.1% positives like the real data.
+	logit := 1.45*ses + 0.02*(hours-40) + 0.12*(eduYears-10) + incomeIntercept
+	highIncome := rng.Bernoulli(sigmoid(logit))
+
+	return record{
+		features: []float64{
+			age, workclass, tenure, eduYears, eduScore, occupation, gain, hours,
+		},
+		sensitive:  []string{marital, relationship, race, gender, country},
+		highIncome: highIncome,
+	}
+}
+
+func sampleMarital(rng *stats.RNG, age float64) string {
+	switch {
+	case age < 25:
+		return maritalValues[rng.Categorical([]float64{0.12, 0.03, 0.80, 0.02, 0.00, 0.02, 0.01})]
+	case age < 40:
+		return maritalValues[rng.Categorical([]float64{0.52, 0.12, 0.28, 0.03, 0.01, 0.03, 0.01})]
+	case age < 60:
+		return maritalValues[rng.Categorical([]float64{0.62, 0.18, 0.10, 0.04, 0.03, 0.03, 0.00})]
+	default:
+		return maritalValues[rng.Categorical([]float64{0.55, 0.14, 0.05, 0.03, 0.20, 0.03, 0.00})]
+	}
+}
+
+func sampleRelationship(rng *stats.RNG, marital string, male bool) string {
+	if marital == "Married-civ-spouse" || marital == "Married-AF-spouse" {
+		if male {
+			return "Husband"
+		}
+		return "Wife"
+	}
+	if marital == "Never-married" {
+		return relationshipValues[rng.Categorical([]float64{0, 0.45, 0, 0.35, 0.08, 0.12})]
+	}
+	return relationshipValues[rng.Categorical([]float64{0, 0.05, 0, 0.45, 0.10, 0.40})]
+}
+
+// undersampleParity keeps all rows of the minority income class and an
+// equal-size random sample of the majority class (Section 5.1), then
+// shuffles.
+func undersampleParity(ds *dataset.Dataset, income []bool, rng *stats.RNG) *dataset.Dataset {
+	var pos, neg []int
+	for i, hi := range income {
+		if hi {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	minority, majority := pos, neg
+	if len(pos) > len(neg) {
+		minority, majority = neg, pos
+	}
+	keep := make([]int, 0, 2*len(minority))
+	keep = append(keep, minority...)
+	for _, j := range rng.SampleWithoutReplacement(len(majority), len(minority)) {
+		keep = append(keep, majority[j])
+	}
+	rng.Shuffle(len(keep), func(i, j int) { keep[i], keep[j] = keep[j], keep[i] })
+	return ds.Subset(keep)
+}
+
+func clamp(lo, hi, x float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func boolTo(b bool, yes, no float64) float64 {
+	if b {
+		return yes
+	}
+	return no
+}

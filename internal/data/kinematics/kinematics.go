@@ -1,0 +1,230 @@
+// Package kinematics generates the word-problem dataset of the FairKM
+// paper's second evaluation scenario (Section 5.1): 161 physics word
+// problems from the kinematics domain, categorized into the five types
+// of Table 2 with the exact per-type counts of Table 4, each embedded
+// as a 100-dimensional document vector.
+//
+// The original dataset is not public, so problems are produced by a
+// template natural-language generator: each type has several sentence
+// templates with type-characteristic vocabulary (Table 2's phenomena:
+// horizontal motion, vertical throws, free fall, horizontal projection,
+// two-dimensional projectiles), filled with randomly sampled objects,
+// agents and physical quantities. Embeddings come from the from-scratch
+// PV-DBOW trainer in internal/doc2vec, mirroring the paper's use of
+// Doc2Vec [15]. Because lexical overlap within a type exceeds overlap
+// across types, type-blind K-Means recovers type-skewed clusters — the
+// unfairness FairKM is evaluated on correcting.
+//
+// The five problem types form five binary sensitive attributes named
+// "Type-1" … "Type-5" (values "no"/"yes"), exactly one of which is
+// "yes" per problem.
+package kinematics
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/doc2vec"
+	"repro/internal/stats"
+)
+
+// TypeCount is the number of problem types (Table 2).
+const TypeCount = 5
+
+// TotalProblems is the dataset size (Section 5.1).
+const TotalProblems = 161
+
+// TypeCounts gives the number of problems of each type, from Table 4.
+var TypeCounts = [TypeCount]int{60, 36, 15, 31, 19}
+
+// TypeNames are the sensitive attribute names, one per problem type.
+var TypeNames = [TypeCount]string{"Type-1", "Type-2", "Type-3", "Type-4", "Type-5"}
+
+// TypeDescriptions mirror Table 2.
+var TypeDescriptions = [TypeCount]string{
+	"Horizontal motion",
+	"Vertical motion with an initial velocity",
+	"Free fall",
+	"Horizontally projected",
+	"Two-dimensional projectile",
+}
+
+// Problem is one generated word problem.
+type Problem struct {
+	// Text is the problem statement.
+	Text string
+	// Type is the problem type in [1, 5] per Table 2.
+	Type int
+}
+
+// Config parameterizes dataset generation.
+type Config struct {
+	// Seed drives template sampling and embedding training.
+	Seed int64
+	// Dim is the embedding dimensionality; zero means the paper's 100.
+	Dim int
+	// Epochs is the Doc2Vec training epoch count; zero means 60.
+	Epochs int
+}
+
+// Problems generates the 161 problems with Table 4's type counts, in a
+// deterministic shuffled order.
+func Problems(seed int64) []Problem {
+	rng := stats.NewRNG(seed)
+	problems := make([]Problem, 0, TotalProblems)
+	for ty := 0; ty < TypeCount; ty++ {
+		for i := 0; i < TypeCounts[ty]; i++ {
+			problems = append(problems, Problem{
+				Text: generateText(rng, ty+1),
+				Type: ty + 1,
+			})
+		}
+	}
+	rng.Shuffle(len(problems), func(i, j int) {
+		problems[i], problems[j] = problems[j], problems[i]
+	})
+	return problems
+}
+
+// Generate produces the full clustering dataset: Doc2Vec embeddings as
+// the non-sensitive features and the five binary type attributes as S.
+func Generate(cfg Config) (*dataset.Dataset, error) {
+	dim := cfg.Dim
+	if dim <= 0 {
+		dim = 100
+	}
+	epochs := cfg.Epochs
+	if epochs <= 0 {
+		epochs = 60
+	}
+	problems := Problems(cfg.Seed)
+	docs := make([][]string, len(problems))
+	for i, p := range problems {
+		docs[i] = doc2vec.Tokenize(p.Text)
+	}
+	model, err := doc2vec.Train(docs, doc2vec.Config{Dim: dim, Epochs: epochs, Seed: cfg.Seed + 1})
+	if err != nil {
+		return nil, fmt.Errorf("kinematics: embedding problems: %w", err)
+	}
+	// L2-normalize document vectors (standard Doc2Vec practice before
+	// distance-based clustering). This also puts the per-point SSE on
+	// the O(1) scale the paper's λ heuristic (Section 5.4) assumes.
+	for _, v := range model.DocVecs {
+		if n := stats.Norm(v); n > 0 {
+			stats.Scale(v, 1/n)
+		}
+	}
+
+	featNames := make([]string, dim)
+	for j := range featNames {
+		featNames[j] = fmt.Sprintf("d2v-%03d", j)
+	}
+	b := dataset.NewBuilder(featNames...)
+	for _, name := range TypeNames {
+		b.AddCategoricalSensitiveWithDomain(name, []string{"no", "yes"})
+	}
+	for i, p := range problems {
+		flags := make([]string, TypeCount)
+		for ty := range flags {
+			if p.Type == ty+1 {
+				flags[ty] = "yes"
+			} else {
+				flags[ty] = "no"
+			}
+		}
+		b.Row(model.DocVecs[i], flags, nil)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("kinematics: %w", err)
+	}
+	return ds, nil
+}
+
+// ---- template NLG ----
+
+// vehicles move along roads and tracks (type 1); projectiles are
+// thrown, dropped or launched (types 2-5).
+var (
+	vehicles = []string{
+		"car", "train", "cyclist", "runner", "truck", "bus", "motorbike",
+		"scooter", "tram",
+	}
+	projectiles = []string{
+		"ball", "stone", "marble", "arrow", "rocket", "package", "coin",
+		"apple", "box", "dart", "pebble",
+	}
+)
+
+var agents = []string{
+	"a student", "an engineer", "a physicist", "a child", "an athlete",
+	"a pilot", "a scientist",
+}
+
+// generateText builds one problem statement of the given type.
+func generateText(rng *stats.RNG, typ int) string {
+	obj := projectiles[rng.Intn(len(projectiles))]
+	if typ == 1 {
+		obj = vehicles[rng.Intn(len(vehicles))]
+	}
+	agent := agents[rng.Intn(len(agents))]
+	v := 2 + rng.Intn(38)  // m/s
+	a := 1 + rng.Intn(9)   // m/s^2
+	tm := 2 + rng.Intn(18) // s
+	h := 5 + rng.Intn(195) // m
+	ang := 15 + rng.Intn(7)*10
+	d := 10 + rng.Intn(490) // m
+
+	pick := func(options ...string) string { return options[rng.Intn(len(options))] }
+
+	switch typ {
+	case 1: // horizontal straight-line motion
+		return pick(
+			fmt.Sprintf("A %s moves along a straight horizontal road at a constant velocity of %d m/s. How far does it travel in %d seconds?", obj, v, tm),
+			fmt.Sprintf("A %s starts from rest and accelerates uniformly at %d m/s^2 along a level track. What is its velocity after %d seconds?", obj, a, tm),
+			fmt.Sprintf("A %s travelling at %d m/s decelerates uniformly at %d m/s^2 on a straight road. How long does it take to stop?", obj, v, a),
+			fmt.Sprintf("%s drives a %s that covers %d metres along a straight highway in %d seconds at constant speed. Find the speed of the %s.", title(agent), obj, d, tm, obj),
+			fmt.Sprintf("A %s accelerates from %d m/s to %d m/s in %d seconds on a horizontal track. Calculate its uniform acceleration and the distance covered.", obj, v, v+a*tm, tm),
+		)
+	case 2: // vertical motion with initial velocity
+		return pick(
+			fmt.Sprintf("A %s is thrown vertically upward with an initial velocity of %d m/s. How high does it rise before coming momentarily to rest?", obj, v),
+			fmt.Sprintf("%s throws a %s straight up at %d m/s. How long does the %s take to return to the thrower's hand?", title(agent), obj, v, obj),
+			fmt.Sprintf("A %s is thrown vertically downward from a bridge with a speed of %d m/s. What is its velocity after falling for %d seconds?", obj, v, tm),
+			fmt.Sprintf("A %s is launched straight upward at %d m/s from the ground. Find the maximum height reached and the total time of flight.", obj, v),
+		)
+	case 3: // free fall
+		return pick(
+			fmt.Sprintf("A %s is dropped from rest from the top of a tower %d metres tall. How long does it take to reach the ground?", obj, h),
+			fmt.Sprintf("%s releases a %s from rest from a window %d metres above the street. With what velocity does the %s strike the ground?", title(agent), obj, h, obj),
+			fmt.Sprintf("A %s falls freely from rest. What distance does it fall during the first %d seconds of its free fall?", obj, tm),
+			fmt.Sprintf("A %s is dropped from a hot-air balloon hovering %d metres above the ground. Neglecting air resistance, find the time of fall and the final speed.", obj, h),
+		)
+	case 4: // horizontally projected
+		return pick(
+			fmt.Sprintf("A %s is projected horizontally at %d m/s from the top of a cliff %d metres high. How far from the base of the cliff does it land?", obj, v, h),
+			fmt.Sprintf("%s rolls a %s horizontally off a table %d metres high with a speed of %d m/s. Find the horizontal distance it covers before hitting the floor.", title(agent), obj, h/20+1, v),
+			fmt.Sprintf("A %s is thrown horizontally from a building %d metres tall with an initial speed of %d m/s. Determine the time of flight and the range.", obj, h, v),
+			fmt.Sprintf("A %s leaves a horizontal conveyor belt at %d m/s and falls from a height of %d metres. What is its horizontal displacement when it lands?", obj, v, h),
+		)
+	default: // two-dimensional projectile at an angle
+		return pick(
+			fmt.Sprintf("A %s is projected with a velocity of %d m/s at an angle of %d degrees to the horizontal. Find the maximum height and the horizontal range of the projectile.", obj, v, ang),
+			fmt.Sprintf("%s kicks a %s at %d m/s at an angle of %d degrees above the horizontal ground. How long is the %s in the air?", title(agent), obj, v, ang, obj),
+			fmt.Sprintf("A %s is fired at an angle of %d degrees with an initial speed of %d m/s. At what two times is the projectile at half of its maximum height?", obj, ang, v),
+			fmt.Sprintf("A %s is launched at %d degrees to the horizontal with velocity %d m/s from level ground. Calculate the range and the time of flight of this two-dimensional projectile.", obj, ang, v),
+		)
+	}
+}
+
+// title uppercases the first letter of a phrase.
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	b := []byte(s)
+	if b[0] >= 'a' && b[0] <= 'z' {
+		b[0] -= 'a' - 'A'
+	}
+	return string(b)
+}

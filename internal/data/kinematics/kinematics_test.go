@@ -1,0 +1,170 @@
+package kinematics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/kmeans"
+	"repro/internal/metrics"
+)
+
+func TestProblemsCountsMatchTable4(t *testing.T) {
+	problems := Problems(1)
+	if len(problems) != TotalProblems {
+		t.Fatalf("got %d problems, want %d", len(problems), TotalProblems)
+	}
+	counts := map[int]int{}
+	for _, p := range problems {
+		counts[p.Type]++
+	}
+	for ty, want := range TypeCounts {
+		if counts[ty+1] != want {
+			t.Errorf("type %d count = %d, want %d (Table 4)", ty+1, counts[ty+1], want)
+		}
+	}
+}
+
+func TestProblemTextNonEmptyAndTyped(t *testing.T) {
+	problems := Problems(2)
+	keywords := map[int][]string{
+		1: {"horizontal", "straight", "road", "track", "highway"},
+		2: {"vertically", "straight up", "upward", "downward"},
+		3: {"dropped", "falls freely", "free fall", "releases"},
+		4: {"horizontally", "horizontal"},
+		5: {"angle", "degrees"},
+	}
+	for i, p := range problems {
+		if len(p.Text) < 30 {
+			t.Fatalf("problem %d text too short: %q", i, p.Text)
+		}
+		low := strings.ToLower(p.Text)
+		found := false
+		for _, kw := range keywords[p.Type] {
+			if strings.Contains(low, kw) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("problem %d (type %d) lacks type vocabulary: %q", i, p.Type, p.Text)
+		}
+	}
+}
+
+func generateSmall(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds, err := Generate(Config{Seed: 3, Dim: 25, Epochs: 30})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return ds
+}
+
+func TestGenerateShapeAndSchema(t *testing.T) {
+	ds := generateSmall(t)
+	if ds.N() != TotalProblems {
+		t.Errorf("N = %d, want %d", ds.N(), TotalProblems)
+	}
+	if ds.Dim() != 25 {
+		t.Errorf("Dim = %d, want 25", ds.Dim())
+	}
+	if len(ds.Sensitive) != TypeCount {
+		t.Fatalf("sensitive attrs = %d, want %d", len(ds.Sensitive), TypeCount)
+	}
+	for ti, name := range TypeNames {
+		s := ds.SensitiveByName(name)
+		if s == nil {
+			t.Fatalf("missing %s", name)
+		}
+		if s.Cardinality() != 2 {
+			t.Errorf("%s cardinality = %d, want 2 (binary)", name, s.Cardinality())
+		}
+		yes := 0
+		yesIdx := -1
+		for vi, v := range s.Values {
+			if v == "yes" {
+				yesIdx = vi
+			}
+		}
+		for _, c := range s.Codes {
+			if c == yesIdx {
+				yes++
+			}
+		}
+		if yes != TypeCounts[ti] {
+			t.Errorf("%s yes-count = %d, want %d", name, yes, TypeCounts[ti])
+		}
+	}
+	// Exactly one type per problem.
+	for i := 0; i < ds.N(); i++ {
+		yes := 0
+		for _, s := range ds.Sensitive {
+			if s.Values[s.Codes[i]] == "yes" {
+				yes++
+			}
+		}
+		if yes != 1 {
+			t.Errorf("problem %d has %d type flags set", i, yes)
+		}
+	}
+	if err := ds.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+// TestEmbeddingsCarryTypeSignal: the premise of the kinematics
+// experiment is that lexical embeddings correlate with problem type, so
+// type-blind K-Means produces type-skewed clusters. Verify the skew is
+// well above the perfectly-fair baseline of 0.
+func TestEmbeddingsCarryTypeSignal(t *testing.T) {
+	ds := generateSmall(t)
+	res, err := kmeans.Run(ds.Features, kmeans.Config{K: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := metrics.FairnessAll(ds, res.Assign, 5)
+	mean := reps[len(reps)-1]
+	if mean.AE < 0.05 {
+		t.Errorf("type-blind clustering mean AE = %v; embeddings appear type-blind (want > 0.05)", mean.AE)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := generateSmall(t)
+	b := generateSmall(t)
+	for i := range a.Features {
+		for j := range a.Features[i] {
+			if a.Features[i][j] != b.Features[i][j] {
+				t.Fatalf("embedding [%d][%d] differs across identical configs", i, j)
+			}
+		}
+	}
+}
+
+func TestProblemsVaryBySeed(t *testing.T) {
+	a := Problems(1)
+	b := Problems(2)
+	same := 0
+	for i := range a {
+		if a[i].Text == b[i].Text {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical problem sets")
+	}
+}
+
+func TestDefaultDimIs100(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-dim embedding training in -short mode")
+	}
+	ds, err := Generate(Config{Seed: 5, Epochs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Dim() != 100 {
+		t.Errorf("default Dim = %d, want 100 (paper's Doc2Vec size)", ds.Dim())
+	}
+}

@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates rows of mixed string/float columns and produces a
+// validated Dataset. It is the bridge between raw tabular sources (CSV
+// files, generators) and the numeric model the algorithms consume.
+type Builder struct {
+	featureNames []string
+	features     [][]float64
+	catNames     []string
+	catDomains   [][]string // nil entry: infer domain from observed values
+	catRows      [][]string
+	numNames     []string
+	numRows      [][]float64
+}
+
+// NewBuilder creates a Builder for the given feature column names.
+func NewBuilder(featureNames ...string) *Builder {
+	return &Builder{featureNames: featureNames}
+}
+
+// AddCategoricalSensitive declares a categorical sensitive column. Must
+// be called before the first Row.
+func (b *Builder) AddCategoricalSensitive(name string) *Builder {
+	if len(b.features) > 0 {
+		panic("dataset: AddCategoricalSensitive after rows were added")
+	}
+	b.catNames = append(b.catNames, name)
+	b.catDomains = append(b.catDomains, nil)
+	return b
+}
+
+// AddCategoricalSensitiveWithDomain declares a categorical sensitive
+// column with a fixed domain in the given order. Values not in the
+// domain cause Build to fail; domain values never observed in the data
+// still count towards the attribute's cardinality (this matters for
+// FairKM's |Values(S)| normalization and for reproducing published
+// domain sizes like Adult's 41 native countries). Must be called before
+// the first Row.
+func (b *Builder) AddCategoricalSensitiveWithDomain(name string, domain []string) *Builder {
+	if len(b.features) > 0 {
+		panic("dataset: AddCategoricalSensitiveWithDomain after rows were added")
+	}
+	if len(domain) == 0 {
+		panic("dataset: empty domain for " + name)
+	}
+	b.catNames = append(b.catNames, name)
+	b.catDomains = append(b.catDomains, append([]string(nil), domain...))
+	return b
+}
+
+// AddNumericSensitive declares a numeric sensitive column. Must be
+// called before the first Row.
+func (b *Builder) AddNumericSensitive(name string) *Builder {
+	if len(b.features) > 0 {
+		panic("dataset: AddNumericSensitive after rows were added")
+	}
+	b.numNames = append(b.numNames, name)
+	return b
+}
+
+// Row appends one record: its feature vector, its categorical sensitive
+// values (one per declared categorical column, in declaration order) and
+// its numeric sensitive values.
+func (b *Builder) Row(features []float64, cats []string, nums []float64) *Builder {
+	if len(features) != len(b.featureNames) {
+		panic(fmt.Sprintf("dataset: row has %d features, want %d", len(features), len(b.featureNames)))
+	}
+	if len(cats) != len(b.catNames) {
+		panic(fmt.Sprintf("dataset: row has %d categorical sensitive values, want %d", len(cats), len(b.catNames)))
+	}
+	if len(nums) != len(b.numNames) {
+		panic(fmt.Sprintf("dataset: row has %d numeric sensitive values, want %d", len(nums), len(b.numNames)))
+	}
+	b.features = append(b.features, features)
+	b.catRows = append(b.catRows, cats)
+	b.numRows = append(b.numRows, nums)
+	return b
+}
+
+// Build encodes categorical domains (values sorted lexicographically for
+// determinism) and returns the validated Dataset.
+func (b *Builder) Build() (*Dataset, error) {
+	d := &Dataset{FeatureNames: b.featureNames, Features: b.features}
+	n := len(b.features)
+	for ci, name := range b.catNames {
+		values := b.catDomains[ci]
+		if values == nil {
+			domain := map[string]bool{}
+			for _, row := range b.catRows {
+				domain[row[ci]] = true
+			}
+			values = make([]string, 0, len(domain))
+			for v := range domain {
+				values = append(values, v)
+			}
+			sort.Strings(values)
+		}
+		index := make(map[string]int, len(values))
+		for i, v := range values {
+			index[v] = i
+		}
+		codes := make([]int, n)
+		for ri, row := range b.catRows {
+			code, ok := index[row[ci]]
+			if !ok {
+				return nil, fmt.Errorf("dataset: attribute %q row %d has value %q outside its fixed domain", name, ri, row[ci])
+			}
+			codes[ri] = code
+		}
+		d.Sensitive = append(d.Sensitive, &SensitiveAttr{
+			Name: name, Kind: Categorical, Values: values, Codes: codes,
+		})
+	}
+	for ni, name := range b.numNames {
+		reals := make([]float64, n)
+		for ri, row := range b.numRows {
+			reals[ri] = row[ni]
+		}
+		d.Sensitive = append(d.Sensitive, &SensitiveAttr{
+			Name: name, Kind: Numeric, Reals: reals,
+		})
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

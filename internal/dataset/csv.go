@@ -1,0 +1,140 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSVSpec tells ReadCSV how to interpret columns of a headed CSV file.
+// Columns not listed in any of the three sets are ignored.
+type CSVSpec struct {
+	// Features are the names of numeric non-sensitive columns.
+	Features []string
+	// CategoricalSensitive are the names of categorical sensitive columns.
+	CategoricalSensitive []string
+	// NumericSensitive are the names of numeric sensitive columns.
+	NumericSensitive []string
+}
+
+// ReadCSV parses a headed CSV stream into a Dataset according to spec.
+// Feature and numeric-sensitive cells must parse as floats; whitespace
+// around cells is trimmed.
+func ReadCSV(r io.Reader, spec CSVSpec) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	col := make(map[string]int, len(header))
+	for i, h := range header {
+		col[strings.TrimSpace(h)] = i
+	}
+	locate := func(names []string) ([]int, error) {
+		idx := make([]int, len(names))
+		for i, name := range names {
+			j, ok := col[name]
+			if !ok {
+				return nil, fmt.Errorf("dataset: CSV is missing column %q", name)
+			}
+			idx[i] = j
+		}
+		return idx, nil
+	}
+	fIdx, err := locate(spec.Features)
+	if err != nil {
+		return nil, err
+	}
+	cIdx, err := locate(spec.CategoricalSensitive)
+	if err != nil {
+		return nil, err
+	}
+	nIdx, err := locate(spec.NumericSensitive)
+	if err != nil {
+		return nil, err
+	}
+
+	b := NewBuilder(spec.Features...)
+	for _, name := range spec.CategoricalSensitive {
+		b.AddCategoricalSensitive(name)
+	}
+	for _, name := range spec.NumericSensitive {
+		b.AddNumericSensitive(name)
+	}
+
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line+1, err)
+		}
+		line++
+		feats := make([]float64, len(fIdx))
+		for i, j := range fIdx {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rec[j]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d column %q: %w", line, spec.Features[i], err)
+			}
+			feats[i] = v
+		}
+		cats := make([]string, len(cIdx))
+		for i, j := range cIdx {
+			cats[i] = strings.TrimSpace(rec[j])
+		}
+		nums := make([]float64, len(nIdx))
+		for i, j := range nIdx {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rec[j]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d column %q: %w", line, spec.NumericSensitive[i], err)
+			}
+			nums[i] = v
+		}
+		b.Row(feats, cats, nums)
+	}
+	return b.Build()
+}
+
+// WriteCSV serializes a Dataset as headed CSV: feature columns first,
+// then sensitive columns (categorical values written as strings).
+func WriteCSV(w io.Writer, d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string(nil), d.FeatureNames...)
+	if len(header) == 0 {
+		for j := 0; j < d.Dim(); j++ {
+			header = append(header, fmt.Sprintf("f%d", j))
+		}
+	}
+	for _, s := range d.Sensitive {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < d.N(); i++ {
+		rec := make([]string, 0, len(header))
+		for _, v := range d.Features[i] {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		for _, s := range d.Sensitive {
+			if s.Kind == Categorical {
+				rec = append(rec, s.Values[s.Codes[i]])
+			} else {
+				rec = append(rec, strconv.FormatFloat(s.Reals[i], 'g', -1, 64))
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

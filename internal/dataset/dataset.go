@@ -1,0 +1,314 @@
+// Package dataset defines the tabular data model shared by every
+// clustering algorithm and experiment in this repository.
+//
+// A Dataset separates its columns into two groups, mirroring the problem
+// definition in the FairKM paper (Section 3):
+//
+//   - Features: the non-sensitive, task-relevant attributes N. They are
+//     always numeric (categorical task attributes must be encoded, e.g.
+//     one-hot, before clustering) and drive cluster coherence.
+//   - Sensitive: the attributes S over which representational fairness
+//     is sought. Each may be categorical (multi-valued, including
+//     binary) or numeric; FairKM handles both.
+//
+// Records are stored column-major for sensitive attributes and row-major
+// for features, which matches their access patterns: clustering reads
+// whole feature rows per point, while fairness bookkeeping reads one
+// sensitive column at a time.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Kind discriminates categorical from numeric sensitive attributes.
+type Kind int
+
+const (
+	// Categorical marks a multi-valued (or binary) sensitive attribute
+	// whose per-row values are indexes into the attribute's domain.
+	Categorical Kind = iota
+	// Numeric marks a real-valued sensitive attribute (e.g. age); the
+	// FairKM extension of Eq. 22 applies to these.
+	Numeric
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Categorical:
+		return "categorical"
+	case Numeric:
+		return "numeric"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// SensitiveAttr is one sensitive column of a Dataset.
+//
+// For Categorical attributes, Values is the domain (distinct values in a
+// fixed order) and Codes[i] is the row-i value's index into Values.
+// For Numeric attributes, Reals[i] holds row i's value and Values/Codes
+// are nil.
+type SensitiveAttr struct {
+	Name   string
+	Kind   Kind
+	Values []string
+	Codes  []int
+	Reals  []float64
+}
+
+// Cardinality returns the domain size |Values(S)| for a categorical
+// attribute and 1 for a numeric one (a numeric attribute contributes a
+// single deviation term in Eq. 22).
+func (s *SensitiveAttr) Cardinality() int {
+	if s.Kind == Numeric {
+		return 1
+	}
+	return len(s.Values)
+}
+
+// Len returns the number of rows the attribute covers.
+func (s *SensitiveAttr) Len() int {
+	if s.Kind == Numeric {
+		return len(s.Reals)
+	}
+	return len(s.Codes)
+}
+
+// validate checks internal consistency against an expected row count.
+func (s *SensitiveAttr) validate(n int) error {
+	if s.Name == "" {
+		return errors.New("dataset: sensitive attribute with empty name")
+	}
+	switch s.Kind {
+	case Categorical:
+		if len(s.Values) == 0 {
+			return fmt.Errorf("dataset: attribute %q has empty domain", s.Name)
+		}
+		if len(s.Codes) != n {
+			return fmt.Errorf("dataset: attribute %q has %d codes, want %d", s.Name, len(s.Codes), n)
+		}
+		for i, c := range s.Codes {
+			if c < 0 || c >= len(s.Values) {
+				return fmt.Errorf("dataset: attribute %q row %d code %d out of domain [0,%d)", s.Name, i, c, len(s.Values))
+			}
+		}
+	case Numeric:
+		if len(s.Reals) != n {
+			return fmt.Errorf("dataset: attribute %q has %d values, want %d", s.Name, len(s.Reals), n)
+		}
+		for i, v := range s.Reals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("dataset: attribute %q row %d is not finite", s.Name, i)
+			}
+		}
+	default:
+		return fmt.Errorf("dataset: attribute %q has unknown kind %d", s.Name, s.Kind)
+	}
+	return nil
+}
+
+// Dataset is a clustering input: n rows over numeric features plus zero
+// or more sensitive attributes.
+type Dataset struct {
+	FeatureNames []string
+	Features     [][]float64
+	Sensitive    []*SensitiveAttr
+}
+
+// N returns the number of rows.
+func (d *Dataset) N() int { return len(d.Features) }
+
+// Dim returns the feature dimensionality.
+func (d *Dataset) Dim() int {
+	if len(d.Features) == 0 {
+		return len(d.FeatureNames)
+	}
+	return len(d.Features[0])
+}
+
+// Validate checks structural consistency: rectangular finite feature
+// matrix, matching sensitive column lengths, in-domain codes. All
+// loaders and generators call it before returning a Dataset.
+func (d *Dataset) Validate() error {
+	n := d.N()
+	dim := d.Dim()
+	if len(d.FeatureNames) != 0 && len(d.FeatureNames) != dim {
+		return fmt.Errorf("dataset: %d feature names for %d features", len(d.FeatureNames), dim)
+	}
+	for i, row := range d.Features {
+		if len(row) != dim {
+			return fmt.Errorf("dataset: row %d has %d features, want %d", i, len(row), dim)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("dataset: feature [%d][%d] is not finite", i, j)
+			}
+		}
+	}
+	seen := make(map[string]bool, len(d.Sensitive))
+	for _, s := range d.Sensitive {
+		if err := s.validate(n); err != nil {
+			return err
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("dataset: duplicate sensitive attribute %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return nil
+}
+
+// SensitiveByName returns the sensitive attribute with the given name,
+// or nil if absent.
+func (d *Dataset) SensitiveByName(name string) *SensitiveAttr {
+	for _, s := range d.Sensitive {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Fractions returns the dataset-level fractional representation
+// Fr_X^S(s) for every value s of the categorical attribute, i.e. the
+// probability vector the fairness term compares cluster distributions
+// against. It panics for numeric attributes and empty datasets.
+func (d *Dataset) Fractions(s *SensitiveAttr) []float64 {
+	if s.Kind != Categorical {
+		panic("dataset: Fractions of a numeric attribute")
+	}
+	n := d.N()
+	if n == 0 {
+		panic("dataset: Fractions of an empty dataset")
+	}
+	fr := make([]float64, len(s.Values))
+	for _, c := range s.Codes {
+		fr[c]++
+	}
+	for i := range fr {
+		fr[i] /= float64(n)
+	}
+	return fr
+}
+
+// Subset returns a new Dataset containing the rows at idx, in order.
+// Feature rows are shared (not copied); sensitive columns are copied.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := &Dataset{
+		FeatureNames: d.FeatureNames,
+		Features:     make([][]float64, len(idx)),
+		Sensitive:    make([]*SensitiveAttr, len(d.Sensitive)),
+	}
+	for i, j := range idx {
+		out.Features[i] = d.Features[j]
+	}
+	for ai, s := range d.Sensitive {
+		ns := &SensitiveAttr{Name: s.Name, Kind: s.Kind, Values: s.Values}
+		if s.Kind == Categorical {
+			ns.Codes = make([]int, len(idx))
+			for i, j := range idx {
+				ns.Codes[i] = s.Codes[j]
+			}
+		} else {
+			ns.Reals = make([]float64, len(idx))
+			for i, j := range idx {
+				ns.Reals[i] = s.Reals[j]
+			}
+		}
+		out.Sensitive[ai] = ns
+	}
+	return out
+}
+
+// WithSensitive returns a shallow copy of d restricted to the named
+// sensitive attributes, in the given order. Unknown names are an error.
+// It is used to run single-attribute invocations (ZGYA(S), FairKM(S)).
+func (d *Dataset) WithSensitive(names ...string) (*Dataset, error) {
+	out := &Dataset{FeatureNames: d.FeatureNames, Features: d.Features}
+	for _, name := range names {
+		s := d.SensitiveByName(name)
+		if s == nil {
+			return nil, fmt.Errorf("dataset: no sensitive attribute %q", name)
+		}
+		out.Sensitive = append(out.Sensitive, s)
+	}
+	return out, nil
+}
+
+// MinMaxNormalize rescales every feature column in place to [0, 1]
+// (constant columns become all-zero). It returns the per-column minima
+// and ranges so callers can invert the transform. The FairKM
+// experiments use this scaling for the Adult dataset, where raw feature
+// ranges differ by orders of magnitude (capital gain vs age).
+func (d *Dataset) MinMaxNormalize() (mins, ranges []float64) {
+	n := d.N()
+	dim := d.Dim()
+	mins = make([]float64, dim)
+	ranges = make([]float64, dim)
+	if n == 0 {
+		return mins, ranges
+	}
+	for j := 0; j < dim; j++ {
+		lo, hi := d.Features[0][j], d.Features[0][j]
+		for i := 1; i < n; i++ {
+			v := d.Features[i][j]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		mins[j], ranges[j] = lo, hi-lo
+		for i := 0; i < n; i++ {
+			if hi > lo {
+				d.Features[i][j] = (d.Features[i][j] - lo) / (hi - lo)
+			} else {
+				d.Features[i][j] = 0
+			}
+		}
+	}
+	return mins, ranges
+}
+
+// Standardize rescales every feature column in place to zero mean and
+// unit variance (constant columns become all-zero). It returns the
+// per-column means and standard deviations so callers can invert the
+// transform.
+func (d *Dataset) Standardize() (means, stds []float64) {
+	n := d.N()
+	dim := d.Dim()
+	means = make([]float64, dim)
+	stds = make([]float64, dim)
+	if n == 0 {
+		return means, stds
+	}
+	for j := 0; j < dim; j++ {
+		s, sq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := d.Features[i][j]
+			s += v
+			sq += v * v
+		}
+		mean := s / float64(n)
+		variance := sq/float64(n) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		std := math.Sqrt(variance)
+		means[j], stds[j] = mean, std
+		for i := 0; i < n; i++ {
+			if std > 0 {
+				d.Features[i][j] = (d.Features[i][j] - mean) / std
+			} else {
+				d.Features[i][j] = 0
+			}
+		}
+	}
+	return means, stds
+}

@@ -1,0 +1,247 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func buildSmall(t *testing.T) *Dataset {
+	t.Helper()
+	b := NewBuilder("x", "y")
+	b.AddCategoricalSensitive("gender")
+	b.AddNumericSensitive("age")
+	b.Row([]float64{1, 2}, []string{"f"}, []float64{30})
+	b.Row([]float64{3, 4}, []string{"m"}, []float64{40})
+	b.Row([]float64{5, 6}, []string{"f"}, []float64{50})
+	b.Row([]float64{7, 8}, []string{"f"}, []float64{60})
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return ds
+}
+
+func TestBuilderEncodesDomainsSorted(t *testing.T) {
+	ds := buildSmall(t)
+	g := ds.SensitiveByName("gender")
+	if g == nil {
+		t.Fatal("missing gender attribute")
+	}
+	if g.Values[0] != "f" || g.Values[1] != "m" {
+		t.Errorf("domain not sorted: %v", g.Values)
+	}
+	wantCodes := []int{0, 1, 0, 0}
+	for i, c := range g.Codes {
+		if c != wantCodes[i] {
+			t.Errorf("code[%d] = %d, want %d", i, c, wantCodes[i])
+		}
+	}
+	if g.Cardinality() != 2 {
+		t.Errorf("Cardinality = %d", g.Cardinality())
+	}
+	a := ds.SensitiveByName("age")
+	if a.Kind != Numeric || a.Cardinality() != 1 || a.Len() != 4 {
+		t.Errorf("age attribute misconfigured: %+v", a)
+	}
+}
+
+func TestFractions(t *testing.T) {
+	ds := buildSmall(t)
+	fr := ds.Fractions(ds.SensitiveByName("gender"))
+	if math.Abs(fr[0]-0.75) > 1e-15 || math.Abs(fr[1]-0.25) > 1e-15 {
+		t.Errorf("Fractions = %v, want [0.75 0.25]", fr)
+	}
+	sum := 0.0
+	for _, v := range fr {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-15 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+}
+
+func TestFractionsPanicsOnNumeric(t *testing.T) {
+	ds := buildSmall(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for numeric attribute")
+		}
+	}()
+	ds.Fractions(ds.SensitiveByName("age"))
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	cases := map[string]func(*Dataset){
+		"ragged features":   func(d *Dataset) { d.Features[1] = []float64{1} },
+		"NaN feature":       func(d *Dataset) { d.Features[0][0] = math.NaN() },
+		"Inf feature":       func(d *Dataset) { d.Features[0][1] = math.Inf(1) },
+		"code out of range": func(d *Dataset) { d.SensitiveByName("gender").Codes[2] = 9 },
+		"negative code":     func(d *Dataset) { d.SensitiveByName("gender").Codes[0] = -1 },
+		"short codes":       func(d *Dataset) { g := d.SensitiveByName("gender"); g.Codes = g.Codes[:2] },
+		"NaN sensitive":     func(d *Dataset) { d.SensitiveByName("age").Reals[0] = math.NaN() },
+		"dup attribute":     func(d *Dataset) { d.Sensitive = append(d.Sensitive, d.Sensitive[0]) },
+		"empty domain":      func(d *Dataset) { d.SensitiveByName("gender").Values = nil },
+		"empty name":        func(d *Dataset) { d.SensitiveByName("gender").Name = "" },
+	}
+	for name, corrupt := range cases {
+		ds := buildSmall(t)
+		corrupt(ds)
+		if err := ds.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted corrupted dataset", name)
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	ds := buildSmall(t)
+	sub := ds.Subset([]int{2, 0})
+	if sub.N() != 2 {
+		t.Fatalf("N = %d", sub.N())
+	}
+	if sub.Features[0][0] != 5 || sub.Features[1][0] != 1 {
+		t.Errorf("features not reordered: %v", sub.Features)
+	}
+	g := sub.SensitiveByName("gender")
+	if g.Codes[0] != 0 || g.Codes[1] != 0 {
+		t.Errorf("codes = %v", g.Codes)
+	}
+	a := sub.SensitiveByName("age")
+	if a.Reals[0] != 50 || a.Reals[1] != 30 {
+		t.Errorf("reals = %v", a.Reals)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Errorf("subset invalid: %v", err)
+	}
+}
+
+func TestWithSensitive(t *testing.T) {
+	ds := buildSmall(t)
+	only, err := ds.WithSensitive("age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only.Sensitive) != 1 || only.Sensitive[0].Name != "age" {
+		t.Errorf("unexpected sensitive set: %v", only.Sensitive)
+	}
+	if only.N() != ds.N() {
+		t.Errorf("row count changed")
+	}
+	if _, err := ds.WithSensitive("nope"); err == nil {
+		t.Error("expected error for unknown attribute")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	ds := buildSmall(t)
+	means, stds := ds.Standardize()
+	if math.Abs(means[0]-4) > 1e-12 {
+		t.Errorf("mean[0] = %v, want 4", means[0])
+	}
+	if stds[0] <= 0 {
+		t.Errorf("std[0] = %v", stds[0])
+	}
+	// Columns should now have mean 0, std 1.
+	for j := 0; j < ds.Dim(); j++ {
+		s, sq := 0.0, 0.0
+		for i := 0; i < ds.N(); i++ {
+			v := ds.Features[i][j]
+			s += v
+			sq += v * v
+		}
+		n := float64(ds.N())
+		if math.Abs(s/n) > 1e-12 {
+			t.Errorf("column %d mean %v after standardize", j, s/n)
+		}
+		if math.Abs(sq/n-1) > 1e-12 {
+			t.Errorf("column %d variance %v after standardize", j, sq/n)
+		}
+	}
+}
+
+func TestStandardizeConstantColumn(t *testing.T) {
+	b := NewBuilder("c")
+	b.Row([]float64{5}, nil, nil)
+	b.Row([]float64{5}, nil, nil)
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stds := ds.Standardize()
+	if stds[0] != 0 {
+		t.Errorf("std = %v, want 0", stds[0])
+	}
+	if ds.Features[0][0] != 0 || ds.Features[1][0] != 0 {
+		t.Errorf("constant column should become zero, got %v", ds.Features)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := buildSmall(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf, CSVSpec{
+		Features:             []string{"x", "y"},
+		CategoricalSensitive: []string{"gender"},
+		NumericSensitive:     []string{"age"},
+	})
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.N() != ds.N() || got.Dim() != ds.Dim() {
+		t.Fatalf("shape mismatch: %dx%d vs %dx%d", got.N(), got.Dim(), ds.N(), ds.Dim())
+	}
+	for i := range ds.Features {
+		for j := range ds.Features[i] {
+			if got.Features[i][j] != ds.Features[i][j] {
+				t.Errorf("feature[%d][%d] = %v, want %v", i, j, got.Features[i][j], ds.Features[i][j])
+			}
+		}
+	}
+	g1, g2 := ds.SensitiveByName("gender"), got.SensitiveByName("gender")
+	for i := range g1.Codes {
+		if g1.Values[g1.Codes[i]] != g2.Values[g2.Codes[i]] {
+			t.Errorf("gender[%d] mismatch", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	spec := CSVSpec{Features: []string{"x"}, CategoricalSensitive: []string{"g"}}
+	cases := map[string]string{
+		"missing column":  "x,h\n1,a\n",
+		"bad float":       "x,g\nnope,a\n",
+		"ragged record":   "x,g\n1,a,extra\n",
+		"empty (no rows)": "", // header read fails
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), spec); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	b := NewBuilder("x")
+	b.AddCategoricalSensitive("g")
+	b.Row([]float64{1}, []string{"a"}, nil)
+	for name, f := range map[string]func(){
+		"late categorical": func() { b.AddCategoricalSensitive("h") },
+		"late numeric":     func() { b.AddNumericSensitive("n") },
+		"wrong feats":      func() { b.Row([]float64{1, 2}, []string{"a"}, nil) },
+		"wrong cats":       func() { b.Row([]float64{1}, nil, nil) },
+		"wrong nums":       func() { b.Row([]float64{1}, []string{"a"}, []float64{3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

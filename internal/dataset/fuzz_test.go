@@ -1,0 +1,30 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the CSV loader never panics on malformed input —
+// it must either return a valid dataset or an error.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("x,g\n1,a\n2,b\n")
+	f.Add("x,g\n")
+	f.Add("")
+	f.Add("x,g\nnope,a\n")
+	f.Add("x,g\n1,a,extra\n")
+	f.Add("x,g\n1e309,a\n") // overflows to +Inf
+	f.Add("g,x\n a , 5 \n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := ReadCSV(strings.NewReader(input), CSVSpec{
+			Features:             []string{"x"},
+			CategoricalSensitive: []string{"g"},
+		})
+		if err != nil {
+			return
+		}
+		if verr := ds.Validate(); verr != nil {
+			t.Fatalf("ReadCSV returned invalid dataset for %q: %v", input, verr)
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Transformations used when preparing raw tabular data for clustering:
+// one-hot expansion of categorical task attributes, deterministic
+// shuffling and splitting. All of them return new Datasets and leave
+// the receiver unchanged (feature rows may be shared where noted).
+
+// OneHotAppend returns a new Dataset whose feature matrix is d's plus
+// a one-hot block for each named categorical sensitive attribute.
+// The attributes remain in Sensitive as well — this is how "the
+// clustering should SEE a categorical attribute as task-relevant"
+// (e.g. for S-blind baselines that cluster on everything) is
+// expressed. Feature rows are copied.
+func (d *Dataset) OneHotAppend(names ...string) (*Dataset, error) {
+	var attrs []*SensitiveAttr
+	extra := 0
+	for _, name := range names {
+		s := d.SensitiveByName(name)
+		if s == nil {
+			return nil, fmt.Errorf("dataset: no sensitive attribute %q", name)
+		}
+		if s.Kind != Categorical {
+			return nil, fmt.Errorf("dataset: attribute %q is not categorical", name)
+		}
+		attrs = append(attrs, s)
+		extra += len(s.Values)
+	}
+	out := &Dataset{
+		FeatureNames: append([]string(nil), d.FeatureNames...),
+		Features:     make([][]float64, d.N()),
+		Sensitive:    d.Sensitive,
+	}
+	for _, s := range attrs {
+		for _, v := range s.Values {
+			out.FeatureNames = append(out.FeatureNames, s.Name+"="+v)
+		}
+	}
+	dim := d.Dim()
+	for i := 0; i < d.N(); i++ {
+		row := make([]float64, dim+extra)
+		copy(row, d.Features[i])
+		off := dim
+		for _, s := range attrs {
+			row[off+s.Codes[i]] = 1
+			off += len(s.Values)
+		}
+		out.Features[i] = row
+	}
+	return out, nil
+}
+
+// Shuffled returns a new Dataset with rows in a seeded random order.
+func (d *Dataset) Shuffled(seed int64) *Dataset {
+	rng := stats.NewRNG(seed)
+	idx := rng.Perm(d.N())
+	return d.Subset(idx)
+}
+
+// Split partitions the dataset into two by a fraction of rows going to
+// the first part (rounded down), preserving row order. Use Shuffled
+// first for a random split. frac must be in [0, 1].
+func (d *Dataset) Split(frac float64) (*Dataset, *Dataset, error) {
+	if frac < 0 || frac > 1 {
+		return nil, nil, fmt.Errorf("dataset: split fraction %v outside [0,1]", frac)
+	}
+	cut := int(frac * float64(d.N()))
+	left := make([]int, cut)
+	right := make([]int, d.N()-cut)
+	for i := range left {
+		left[i] = i
+	}
+	for i := range right {
+		right[i] = cut + i
+	}
+	return d.Subset(left), d.Subset(right), nil
+}

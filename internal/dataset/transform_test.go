@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOneHotAppend(t *testing.T) {
+	ds := buildSmall(t)
+	out, err := ds.OneHotAppend("gender")
+	if err != nil {
+		t.Fatalf("OneHotAppend: %v", err)
+	}
+	if out.Dim() != ds.Dim()+2 {
+		t.Fatalf("dim = %d, want %d", out.Dim(), ds.Dim()+2)
+	}
+	g := ds.SensitiveByName("gender")
+	for i := 0; i < ds.N(); i++ {
+		// Original features preserved.
+		for j := 0; j < ds.Dim(); j++ {
+			if out.Features[i][j] != ds.Features[i][j] {
+				t.Fatalf("feature [%d][%d] changed", i, j)
+			}
+		}
+		// Exactly one hot bit, at the right position.
+		hot := 0
+		for j := ds.Dim(); j < out.Dim(); j++ {
+			if out.Features[i][j] == 1 {
+				hot++
+			} else if out.Features[i][j] != 0 {
+				t.Fatalf("non-binary one-hot value %v", out.Features[i][j])
+			}
+		}
+		if hot != 1 {
+			t.Fatalf("row %d has %d hot bits", i, hot)
+		}
+		if out.Features[i][ds.Dim()+g.Codes[i]] != 1 {
+			t.Fatalf("row %d hot bit at wrong position", i)
+		}
+	}
+	// Feature names extended with attr=value labels.
+	if out.FeatureNames[ds.Dim()] != "gender=f" {
+		t.Errorf("one-hot name = %q", out.FeatureNames[ds.Dim()])
+	}
+	if err := out.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// Original untouched.
+	if ds.Dim() != 2 {
+		t.Errorf("receiver mutated")
+	}
+}
+
+func TestOneHotAppendErrors(t *testing.T) {
+	ds := buildSmall(t)
+	if _, err := ds.OneHotAppend("nope"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := ds.OneHotAppend("age"); err == nil {
+		t.Error("numeric attribute accepted")
+	}
+}
+
+func TestShuffledIsPermutation(t *testing.T) {
+	ds := buildSmall(t)
+	sh := ds.Shuffled(5)
+	if sh.N() != ds.N() {
+		t.Fatalf("N changed: %d", sh.N())
+	}
+	// Multiset of first-feature values preserved.
+	seen := map[float64]int{}
+	for i := 0; i < ds.N(); i++ {
+		seen[ds.Features[i][0]]++
+		seen[sh.Features[i][0]]--
+	}
+	for v, c := range seen {
+		if c != 0 {
+			t.Errorf("value %v count imbalance %d", v, c)
+		}
+	}
+	if err := sh.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// Deterministic per seed.
+	sh2 := ds.Shuffled(5)
+	for i := range sh.Features {
+		if sh.Features[i][0] != sh2.Features[i][0] {
+			t.Fatal("same seed shuffles differ")
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ds := buildSmall(t)
+	left, right, err := ds.Split(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left.N() != 2 || right.N() != 2 {
+		t.Errorf("split sizes %d/%d, want 2/2", left.N(), right.N())
+	}
+	if left.Features[0][0] != ds.Features[0][0] {
+		t.Error("split does not preserve order")
+	}
+	if _, _, err := ds.Split(1.5); err == nil {
+		t.Error("out-of-range fraction accepted")
+	}
+	all, none, err := ds.Split(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.N() != 4 || none.N() != 0 {
+		t.Errorf("Split(1) gave %d/%d", all.N(), none.N())
+	}
+}
+
+// Property: for any fraction, split parts partition the rows.
+func TestSplitPartitionProperty(t *testing.T) {
+	ds := buildSmall(t)
+	f := func(fracRaw uint8) bool {
+		frac := float64(fracRaw) / 255
+		left, right, err := ds.Split(frac)
+		if err != nil {
+			return false
+		}
+		return left.N()+right.N() == ds.N()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,30 @@
+package doc2vec
+
+import "testing"
+
+// FuzzTokenize checks the tokenizer never panics and always produces
+// lowercase alphanumeric tokens or the <num> sentinel.
+func FuzzTokenize(f *testing.F) {
+	f.Add("A ball is thrown up at 12.5 m/s!")
+	f.Add("")
+	f.Add("  \t\n ... --- 0.0.0 αβγ 中文")
+	f.Add("CAR-car_car 99bottles")
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			if tok == "<num>" {
+				continue
+			}
+			for _, r := range tok {
+				if r < 'a' || r > 'z' {
+					if r >= '0' && r <= '9' || r == '.' {
+						continue // mixed alnum token like "99bottles"
+					}
+					t.Fatalf("token %q contains %q", tok, r)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package doc2vec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// TrainPVDM fits the Distributed Memory flavour of Paragraph Vectors
+// (PV-DM, Le & Mikolov 2014): for every position, the document vector
+// is AVERAGED with the embeddings of the surrounding context words and
+// the combination predicts the centre word via negative sampling. PV-DM
+// preserves word-order information that PV-DBOW discards, at roughly
+// window-size times the training cost.
+//
+// The kinematics pipeline uses PV-DBOW (Train) by default; PV-DM is
+// provided for parity with the gensim feature surface the paper's
+// authors had available, and the tests assert both flavours separate
+// lexical topics.
+func TrainPVDM(docs [][]string, cfg Config) (*Model, error) {
+	if len(docs) == 0 {
+		return nil, errors.New("doc2vec: no documents")
+	}
+	dim := cfg.Dim
+	if dim <= 0 {
+		dim = 100
+	}
+	epochs := cfg.Epochs
+	if epochs <= 0 {
+		epochs = 40
+	}
+	negative := cfg.Negative
+	if negative <= 0 {
+		negative = 5
+	}
+	lr0 := cfg.LR
+	if lr0 <= 0 {
+		lr0 = 0.05
+	}
+	const window = 3
+
+	counts := map[string]int{}
+	total := 0
+	for i, doc := range docs {
+		if len(doc) == 0 {
+			return nil, fmt.Errorf("doc2vec: document %d is empty", i)
+		}
+		for _, w := range doc {
+			counts[w]++
+			total++
+		}
+	}
+	words := make([]string, 0, len(counts))
+	for w := range counts {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	vocab := make(map[string]int, len(words))
+	for i, w := range words {
+		vocab[w] = i
+	}
+	negWeights := make([]float64, len(words))
+	for i, w := range words {
+		negWeights[i] = math.Pow(float64(counts[w]), 0.75)
+	}
+	negTable := newAliasTable(negWeights)
+
+	rng := stats.NewRNG(cfg.Seed)
+	docVecs := make([][]float64, len(docs))
+	for i := range docVecs {
+		docVecs[i] = randomVec(rng, dim)
+	}
+	// Input word embeddings (averaged with the doc vector) and output
+	// vectors (prediction targets).
+	wordIn := make([][]float64, len(words))
+	wordOut := make([][]float64, len(words))
+	for i := range words {
+		wordIn[i] = randomVec(rng, dim)
+		wordOut[i] = make([]float64, dim)
+	}
+
+	encoded := make([][]int, len(docs))
+	for i, doc := range docs {
+		enc := make([]int, len(doc))
+		for j, w := range doc {
+			enc[j] = vocab[w]
+		}
+		encoded[i] = enc
+	}
+
+	order := make([]int, len(docs))
+	for i := range order {
+		order[i] = i
+	}
+	steps, totalSteps := 0, epochs*total
+	ctx := make([]float64, dim)
+	grad := make([]float64, dim)
+	for epoch := 0; epoch < epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, d := range order {
+			doc := encoded[d]
+			for pos, target := range doc {
+				lr := lr0 * (1 - 0.9*float64(steps)/float64(totalSteps))
+				steps++
+				// Context: doc vector + up to `window` words each side.
+				for i := range ctx {
+					ctx[i] = docVecs[d][i]
+				}
+				nCtx := 1
+				for off := -window; off <= window; off++ {
+					if off == 0 {
+						continue
+					}
+					p := pos + off
+					if p < 0 || p >= len(doc) {
+						continue
+					}
+					stats.AddTo(ctx, wordIn[doc[p]])
+					nCtx++
+				}
+				stats.Scale(ctx, 1/float64(nCtx))
+
+				for i := range grad {
+					grad[i] = 0
+				}
+				trainPair(ctx, wordOut[target], 1, lr, grad)
+				for s := 0; s < negative; s++ {
+					neg := negTable.sample(rng)
+					if neg == target {
+						continue
+					}
+					trainPair(ctx, wordOut[neg], 0, lr, grad)
+				}
+				// Distribute the context gradient to the doc vector and
+				// each participating input word vector.
+				stats.Scale(grad, 1/float64(nCtx))
+				stats.AddTo(docVecs[d], grad)
+				for off := -window; off <= window; off++ {
+					if off == 0 {
+						continue
+					}
+					p := pos + off
+					if p < 0 || p >= len(doc) {
+						continue
+					}
+					stats.AddTo(wordIn[doc[p]], grad)
+				}
+			}
+		}
+	}
+	return &Model{DocVecs: docVecs, Vocab: vocab, WordVecs: wordOut}, nil
+}

@@ -1,0 +1,277 @@
+// Package eigen provides a dense symmetric eigensolver (cyclic Jacobi
+// rotations) and the small matrix helpers the spectral-clustering
+// substrate needs.
+//
+// No numerical library exists offline, so the solver is written from
+// scratch. Jacobi iteration is exact to machine precision for symmetric
+// matrices, unconditionally stable, and O(n³) per sweep — perfectly
+// adequate for the graph sizes spectral fair clustering is run on in
+// this repository (hundreds to a few thousands of nodes).
+package eigen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MaxSweeps bounds Jacobi sweeps; convergence is typically < 15 sweeps.
+const MaxSweeps = 60
+
+// SymEigen computes all eigenvalues and orthonormal eigenvectors of the
+// symmetric matrix a (only symmetry up to 1e-9 is required; the strict
+// upper triangle is mirrored). Results are sorted by ascending
+// eigenvalue; vectors[i] is the eigenvector for values[i]. The input is
+// not modified.
+func SymEigen(a [][]float64) (values []float64, vectors [][]float64, err error) {
+	n := len(a)
+	if n == 0 {
+		return nil, nil, errors.New("eigen: empty matrix")
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return nil, nil, fmt.Errorf("eigen: row %d has %d columns, want %d", i, len(row), n)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := math.Abs(a[i][j] - a[j][i]); d > 1e-9*(1+math.Abs(a[i][j])) {
+				return nil, nil, fmt.Errorf("eigen: matrix not symmetric at (%d,%d): %v vs %v", i, j, a[i][j], a[j][i])
+			}
+		}
+	}
+
+	// Working copy (symmetrized) and accumulated rotations.
+	m := make([][]float64, n)
+	v := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]float64, n)
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+		for j := 0; j < n; j++ {
+			m[i][j] = 0.5 * (a[i][j] + a[j][i])
+		}
+	}
+
+	for sweep := 0; sweep < MaxSweeps; sweep++ {
+		off := offDiagNorm(m)
+		if off < 1e-12*(1+frobenius(m)) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-15 {
+					continue
+				}
+				rotate(m, v, p, q)
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = m[i][i]
+	}
+	// Column i of v is the eigenvector for values[i]; extract and sort.
+	vectors = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		vec := make([]float64, n)
+		for r := 0; r < n; r++ {
+			vec[r] = v[r][i]
+		}
+		vectors[i] = vec
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return values[idx[x]] < values[idx[y]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := make([][]float64, n)
+	for rank, i := range idx {
+		sortedVals[rank] = values[i]
+		sortedVecs[rank] = vectors[i]
+	}
+	return sortedVals, sortedVecs, nil
+}
+
+// rotate applies one Jacobi rotation zeroing m[p][q], accumulating the
+// rotation into v.
+func rotate(m, v [][]float64, p, q int) {
+	n := len(m)
+	theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+	t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+	if theta < 0 {
+		t = -t
+	}
+	c := 1 / math.Sqrt(t*t+1)
+	s := t * c
+
+	mpp, mqq, mpq := m[p][p], m[q][q], m[p][q]
+	m[p][p] = c*c*mpp - 2*s*c*mpq + s*s*mqq
+	m[q][q] = s*s*mpp + 2*s*c*mpq + c*c*mqq
+	m[p][q] = 0
+	m[q][p] = 0
+	for i := 0; i < n; i++ {
+		if i == p || i == q {
+			continue
+		}
+		mip, miq := m[i][p], m[i][q]
+		m[i][p] = c*mip - s*miq
+		m[p][i] = m[i][p]
+		m[i][q] = s*mip + c*miq
+		m[q][i] = m[i][q]
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v[i][p], v[i][q]
+		v[i][p] = c*vip - s*viq
+		v[i][q] = s*vip + c*viq
+	}
+}
+
+func offDiagNorm(m [][]float64) float64 {
+	s := 0.0
+	for i := range m {
+		for j := range m[i] {
+			if i != j {
+				s += m[i][j] * m[i][j]
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func frobenius(m [][]float64) float64 {
+	s := 0.0
+	for i := range m {
+		for j := range m[i] {
+			s += m[i][j] * m[i][j]
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// MatVec returns a·x for a dense matrix.
+func MatVec(a [][]float64, x []float64) []float64 {
+	out := make([]float64, len(a))
+	for i, row := range a {
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MatMul returns a·b for dense matrices (len(a[0]) must equal len(b)).
+func MatMul(a, b [][]float64) [][]float64 {
+	rows, inner, cols := len(a), len(b), len(b[0])
+	out := make([][]float64, rows)
+	for i := 0; i < rows; i++ {
+		out[i] = make([]float64, cols)
+		for t := 0; t < inner; t++ {
+			av := a[i][t]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < cols; j++ {
+				out[i][j] += av * b[t][j]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns aᵀ.
+func Transpose(a [][]float64) [][]float64 {
+	if len(a) == 0 {
+		return nil
+	}
+	rows, cols := len(a), len(a[0])
+	out := make([][]float64, cols)
+	for j := 0; j < cols; j++ {
+		out[j] = make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			out[j][i] = a[i][j]
+		}
+	}
+	return out
+}
+
+// GramSchmidt orthonormalizes the given row vectors in place order,
+// dropping (near-)linearly-dependent rows. It returns the orthonormal
+// basis of their span.
+func GramSchmidt(rows [][]float64) [][]float64 {
+	var basis [][]float64
+	for _, r := range rows {
+		v := append([]float64(nil), r...)
+		for _, b := range basis {
+			dot := 0.0
+			for i := range v {
+				dot += v[i] * b[i]
+			}
+			for i := range v {
+				v[i] -= dot * b[i]
+			}
+		}
+		norm := 0.0
+		for _, x := range v {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-10 {
+			continue
+		}
+		for i := range v {
+			v[i] /= norm
+		}
+		basis = append(basis, v)
+	}
+	return basis
+}
+
+// NullSpaceBasis returns an orthonormal basis (as rows) of the null
+// space {x : Fx = 0} of the given constraint rows F, computed by
+// projecting the standard basis off the span of F's rows. The basis has
+// n − rank(F) vectors.
+func NullSpaceBasis(constraints [][]float64, n int) [][]float64 {
+	span := GramSchmidt(constraints)
+	var basis [][]float64
+	for e := 0; e < n; e++ {
+		v := make([]float64, n)
+		v[e] = 1
+		for _, b := range span {
+			d := 0.0
+			for i := range v {
+				d += v[i] * b[i]
+			}
+			for i := range v {
+				v[i] -= d * b[i]
+			}
+		}
+		for _, b := range basis {
+			d := 0.0
+			for i := range v {
+				d += v[i] * b[i]
+			}
+			for i := range v {
+				v[i] -= d * b[i]
+			}
+		}
+		norm := 0.0
+		for _, x := range v {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-8 {
+			continue
+		}
+		for i := range v {
+			v[i] /= norm
+		}
+		basis = append(basis, v)
+	}
+	return basis
+}

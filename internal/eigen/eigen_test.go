@@ -1,0 +1,184 @@
+package eigen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestKnownEigenvalues(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	vals, vecs, err := SymEigen([][]float64{{2, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-1) > 1e-10 || math.Abs(vals[1]-3) > 1e-10 {
+		t.Errorf("values = %v, want [1 3]", vals)
+	}
+	// Eigenvector for 1 is ±(1,-1)/√2.
+	if math.Abs(math.Abs(vecs[0][0])-1/math.Sqrt2) > 1e-9 {
+		t.Errorf("vector = %v", vecs[0])
+	}
+}
+
+func TestDiagonalMatrix(t *testing.T) {
+	vals, _, err := SymEigen([][]float64{{5, 0, 0}, {0, -2, 0}, {0, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-2, 1, 5}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Errorf("vals = %v, want %v", vals, want)
+		}
+	}
+}
+
+// TestRandomMatricesSatisfyDefinition: for random symmetric A, check
+// A·v = λ·v, orthonormality of eigenvectors and trace preservation.
+func TestRandomMatricesSatisfyDefinition(t *testing.T) {
+	rng := stats.NewRNG(9)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(12)
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.Gaussian(0, 2)
+				a[i][j], a[j][i] = v, v
+			}
+		}
+		vals, vecs, err := SymEigen(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Eigen equation.
+		for e := 0; e < n; e++ {
+			av := MatVec(a, vecs[e])
+			for i := 0; i < n; i++ {
+				if math.Abs(av[i]-vals[e]*vecs[e][i]) > 1e-7*(1+math.Abs(vals[e])) {
+					t.Fatalf("trial %d: A·v ≠ λ·v at eigenpair %d component %d: %v vs %v",
+						trial, e, i, av[i], vals[e]*vecs[e][i])
+				}
+			}
+		}
+		// Orthonormality.
+		for e1 := 0; e1 < n; e1++ {
+			for e2 := e1; e2 < n; e2++ {
+				dot := stats.Dot(vecs[e1], vecs[e2])
+				want := 0.0
+				if e1 == e2 {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-8 {
+					t.Fatalf("trial %d: <v%d,v%d> = %v, want %v", trial, e1, e2, dot, want)
+				}
+			}
+		}
+		// Trace preservation.
+		trace, sum := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			trace += a[i][i]
+			sum += vals[i]
+		}
+		if math.Abs(trace-sum) > 1e-8*(1+math.Abs(trace)) {
+			t.Fatalf("trial %d: trace %v vs eigenvalue sum %v", trial, trace, sum)
+		}
+		// Values sorted ascending.
+		for i := 1; i < n; i++ {
+			if vals[i] < vals[i-1]-1e-12 {
+				t.Fatalf("trial %d: values not sorted: %v", trial, vals)
+			}
+		}
+	}
+}
+
+func TestSymEigenErrors(t *testing.T) {
+	if _, _, err := SymEigen(nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, _, err := SymEigen([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, _, err := SymEigen([][]float64{{1, 2}, {5, 1}}); err == nil {
+		t.Error("asymmetric matrix accepted")
+	}
+}
+
+func TestMatHelpers(t *testing.T) {
+	a := [][]float64{{1, 2}, {3, 4}}
+	b := [][]float64{{5, 6}, {7, 8}}
+	ab := MatMul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if ab[i][j] != want[i][j] {
+				t.Errorf("MatMul[%d][%d] = %v, want %v", i, j, ab[i][j], want[i][j])
+			}
+		}
+	}
+	at := Transpose(a)
+	if at[0][1] != 3 || at[1][0] != 2 {
+		t.Errorf("Transpose = %v", at)
+	}
+	if Transpose(nil) != nil {
+		t.Error("Transpose(nil) should be nil")
+	}
+	x := MatVec(a, []float64{1, 1})
+	if x[0] != 3 || x[1] != 7 {
+		t.Errorf("MatVec = %v", x)
+	}
+}
+
+func TestGramSchmidt(t *testing.T) {
+	rows := [][]float64{
+		{1, 0, 0},
+		{1, 1, 0},
+		{2, 1, 0}, // dependent on the first two
+		{0, 0, 3},
+	}
+	basis := GramSchmidt(rows)
+	if len(basis) != 3 {
+		t.Fatalf("basis size = %d, want 3", len(basis))
+	}
+	for i := range basis {
+		for j := i; j < len(basis); j++ {
+			dot := stats.Dot(basis[i], basis[j])
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-10 {
+				t.Errorf("<b%d,b%d> = %v, want %v", i, j, dot, want)
+			}
+		}
+	}
+}
+
+func TestNullSpaceBasis(t *testing.T) {
+	// Constraint x1 + x2 + x3 = 0 over R³: null space has dim 2 and
+	// every basis vector must satisfy the constraint.
+	f := [][]float64{{1, 1, 1}}
+	basis := NullSpaceBasis(f, 3)
+	if len(basis) != 2 {
+		t.Fatalf("null space dim = %d, want 2", len(basis))
+	}
+	for _, b := range basis {
+		if s := b[0] + b[1] + b[2]; math.Abs(s) > 1e-9 {
+			t.Errorf("basis vector %v violates constraint (sum %v)", b, s)
+		}
+	}
+	// Rank-deficient constraints: duplicates must not shrink the space.
+	basis2 := NullSpaceBasis([][]float64{{1, 1, 1}, {2, 2, 2}}, 3)
+	if len(basis2) != 2 {
+		t.Errorf("duplicate constraints gave dim %d, want 2", len(basis2))
+	}
+	// No constraints: the whole space.
+	basis3 := NullSpaceBasis(nil, 3)
+	if len(basis3) != 3 {
+		t.Errorf("empty constraints gave dim %d, want 3", len(basis3))
+	}
+}

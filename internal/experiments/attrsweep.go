@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/kmeans"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// The attribute sweep implements the paper's FIRST future-work
+// direction (Section 6.1): "studying the performance trends of FairKM
+// with increasing number of sensitive attributes as well as increasing
+// number of values per sensitive attribute." Synthetic data with a
+// controlled attribute grid makes both axes directly measurable.
+
+// AttrPoint is one (number of attributes, cardinality) configuration.
+type AttrPoint struct {
+	Attrs       int
+	Cardinality int
+	// BlindAE / FairAE are mean fairness across attributes.
+	BlindAE, FairAE float64
+	// CORatio is FairKM CO divided by blind CO (quality cost).
+	CORatio float64
+}
+
+// AttrSweep holds the grid results.
+type AttrSweep struct {
+	Points []AttrPoint
+	Reps   int
+	N      int
+}
+
+// synthAttrDataset builds n points in two feature blobs with `attrs`
+// categorical sensitive attributes of the given cardinality, each
+// correlated with blob membership (value distributions shifted between
+// blobs) so blind clustering is unfair on every attribute.
+func synthAttrDataset(n, attrs, card int, seed int64) (*dataset.Dataset, error) {
+	rng := stats.NewRNG(seed)
+	b := dataset.NewBuilder("x", "y")
+	domains := make([][]string, attrs)
+	for a := 0; a < attrs; a++ {
+		dom := make([]string, card)
+		for v := range dom {
+			dom[v] = fmt.Sprintf("v%02d", v)
+		}
+		domains[a] = dom
+		b.AddCategoricalSensitiveWithDomain(fmt.Sprintf("attr%02d", a), dom)
+	}
+	for i := 0; i < n; i++ {
+		blob := i % 2
+		feats := []float64{rng.Gaussian(float64(blob)*4, 0.6), rng.Gaussian(0, 1)}
+		cats := make([]string, attrs)
+		for a := 0; a < attrs; a++ {
+			// Blob 0 prefers low value indexes, blob 1 high ones: a
+			// triangular weight profile per blob.
+			w := make([]float64, card)
+			for v := range w {
+				if blob == 0 {
+					w[v] = float64(card - v)
+				} else {
+					w[v] = float64(v + 1)
+				}
+			}
+			cats[a] = domains[a][rng.Categorical(w)]
+		}
+		b.Row(feats, cats, nil)
+	}
+	return b.Build()
+}
+
+// RunAttrSweep measures FairKM across the attribute grid.
+func RunAttrSweep(opts Options) (*AttrSweep, error) {
+	opts.normalize()
+	const n = 600
+	const k = 4
+	sweep := &AttrSweep{Reps: opts.Reps, N: n}
+	for _, attrs := range []int{1, 2, 4, 8} {
+		for _, card := range []int{2, 8, 32} {
+			var p AttrPoint
+			p.Attrs, p.Cardinality = attrs, card
+			var blindCO, fairCO float64
+			for rep := 0; rep < opts.Reps; rep++ {
+				seed := opts.Seed + int64(rep)
+				ds, err := synthAttrDataset(n, attrs, card, seed)
+				if err != nil {
+					return nil, err
+				}
+				ds.MinMaxNormalize() // λ=(n/k)² assumes unit-scale features
+				km, err := kmeans.Run(ds.Features, kmeans.Config{K: k, Seed: seed, MaxIter: opts.MaxIter})
+				if err != nil {
+					return nil, err
+				}
+				// λ heuristic (n/k)²: features are O(1)-scale here.
+				fkm, err := core.Run(ds, core.Config{K: k, AutoLambda: true, Seed: seed, MaxIter: opts.MaxIter})
+				if err != nil {
+					return nil, err
+				}
+				kmF := metrics.FairnessAll(ds, km.Assign, k)
+				fkF := metrics.FairnessAll(ds, fkm.Assign, k)
+				p.BlindAE += kmF[len(kmF)-1].AE
+				p.FairAE += fkF[len(fkF)-1].AE
+				blindCO += metrics.CO(ds.Features, km.Assign, k)
+				fairCO += metrics.CO(ds.Features, fkm.Assign, k)
+			}
+			inv := 1 / float64(opts.Reps)
+			p.BlindAE *= inv
+			p.FairAE *= inv
+			p.CORatio = fairCO / blindCO
+			sweep.Points = append(sweep.Points, p)
+		}
+	}
+	return sweep, nil
+}
+
+// Render prints the grid.
+func (s *AttrSweep) Render() string {
+	tt := newTextTable(fmt.Sprintf(
+		"Sensitive-attribute scaling (paper future work §6.1): n=%d, 2 blobs, mean of %d restarts", s.N, s.Reps))
+	tt.row("#attrs", "cardinality", "blind meanAE", "FairKM meanAE", "AE reduction", "CO ratio")
+	tt.rule()
+	for _, p := range s.Points {
+		reduction := "—"
+		if p.BlindAE > 0 {
+			reduction = fmt.Sprintf("%.1fx", p.BlindAE/maxF(p.FairAE, 1e-9))
+		}
+		tt.row(fmt.Sprintf("%d", p.Attrs), fmt.Sprintf("%d", p.Cardinality),
+			f4(p.BlindAE), f4(p.FairAE), reduction, f4(p.CORatio))
+	}
+	return tt.String()
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTextTableAlignment(t *testing.T) {
+	tt := newTextTable("Title")
+	tt.row("a", "bb", "ccc")
+	tt.rule()
+	tt.row("dddd", "e", "f")
+	out := tt.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, rule, row, rule, row
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// Columns align: "bb" and "e" start at the same offset.
+	row1, row2 := lines[2], lines[4]
+	if strings.Index(row1, "bb") != strings.Index(row2, "e") {
+		t.Errorf("columns misaligned:\n%q\n%q", row1, row2)
+	}
+	// Separator lines are dashes.
+	if !strings.HasPrefix(lines[3], "---") {
+		t.Errorf("rule line = %q", lines[3])
+	}
+}
+
+func TestTextTableRaggedRows(t *testing.T) {
+	tt := newTextTable("T")
+	tt.row("only")
+	tt.row("two", "cells")
+	out := tt.String()
+	if !strings.Contains(out, "only") || !strings.Contains(out, "cells") {
+		t.Errorf("ragged rows mishandled:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if f4(1.23456789) != "1.2346" {
+		t.Errorf("f4 = %q", f4(1.23456789))
+	}
+	if f2(98.765) != "98.77" {
+		t.Errorf("f2 = %q", f2(98.765))
+	}
+}

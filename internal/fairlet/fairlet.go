@@ -1,0 +1,239 @@
+// Package fairlet implements fairlet-decomposition fair clustering
+// (Chierichetti, Kumar, Lattanzi, Vassilvitskii — "Fair Clustering
+// Through Fairlets", NIPS 2017), the seminal pre-processing baseline
+// the FairKM paper surveys as reference [6].
+//
+// The method applies to a SINGLE BINARY sensitive attribute. Points
+// are first grouped into "fairlets": micro-clusters containing exactly
+// one minority-class point and between 1 and t majority-class points,
+// so every fairlet has balance at least 1/t. Clustering fairlets
+// instead of points then guarantees every output cluster inherits that
+// balance, because clusters are unions of fairlets.
+//
+// The (1, t)-fairlet decomposition minimizing total intra-fairlet
+// distance is computed exactly as a minimum-cost flow (with the
+// lower-bound-to-excess transformation): source → each minority point
+// with capacity [1, t], minority → majority edges with unit capacity
+// and distance cost, majority → sink with capacity [1, 1]. Fairlet
+// centers (medoids) are then clustered with K-Means and every point
+// inherits its fairlet's cluster.
+//
+// Cost note: the flow graph has |R|·|B| edges, so this baseline suits
+// datasets up to a few thousand points — which is exactly why FairKM-
+// style in-objective methods exist; see the paper's Section 4.3.1
+// complexity discussion.
+package fairlet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/kmeans"
+	"repro/internal/mcmf"
+	"repro/internal/stats"
+)
+
+// Config parameterizes a fairlet-clustering run.
+type Config struct {
+	// K is the number of output clusters.
+	K int
+	// T bounds majority points per fairlet: balance ≥ 1/T. Zero means
+	// the smallest feasible value ceil(|majority|/|minority|), i.e. the
+	// dataset's own balance.
+	T int
+	// Seed drives the K-Means stage over fairlet centers.
+	Seed int64
+	// MaxIter bounds the K-Means stage; zero means its default.
+	MaxIter int
+}
+
+// Result is a completed fairlet clustering.
+type Result struct {
+	// Assign maps each row to its cluster in [0, K).
+	Assign []int
+	// Fairlets lists each fairlet's member row indexes; Fairlets[f][0]
+	// is always the minority point.
+	Fairlets [][]int
+	// Centers holds the medoid row index of each fairlet.
+	Centers []int
+	// FairletAssign maps each fairlet to its cluster.
+	FairletAssign []int
+	// DecompositionCost is the total minority→majority distance of the
+	// optimal (1,T)-decomposition.
+	DecompositionCost float64
+	// T is the majority bound actually used.
+	T int
+}
+
+// Run clusters ds fairly with respect to the single named binary
+// attribute.
+func Run(ds *dataset.Dataset, attr string, cfg Config) (*Result, error) {
+	if ds == nil {
+		return nil, errors.New("fairlet: nil dataset")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("fairlet: %w", err)
+	}
+	s := ds.SensitiveByName(attr)
+	if s == nil {
+		return nil, fmt.Errorf("fairlet: no sensitive attribute %q", attr)
+	}
+	if s.Kind != dataset.Categorical || len(s.Values) != 2 {
+		return nil, fmt.Errorf("fairlet: attribute %q is not binary categorical", attr)
+	}
+	n := ds.N()
+
+	// Split into minority (R) and majority (B) by the attribute.
+	var byValue [2][]int
+	for i, c := range s.Codes {
+		byValue[c] = append(byValue[c], i)
+	}
+	minority, majority := byValue[0], byValue[1]
+	if len(minority) > len(majority) {
+		minority, majority = majority, minority
+	}
+	if len(minority) == 0 {
+		return nil, fmt.Errorf("fairlet: attribute %q has an empty class; nothing to balance", attr)
+	}
+	t := cfg.T
+	minT := (len(majority) + len(minority) - 1) / len(minority)
+	if t == 0 {
+		t = minT
+	}
+	if t < minT {
+		return nil, fmt.Errorf("fairlet: T=%d infeasible; %d majority points over %d minority points need T >= %d",
+			t, len(majority), len(minority), minT)
+	}
+	if cfg.K < 1 || cfg.K > len(minority) {
+		return nil, fmt.Errorf("fairlet: K=%d out of range [1,%d] (one cluster needs at least one fairlet)", cfg.K, len(minority))
+	}
+
+	fairlets, cost, err := decompose(ds.Features, minority, majority, t)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fairlet centers are medoids: the member minimizing total distance
+	// to the rest of the fairlet.
+	centers := make([]int, len(fairlets))
+	for f, members := range fairlets {
+		centers[f] = medoid(ds.Features, members)
+	}
+
+	// Cluster the centers; every point inherits its fairlet's cluster.
+	centerFeatures := make([][]float64, len(centers))
+	for f, c := range centers {
+		centerFeatures[f] = ds.Features[c]
+	}
+	km, err := kmeans.Run(centerFeatures, kmeans.Config{K: cfg.K, Seed: cfg.Seed, MaxIter: cfg.MaxIter})
+	if err != nil {
+		return nil, fmt.Errorf("fairlet: clustering fairlet centers: %w", err)
+	}
+
+	assign := make([]int, n)
+	for f, members := range fairlets {
+		for _, i := range members {
+			assign[i] = km.Assign[f]
+		}
+	}
+	return &Result{
+		Assign:            assign,
+		Fairlets:          fairlets,
+		Centers:           centers,
+		FairletAssign:     km.Assign,
+		DecompositionCost: cost,
+		T:                 t,
+	}, nil
+}
+
+// decompose computes the minimum-cost (1,t)-fairlet decomposition via
+// min-cost flow with lower bounds.
+func decompose(features [][]float64, minority, majority []int, t int) ([][]int, float64, error) {
+	nR, nB := len(minority), len(majority)
+	// Node layout: 0 = source, 1 = sink, 2.. minority, then majority,
+	// then super-source and super-sink for the lower-bound transform.
+	src, sink := 0, 1
+	rBase := 2
+	bBase := rBase + nR
+	superSrc := bBase + nB
+	superSink := superSrc + 1
+	g := mcmf.New(superSink + 1)
+
+	excess := make([]int, superSink+1)
+	// source → minority r: capacity [1, t] → residual cap t-1 plus
+	// excess bookkeeping for the mandatory unit.
+	for ri := range minority {
+		g.AddEdge(src, rBase+ri, t-1, 0)
+		excess[rBase+ri]++
+		excess[src]--
+	}
+	// minority → majority: cap 1, cost = distance.
+	pairEdges := make([][]int, nR)
+	for ri, r := range minority {
+		pairEdges[ri] = make([]int, nB)
+		for bi, b := range majority {
+			pairEdges[ri][bi] = g.AddEdge(rBase+ri, bBase+bi, 1, stats.Dist(features[r], features[b]))
+		}
+	}
+	// majority → sink: capacity [1, 1] → residual cap 0 + excess.
+	for bi := range majority {
+		g.AddEdge(bBase+bi, sink, 0, 0)
+		excess[sink]++
+		excess[bBase+bi]--
+	}
+	// Circulation edge and super terminals.
+	g.AddEdge(sink, src, nB, 0)
+	need := 0
+	for v, e := range excess {
+		if e > 0 {
+			g.AddEdge(superSrc, v, e, 0)
+			need += e
+		} else if e < 0 {
+			g.AddEdge(v, superSink, -e, 0)
+		}
+	}
+	flow, cost, err := g.MinCostFlow(superSrc, superSink, -1)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fairlet: %w", err)
+	}
+	if flow != need {
+		return nil, 0, fmt.Errorf("fairlet: decomposition infeasible (matched %d of %d mandatory units)", flow, need)
+	}
+
+	fairlets := make([][]int, nR)
+	total := 0.0
+	for ri, r := range minority {
+		fairlets[ri] = []int{r}
+		for bi, b := range majority {
+			if g.Flow(pairEdges[ri][bi]) > 0 {
+				fairlets[ri] = append(fairlets[ri], b)
+				total += stats.Dist(features[r], features[b])
+			}
+		}
+	}
+	// Sanity: every fairlet must have at least one majority point.
+	for ri, members := range fairlets {
+		if len(members) < 2 {
+			return nil, 0, fmt.Errorf("fairlet: internal error: fairlet %d has no majority points", ri)
+		}
+	}
+	_ = cost
+	return fairlets, total, nil
+}
+
+// medoid returns the member with minimum summed distance to the others.
+func medoid(features [][]float64, members []int) int {
+	best, bestSum := members[0], math.Inf(1)
+	for _, i := range members {
+		sum := 0.0
+		for _, j := range members {
+			sum += stats.Dist(features[i], features[j])
+		}
+		if sum < bestSum {
+			best, bestSum = i, sum
+		}
+	}
+	return best
+}

@@ -1,0 +1,193 @@
+package fairlet
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// binaryDataset builds two feature blobs with a binary attribute at the
+// given global ratio minority:majority = 1:ratio, minority concentrated
+// in blob 1.
+func binaryDataset(t *testing.T, perBlob, ratio int) *dataset.Dataset {
+	t.Helper()
+	b := dataset.NewBuilder("x", "y")
+	b.AddCategoricalSensitive("g")
+	rng := stats.NewRNG(6)
+	for i := 0; i < perBlob; i++ {
+		v := "maj"
+		if i%(ratio+1) == 0 {
+			v = "min"
+		}
+		b.Row([]float64{rng.Gaussian(0, 0.3), rng.Gaussian(0, 0.3)}, []string{v}, nil)
+	}
+	for i := 0; i < perBlob; i++ {
+		v := "maj"
+		if i%(2*(ratio+1)) == 0 {
+			v = "min"
+		}
+		b.Row([]float64{rng.Gaussian(5, 0.3), rng.Gaussian(5, 0.3)}, []string{v}, nil)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestFairletStructure(t *testing.T) {
+	ds := binaryDataset(t, 40, 3)
+	res, err := Run(ds, "g", Config{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	g := ds.SensitiveByName("g")
+	minIdx := 0
+	if g.Values[1] == "min" {
+		minIdx = 1
+	}
+	seen := make([]bool, ds.N())
+	for f, members := range res.Fairlets {
+		if g.Codes[members[0]] != minIdx {
+			t.Errorf("fairlet %d leader is not a minority point", f)
+		}
+		majCount := 0
+		for mi, i := range members {
+			if seen[i] {
+				t.Fatalf("point %d is in two fairlets", i)
+			}
+			seen[i] = true
+			if mi > 0 {
+				if g.Codes[i] == minIdx {
+					t.Errorf("fairlet %d has a second minority point", f)
+				}
+				majCount++
+			}
+		}
+		if majCount < 1 || majCount > res.T {
+			t.Errorf("fairlet %d has %d majority points, want 1..%d", f, majCount, res.T)
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Errorf("point %d is in no fairlet", i)
+		}
+	}
+}
+
+// TestBalanceGuarantee: every cluster is a union of fairlets, so its
+// balance must be at least 1/T.
+func TestBalanceGuarantee(t *testing.T) {
+	ds := binaryDataset(t, 60, 3)
+	res, err := Run(ds, "g", Config{K: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.SensitiveByName("g")
+	bal := metrics.Balance(g, res.Assign, 4)
+	want := 1 / float64(res.T)
+	if bal < want-1e-9 {
+		t.Errorf("cluster balance %v below fairlet guarantee %v (T=%d)", bal, want, res.T)
+	}
+}
+
+// TestImprovesFairnessOverBlindKMeans on a dataset engineered so blind
+// clustering is unbalanced.
+func TestImprovesFairnessOverBlindKMeans(t *testing.T) {
+	ds := binaryDataset(t, 50, 3)
+	res, err := Run(ds, "g", Config{K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.SensitiveByName("g")
+	fair := metrics.Fairness(ds, g, res.Assign, 2)
+	// The two blobs have minority rates 1/4 vs 1/8; blind clustering
+	// reproduces that skew. Fairlets must cut the deviation.
+	if fair.ME > 0.25 {
+		t.Errorf("fairlet clustering ME = %v, want < 0.25", fair.ME)
+	}
+}
+
+func TestAutoTMatchesDatasetBalance(t *testing.T) {
+	ds := binaryDataset(t, 40, 3)
+	res, err := Run(ds, "g", Config{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global ratio is roughly 1:5.3 here (blob 2 is sparser in
+	// minorities), so the auto T must be at least 5 and the
+	// decomposition feasible.
+	if res.T < 5 {
+		t.Errorf("auto T = %d, want >= 5", res.T)
+	}
+}
+
+func TestDecompositionCostOptimalTinyCase(t *testing.T) {
+	// 2 minority, 2 majority on a line: optimal (1,1)-pairing is
+	// (0,1), (2,3) with cost 1+1=2, not the crossing 3+3.
+	b := dataset.NewBuilder("x")
+	b.AddCategoricalSensitive("g")
+	b.Row([]float64{0}, []string{"min"}, nil)
+	b.Row([]float64{1}, []string{"maj"}, nil)
+	b.Row([]float64{4}, []string{"min"}, nil)
+	b.Row([]float64{5}, []string{"maj"}, nil)
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ds, "g", Config{K: 1, T: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DecompositionCost != 2 {
+		t.Errorf("decomposition cost = %v, want 2", res.DecompositionCost)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	ds := binaryDataset(t, 20, 3)
+	if _, err := Run(nil, "g", Config{K: 2}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := Run(ds, "nope", Config{K: 2}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := Run(ds, "g", Config{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Run(ds, "g", Config{K: 2, T: 1}); err == nil {
+		t.Error("infeasible T accepted")
+	}
+	// Non-binary attribute.
+	b := dataset.NewBuilder("x")
+	b.AddCategoricalSensitive("tri")
+	b.Row([]float64{1}, []string{"a"}, nil)
+	b.Row([]float64{2}, []string{"b"}, nil)
+	b.Row([]float64{3}, []string{"c"}, nil)
+	tri, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(tri, "tri", Config{K: 1}); err == nil {
+		t.Error("ternary attribute accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ds := binaryDataset(t, 30, 2)
+	a, err := Run(ds, "g", Config{K: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ds, "g", Config{K: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("assignment %d differs", i)
+		}
+	}
+}

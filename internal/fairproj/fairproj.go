@@ -1,0 +1,185 @@
+// Package fairproj implements fair space-transformation preprocessing,
+// the first family in the FairKM paper's related-work taxonomy
+// (Section 2.1): represent the points in a "fair" space, then run any
+// vanilla clustering algorithm on them.
+//
+// Two transforms are provided, both stdlib-only:
+//
+//   - MeanDifferenceProjection removes, for every categorical sensitive
+//     attribute, the span of its group-mean-difference directions: in
+//     the projected space all groups of every attribute share the same
+//     mean, so no LINEAR statistic of the features reveals group
+//     membership on average. This is the linear core of fair-PCA-style
+//     methods (Olfat & Aswani 2019 [17]) and of projection-based
+//     de-biasing (Anagnostopoulos et al. 2019 [2]): those works add
+//     convex programs over covariance constraints, but the mean
+//     constraint is what drives most of the clustering effect at this
+//     scale.
+//
+//   - PCA reduces dimensionality by projecting onto the top
+//     eigenvectors of the covariance matrix (computed exactly with the
+//     Jacobi solver in internal/eigen). Composed with the mean-
+//     difference projection it yields a "fair PCA" pipeline: project
+//     off group directions, then compress.
+//
+// Limitations are inherent to the family and are what motivates FairKM
+// (Section 2.2): removing linear group information cannot control
+// cluster-level proportions directly, so residual nonlinear structure
+// may still produce skewed clusters.
+package fairproj
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/eigen"
+	"repro/internal/stats"
+)
+
+// MeanDifferenceProjection returns a copy of ds whose features have
+// been orthogonally projected off the span of every sensitive group's
+// recentered mean direction (μ_group − μ_all, for every value of every
+// categorical attribute). The resulting dataset has identical feature
+// dimensionality; sensitive columns are shared with the input.
+func MeanDifferenceProjection(ds *dataset.Dataset) (*dataset.Dataset, error) {
+	if ds == nil {
+		return nil, errors.New("fairproj: nil dataset")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("fairproj: %w", err)
+	}
+	n, dim := ds.N(), ds.Dim()
+	if n == 0 {
+		return nil, errors.New("fairproj: empty dataset")
+	}
+	mu := make([]float64, dim)
+	for _, x := range ds.Features {
+		stats.AddTo(mu, x)
+	}
+	stats.Scale(mu, 1/float64(n))
+
+	// Collect group-mean-difference directions.
+	var dirs [][]float64
+	for _, s := range ds.Sensitive {
+		if s.Kind != dataset.Categorical {
+			continue
+		}
+		sums := make([][]float64, len(s.Values))
+		counts := make([]int, len(s.Values))
+		for v := range sums {
+			sums[v] = make([]float64, dim)
+		}
+		for i, code := range s.Codes {
+			stats.AddTo(sums[code], ds.Features[i])
+			counts[code]++
+		}
+		for v := range sums {
+			if counts[v] == 0 {
+				continue
+			}
+			d := make([]float64, dim)
+			for j := 0; j < dim; j++ {
+				d[j] = sums[v][j]/float64(counts[v]) - mu[j]
+			}
+			dirs = append(dirs, d)
+		}
+	}
+	basis := eigen.GramSchmidt(dirs)
+
+	out := &dataset.Dataset{
+		FeatureNames: ds.FeatureNames,
+		Features:     make([][]float64, n),
+		Sensitive:    ds.Sensitive,
+	}
+	for i, x := range ds.Features {
+		p := stats.Clone(x)
+		for _, b := range basis {
+			d := stats.Dot(p, b)
+			for j := range p {
+				p[j] -= d * b[j]
+			}
+		}
+		out.Features[i] = p
+	}
+	return out, nil
+}
+
+// PCA projects the dataset's features onto the top-k principal
+// components (eigenvectors of the covariance matrix), returning a new
+// dataset with k-dimensional features. Sensitive columns are shared.
+func PCA(ds *dataset.Dataset, k int) (*dataset.Dataset, error) {
+	if ds == nil {
+		return nil, errors.New("fairproj: nil dataset")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("fairproj: %w", err)
+	}
+	n, dim := ds.N(), ds.Dim()
+	if n == 0 {
+		return nil, errors.New("fairproj: empty dataset")
+	}
+	if k < 1 || k > dim {
+		return nil, fmt.Errorf("fairproj: k=%d out of range [1,%d]", k, dim)
+	}
+	mu := make([]float64, dim)
+	for _, x := range ds.Features {
+		stats.AddTo(mu, x)
+	}
+	stats.Scale(mu, 1/float64(n))
+	cov := make([][]float64, dim)
+	for a := range cov {
+		cov[a] = make([]float64, dim)
+	}
+	for _, x := range ds.Features {
+		for a := 0; a < dim; a++ {
+			da := x[a] - mu[a]
+			for b := a; b < dim; b++ {
+				cov[a][b] += da * (x[b] - mu[b])
+			}
+		}
+	}
+	for a := 0; a < dim; a++ {
+		for b := a; b < dim; b++ {
+			cov[a][b] /= float64(n)
+			cov[b][a] = cov[a][b]
+		}
+	}
+	_, vecs, err := eigen.SymEigen(cov)
+	if err != nil {
+		return nil, fmt.Errorf("fairproj: %w", err)
+	}
+	// SymEigen sorts ascending; principal components are the last k.
+	comps := vecs[len(vecs)-k:]
+
+	names := make([]string, k)
+	for j := range names {
+		names[j] = fmt.Sprintf("pc%d", j+1)
+	}
+	out := &dataset.Dataset{
+		FeatureNames: names,
+		Features:     make([][]float64, n),
+		Sensitive:    ds.Sensitive,
+	}
+	for i, x := range ds.Features {
+		centered := stats.Clone(x)
+		stats.SubFrom(centered, mu)
+		row := make([]float64, k)
+		for j := 0; j < k; j++ {
+			// Reverse order so pc1 is the top component.
+			row[j] = stats.Dot(centered, comps[k-1-j])
+		}
+		out.Features[i] = row
+	}
+	return out, nil
+}
+
+// FairPCA composes the two transforms: remove group-mean directions,
+// then keep the top-k principal components of what remains.
+func FairPCA(ds *dataset.Dataset, k int) (*dataset.Dataset, error) {
+	proj, err := MeanDifferenceProjection(ds)
+	if err != nil {
+		return nil, err
+	}
+	return PCA(proj, k)
+}

@@ -1,0 +1,168 @@
+package fairproj
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/kmeans"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// genderShifted builds data where group means differ along one
+// direction, so the blind clustering splits by group.
+func genderShifted(t *testing.T, n int) *dataset.Dataset {
+	t.Helper()
+	b := dataset.NewBuilder("x", "y", "z")
+	b.AddCategoricalSensitive("g")
+	rng := stats.NewRNG(3)
+	for i := 0; i < n; i++ {
+		g := "a"
+		shift := 4.0
+		if i%2 == 0 {
+			g = "b"
+			shift = 0
+		}
+		b.Row([]float64{
+			rng.Gaussian(shift, 0.8),
+			rng.Gaussian(0, 1),
+			rng.Gaussian(0, 1),
+		}, []string{g}, nil)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestProjectionEqualizesGroupMeans(t *testing.T) {
+	ds := genderShifted(t, 200)
+	proj, err := MeanDifferenceProjection(ds)
+	if err != nil {
+		t.Fatalf("projection: %v", err)
+	}
+	g := proj.SensitiveByName("g")
+	dim := proj.Dim()
+	means := make([][]float64, 2)
+	counts := make([]int, 2)
+	for v := range means {
+		means[v] = make([]float64, dim)
+	}
+	for i := 0; i < proj.N(); i++ {
+		stats.AddTo(means[g.Codes[i]], proj.Features[i])
+		counts[g.Codes[i]]++
+	}
+	for v := range means {
+		stats.Scale(means[v], 1/float64(counts[v]))
+	}
+	for j := 0; j < dim; j++ {
+		if d := math.Abs(means[0][j] - means[1][j]); d > 1e-9 {
+			t.Errorf("group means differ at dim %d by %v after projection", j, d)
+		}
+	}
+}
+
+func TestProjectionImprovesClusterFairness(t *testing.T) {
+	ds := genderShifted(t, 300)
+	km, err := kmeans.Run(ds.Features, kmeans.Config{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := MeanDifferenceProjection(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kmP, err := kmeans.Run(proj.Features, kmeans.Config{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.SensitiveByName("g")
+	before := metrics.Fairness(ds, g, km.Assign, 2)
+	after := metrics.Fairness(proj, g, kmP.Assign, 2)
+	if after.AE >= before.AE {
+		t.Errorf("projection did not improve fairness: %v -> %v", before.AE, after.AE)
+	}
+}
+
+func TestPCARecoversVarianceOrdering(t *testing.T) {
+	// Data with variance 9 along x, 1 along y, 0.01 along z: pc1 must
+	// align with x.
+	b := dataset.NewBuilder("x", "y", "z")
+	b.AddCategoricalSensitive("g")
+	rng := stats.NewRNG(5)
+	for i := 0; i < 400; i++ {
+		b.Row([]float64{
+			rng.Gaussian(0, 3), rng.Gaussian(0, 1), rng.Gaussian(0, 0.1),
+		}, []string{"a"}, nil)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := PCA(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Dim() != 2 {
+		t.Fatalf("Dim = %d", red.Dim())
+	}
+	// Variance of pc1 column ≈ 9, pc2 ≈ 1.
+	var v1, v2 []float64
+	for i := 0; i < red.N(); i++ {
+		v1 = append(v1, red.Features[i][0])
+		v2 = append(v2, red.Features[i][1])
+	}
+	if stats.Variance(v1) < stats.Variance(v2) {
+		t.Errorf("pc1 variance %v below pc2 %v", stats.Variance(v1), stats.Variance(v2))
+	}
+	if math.Abs(stats.Variance(v1)-9) > 2 {
+		t.Errorf("pc1 variance %v, want ~9", stats.Variance(v1))
+	}
+}
+
+func TestFairPCAPipeline(t *testing.T) {
+	ds := genderShifted(t, 250)
+	red, err := FairPCA(ds, 2)
+	if err != nil {
+		t.Fatalf("FairPCA: %v", err)
+	}
+	if red.Dim() != 2 || red.N() != ds.N() {
+		t.Fatalf("shape %dx%d", red.N(), red.Dim())
+	}
+	// Group means equal in the reduced space too (projection commutes
+	// with the linear PCA map).
+	g := red.SensitiveByName("g")
+	means := make([][]float64, 2)
+	counts := make([]int, 2)
+	for v := range means {
+		means[v] = make([]float64, 2)
+	}
+	for i := 0; i < red.N(); i++ {
+		stats.AddTo(means[g.Codes[i]], red.Features[i])
+		counts[g.Codes[i]]++
+	}
+	for j := 0; j < 2; j++ {
+		d := math.Abs(means[0][j]/float64(counts[0]) - means[1][j]/float64(counts[1]))
+		if d > 1e-9 {
+			t.Errorf("reduced group means differ at %d by %v", j, d)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := MeanDifferenceProjection(nil); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := PCA(nil, 1); err == nil {
+		t.Error("nil dataset accepted by PCA")
+	}
+	ds := genderShifted(t, 20)
+	if _, err := PCA(ds, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := PCA(ds, 99); err == nil {
+		t.Error("k>dim accepted")
+	}
+}

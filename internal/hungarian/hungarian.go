@@ -1,0 +1,99 @@
+// Package hungarian solves the linear assignment problem: given an n×n
+// cost matrix, find a permutation σ minimizing Σ_i cost[i][σ(i)].
+//
+// It implements the O(n³) shortest-augmenting-path variant of the
+// Hungarian algorithm (Jonker-Volgenant style with dual potentials).
+// In this repository it underlies the centroid-based deviation measure
+// DevC (matching fair-clustering centroids to S-blind centroids) and is
+// reused by tests as an exact reference for small matching problems.
+package hungarian
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solve returns the minimizing assignment and its total cost for a
+// square cost matrix. assignment[i] is the column matched to row i.
+// It returns an error for empty or ragged input.
+func Solve(cost [][]float64) (assignment []int, total float64, err error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("hungarian: empty cost matrix")
+	}
+	for i, row := range cost {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("hungarian: row %d has %d columns, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) {
+				return nil, 0, fmt.Errorf("hungarian: cost[%d][%d] is NaN", i, j)
+			}
+		}
+	}
+
+	// Potentials and matching arrays are 1-indexed internally; index 0
+	// is a sentinel row/column, following the classical presentation.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j]: row matched to column j
+	way := make([]int, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assignment = make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assignment[p[j]-1] = j - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		total += cost[i][assignment[i]]
+	}
+	return assignment, total, nil
+}

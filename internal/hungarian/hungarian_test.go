@@ -1,0 +1,112 @@
+package hungarian
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// bruteForce finds the optimal assignment by enumerating permutations.
+func bruteForce(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			total := 0.0
+			for r, c := range perm {
+				total += cost[r][c]
+			}
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for j := i; j < n; j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			rec(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestMatchesBruteForce(t *testing.T) {
+	rng := stats.NewRNG(5)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = rng.Float64()*10 - 3 // include negatives
+			}
+		}
+		assignment, total, err := Solve(cost)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := bruteForce(cost)
+		if math.Abs(total-want) > 1e-9 {
+			t.Fatalf("trial %d (n=%d): total %v, brute force %v", trial, n, total, want)
+		}
+		// Assignment must be a permutation and consistent with total.
+		seen := make([]bool, n)
+		check := 0.0
+		for i, j := range assignment {
+			if j < 0 || j >= n || seen[j] {
+				t.Fatalf("trial %d: invalid assignment %v", trial, assignment)
+			}
+			seen[j] = true
+			check += cost[i][j]
+		}
+		if math.Abs(check-total) > 1e-9 {
+			t.Fatalf("trial %d: reported total %v but assignment costs %v", trial, total, check)
+		}
+	}
+}
+
+func TestIdentityMatrix(t *testing.T) {
+	cost := [][]float64{
+		{0, 1, 1},
+		{1, 0, 1},
+		{1, 1, 0},
+	}
+	assignment, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 0 {
+		t.Errorf("total = %v, want 0", total)
+	}
+	for i, j := range assignment {
+		if i != j {
+			t.Errorf("assignment[%d] = %d, want %d", i, j, i)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, _, err := Solve(nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, _, err := Solve([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, _, err := Solve([][]float64{{math.NaN()}}); err == nil {
+		t.Error("NaN cost accepted")
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	assignment, total, err := Solve([][]float64{{7}})
+	if err != nil || total != 7 || assignment[0] != 0 {
+		t.Errorf("Solve([[7]]) = %v, %v, %v", assignment, total, err)
+	}
+}

@@ -1,0 +1,231 @@
+// Package kcenter implements fair k-center clustering for data
+// summarization (Kleindessner, Awasthi, Morgenstern — "Fair k-Center
+// Clustering for Data Summarization", 2019), surveyed as reference
+// [13] in the FairKM paper's Table 1.
+//
+// The fairness notion here is about the CENTERS, not the clusters: the
+// k chosen centers must contain a pre-specified number of points from
+// each sensitive group (e.g. a 70:30 male:female dataset summarized by
+// 10 representatives should pick 7 males and 3 females). The
+// implementation follows the greedy farthest-point traversal of
+// Gonzalez (a 2-approximation for vanilla k-center) with the
+// group-quota repair of Kleindessner et al.: run unconstrained
+// farthest-point first, then swap over-represented groups' centers for
+// the best same-cluster member of an under-represented group.
+package kcenter
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Config parameterizes a fair k-center run.
+type Config struct {
+	// K is the number of centers; required.
+	K int
+	// Attr names the categorical sensitive attribute the quotas apply
+	// to; required.
+	Attr string
+	// Quotas gives the required number of centers per attribute value,
+	// aligned with the attribute's Values order. Nil means quotas
+	// proportional to the dataset distribution (largest remainders).
+	Quotas []int
+	// Seed drives the initial center choice.
+	Seed int64
+}
+
+// Result is a completed fair k-center summarization.
+type Result struct {
+	// Centers holds the chosen representative row indexes.
+	Centers []int
+	// Assign maps each row to the index (into Centers) of its nearest
+	// chosen center.
+	Assign []int
+	// Radius is the k-center objective: the maximum distance from any
+	// point to its nearest center.
+	Radius float64
+	// Quotas is the per-value quota vector actually enforced.
+	Quotas []int
+}
+
+// Run selects k centers respecting the group quotas.
+func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
+	if ds == nil {
+		return nil, errors.New("kcenter: nil dataset")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("kcenter: %w", err)
+	}
+	s := ds.SensitiveByName(cfg.Attr)
+	if s == nil {
+		return nil, fmt.Errorf("kcenter: no sensitive attribute %q", cfg.Attr)
+	}
+	if s.Kind != dataset.Categorical {
+		return nil, fmt.Errorf("kcenter: attribute %q is not categorical", cfg.Attr)
+	}
+	n := ds.N()
+	if cfg.K < 1 || cfg.K > n {
+		return nil, fmt.Errorf("kcenter: K=%d out of range [1,%d]", cfg.K, n)
+	}
+
+	counts := make([]int, len(s.Values))
+	for _, c := range s.Codes {
+		counts[c]++
+	}
+	quotas := cfg.Quotas
+	if quotas == nil {
+		quotas = proportionalQuotas(counts, n, cfg.K)
+	}
+	if len(quotas) != len(s.Values) {
+		return nil, fmt.Errorf("kcenter: %d quotas for %d attribute values", len(quotas), len(s.Values))
+	}
+	totalQ := 0
+	for v, q := range quotas {
+		if q < 0 {
+			return nil, fmt.Errorf("kcenter: negative quota %d for value %q", q, s.Values[v])
+		}
+		if q > counts[v] {
+			return nil, fmt.Errorf("kcenter: quota %d for value %q exceeds its %d points", q, s.Values[v], counts[v])
+		}
+		totalQ += q
+	}
+	if totalQ != cfg.K {
+		return nil, fmt.Errorf("kcenter: quotas sum to %d, want K=%d", totalQ, cfg.K)
+	}
+
+	// Stage 1: Gonzalez farthest-point traversal, group-blind.
+	rng := stats.NewRNG(cfg.Seed)
+	centers := []int{rng.Intn(n)}
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = stats.Dist(ds.Features[i], ds.Features[centers[0]])
+	}
+	for len(centers) < cfg.K {
+		far, farD := 0, -1.0
+		for i, d := range minDist {
+			if d > farD {
+				far, farD = i, d
+			}
+		}
+		centers = append(centers, far)
+		for i := range minDist {
+			if d := stats.Dist(ds.Features[i], ds.Features[far]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+
+	// Stage 2: quota repair. While some group exceeds its quota, swap
+	// one of its centers for the nearest point of a deficient group.
+	have := make([]int, len(s.Values))
+	for _, c := range centers {
+		have[s.Codes[c]]++
+	}
+	isCenter := make([]bool, n)
+	for _, c := range centers {
+		isCenter[c] = true
+	}
+	for {
+		over, under := -1, -1
+		for v := range quotas {
+			if have[v] > quotas[v] {
+				over = v
+			}
+			if have[v] < quotas[v] {
+				under = v
+			}
+		}
+		if over == -1 && under == -1 {
+			break
+		}
+		if over == -1 || under == -1 {
+			return nil, errors.New("kcenter: internal error: unbalanced quota repair")
+		}
+		// Swap the over-group center whose best under-group replacement
+		// is closest (minimizing radius growth).
+		bestCi, bestRepl, bestD := -1, -1, math.Inf(1)
+		for ci, c := range centers {
+			if s.Codes[c] != over {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				if isCenter[i] || s.Codes[i] != under {
+					continue
+				}
+				if d := stats.Dist(ds.Features[c], ds.Features[i]); d < bestD {
+					bestCi, bestRepl, bestD = ci, i, d
+				}
+			}
+		}
+		if bestCi == -1 {
+			return nil, errors.New("kcenter: internal error: no repair candidate (quota feasibility was checked)")
+		}
+		isCenter[centers[bestCi]] = false
+		isCenter[bestRepl] = true
+		centers[bestCi] = bestRepl
+		have[over]--
+		have[under]++
+	}
+
+	// Final assignment and radius.
+	assign := make([]int, n)
+	radius := 0.0
+	for i := 0; i < n; i++ {
+		best, bestD := 0, math.Inf(1)
+		for ci, c := range centers {
+			if d := stats.Dist(ds.Features[i], ds.Features[c]); d < bestD {
+				best, bestD = ci, d
+			}
+		}
+		assign[i] = best
+		if bestD > radius {
+			radius = bestD
+		}
+	}
+	return &Result{Centers: centers, Assign: assign, Radius: radius, Quotas: quotas}, nil
+}
+
+// proportionalQuotas apportions k among values proportionally to their
+// counts using largest remainders (Hamilton's method), capping each
+// quota at the value's point count.
+func proportionalQuotas(counts []int, n, k int) []int {
+	quotas := make([]int, len(counts))
+	type rem struct {
+		v    int
+		frac float64
+	}
+	var rems []rem
+	assigned := 0
+	for v, c := range counts {
+		exact := float64(k) * float64(c) / float64(n)
+		quotas[v] = int(exact)
+		if quotas[v] > c {
+			quotas[v] = c
+		}
+		assigned += quotas[v]
+		rems = append(rems, rem{v, exact - float64(int(exact))})
+	}
+	// Distribute leftovers by largest remainder, respecting counts.
+	for assigned < k {
+		best := -1
+		for i, r := range rems {
+			if quotas[r.v] >= counts[r.v] {
+				continue
+			}
+			if best == -1 || r.frac > rems[best].frac {
+				best = i
+			}
+		}
+		if best == -1 {
+			break // k > n guarded by caller
+		}
+		quotas[rems[best].v]++
+		rems[best].frac = -1 // consume
+		assigned++
+	}
+	return quotas
+}

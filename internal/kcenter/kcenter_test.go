@@ -1,0 +1,160 @@
+package kcenter
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func summaryDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	b := dataset.NewBuilder("x", "y")
+	b.AddCategoricalSensitive("g")
+	rng := stats.NewRNG(7)
+	// 70 "m", 30 "f" spread over 4 spatial blobs.
+	for i := 0; i < 100; i++ {
+		v := "m"
+		if i%10 < 3 {
+			v = "f"
+		}
+		blob := float64(i % 4)
+		b.Row([]float64{rng.Gaussian(blob*5, 0.4), rng.Gaussian(0, 0.4)}, []string{v}, nil)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestProportionalQuotasEnforced(t *testing.T) {
+	ds := summaryDataset(t)
+	res, err := Run(ds, Config{K: 10, Attr: "g", Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	g := ds.SensitiveByName("g")
+	counts := map[string]int{}
+	for _, c := range res.Centers {
+		counts[g.Values[g.Codes[c]]]++
+	}
+	// 70:30 over 10 representatives → 7 m, 3 f.
+	if counts["m"] != 7 || counts["f"] != 3 {
+		t.Errorf("center mix = %v, want m:7 f:3", counts)
+	}
+}
+
+func TestExplicitQuotas(t *testing.T) {
+	ds := summaryDataset(t)
+	g := ds.SensitiveByName("g")
+	quotas := make([]int, 2)
+	for v, name := range g.Values {
+		if name == "f" {
+			quotas[v] = 5
+		} else {
+			quotas[v] = 5
+		}
+	}
+	res, err := Run(ds, Config{K: 10, Attr: "g", Quotas: quotas, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := make([]int, 2)
+	for _, c := range res.Centers {
+		have[g.Codes[c]]++
+	}
+	for v := range quotas {
+		if have[v] != quotas[v] {
+			t.Errorf("value %s: %d centers, want %d", g.Values[v], have[v], quotas[v])
+		}
+	}
+}
+
+func TestRadiusCoversAllPoints(t *testing.T) {
+	ds := summaryDataset(t)
+	res, err := Run(ds, Config{K: 8, Attr: "g", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.N(); i++ {
+		d := stats.Dist(ds.Features[i], ds.Features[res.Centers[res.Assign[i]]])
+		if d > res.Radius+1e-9 {
+			t.Fatalf("point %d at distance %v exceeds radius %v", i, d, res.Radius)
+		}
+	}
+	// With 4 blobs of radius ~1 and k=8, the radius must be on the
+	// within-blob scale, not the between-blob scale.
+	if res.Radius > 3 {
+		t.Errorf("radius %v too large; centers likely mis-placed", res.Radius)
+	}
+}
+
+func TestCentersDistinct(t *testing.T) {
+	ds := summaryDataset(t)
+	res, err := Run(ds, Config{K: 10, Attr: "g", Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range res.Centers {
+		if seen[c] {
+			t.Fatalf("duplicate center %d", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestErrors(t *testing.T) {
+	ds := summaryDataset(t)
+	if _, err := Run(nil, Config{K: 3, Attr: "g"}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := Run(ds, Config{K: 0, Attr: "g"}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Run(ds, Config{K: 3, Attr: "nope"}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := Run(ds, Config{K: 3, Attr: "g", Quotas: []int{1}}); err == nil {
+		t.Error("wrong quota arity accepted")
+	}
+	if _, err := Run(ds, Config{K: 3, Attr: "g", Quotas: []int{1, 1}}); err == nil {
+		t.Error("quota sum != K accepted")
+	}
+	if _, err := Run(ds, Config{K: 3, Attr: "g", Quotas: []int{-1, 4}}); err == nil {
+		t.Error("negative quota accepted")
+	}
+	// Quota exceeding the group's population.
+	b := dataset.NewBuilder("x")
+	b.AddCategoricalSensitive("g")
+	b.Row([]float64{0}, []string{"a"}, nil)
+	b.Row([]float64{1}, []string{"b"}, nil)
+	b.Row([]float64{2}, []string{"b"}, nil)
+	small, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := small.SensitiveByName("g")
+	q := make([]int, 2)
+	for v, name := range g.Values {
+		if name == "a" {
+			q[v] = 2
+		}
+	}
+	if _, err := Run(small, Config{K: 2, Attr: "g", Quotas: q}); err == nil {
+		t.Error("over-population quota accepted")
+	}
+}
+
+func TestProportionalQuotasHelper(t *testing.T) {
+	q := proportionalQuotas([]int{70, 30}, 100, 10)
+	if q[0] != 7 || q[1] != 3 {
+		t.Errorf("quotas = %v, want [7 3]", q)
+	}
+	// Remainders: 50/50 over k=3 → 2:1 or 1:2, sum 3.
+	q2 := proportionalQuotas([]int{50, 50}, 100, 3)
+	if q2[0]+q2[1] != 3 {
+		t.Errorf("quotas %v do not sum to 3", q2)
+	}
+}

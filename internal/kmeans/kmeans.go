@@ -1,0 +1,262 @@
+// Package kmeans implements classical K-Means clustering (Lloyd's
+// algorithm) with k-means++ and random initialization.
+//
+// In this repository it plays two roles: it is the S-blind baseline
+// "K-Means(N)" from the paper's evaluation (Section 5.3), and its
+// initialization routines seed FairKM and ZGYA so all methods start from
+// comparable configurations.
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// InitMethod selects how initial clusters are chosen.
+type InitMethod int
+
+const (
+	// KMeansPlusPlus picks initial centroids with the k-means++
+	// D²-weighting scheme (Arthur & Vassilvitskii 2007).
+	KMeansPlusPlus InitMethod = iota
+	// RandomPartition assigns every point to a uniformly random cluster,
+	// matching "Initialize k clusters randomly" in FairKM's Algorithm 1.
+	RandomPartition
+	// RandomPoints picks k distinct data points as initial centroids.
+	RandomPoints
+)
+
+// String implements fmt.Stringer.
+func (m InitMethod) String() string {
+	switch m {
+	case KMeansPlusPlus:
+		return "kmeans++"
+	case RandomPartition:
+		return "random-partition"
+	case RandomPoints:
+		return "random-points"
+	default:
+		return fmt.Sprintf("InitMethod(%d)", int(m))
+	}
+}
+
+// Config parameterizes a K-Means run.
+type Config struct {
+	// K is the number of clusters; required, 1 <= K <= n.
+	K int
+	// MaxIter bounds Lloyd iterations. Zero means the default of 100.
+	MaxIter int
+	// Seed drives initialization.
+	Seed int64
+	// Init selects the initialization method.
+	Init InitMethod
+	// Tol stops iteration when the objective improves by less than Tol
+	// between iterations. Zero means exact convergence (no change in
+	// assignments).
+	Tol float64
+}
+
+// DefaultMaxIter is used when Config.MaxIter is zero.
+const DefaultMaxIter = 100
+
+// Result is a completed clustering.
+type Result struct {
+	// Assign maps each row to its cluster in [0, K).
+	Assign []int
+	// Centroids holds the K cluster means over the feature space.
+	// Empty clusters have zero-vector centroids.
+	Centroids [][]float64
+	// Sizes holds per-cluster cardinalities.
+	Sizes []int
+	// Objective is the final K-Means SSE (Eq. 24 in the paper).
+	Objective float64
+	// Iterations is the number of Lloyd iterations executed.
+	Iterations int
+	// Converged reports whether assignments stabilized before MaxIter.
+	Converged bool
+}
+
+// K returns the number of clusters in the result.
+func (r *Result) K() int { return len(r.Centroids) }
+
+// Run clusters the given feature rows. It returns an error for invalid
+// configurations (K out of range, ragged or empty input).
+func Run(features [][]float64, cfg Config) (*Result, error) {
+	n := len(features)
+	if n == 0 {
+		return nil, errors.New("kmeans: empty dataset")
+	}
+	dim := len(features[0])
+	for i, row := range features {
+		if len(row) != dim {
+			return nil, fmt.Errorf("kmeans: row %d has %d features, want %d", i, len(row), dim)
+		}
+	}
+	if cfg.K < 1 || cfg.K > n {
+		return nil, fmt.Errorf("kmeans: K=%d out of range [1,%d]", cfg.K, n)
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	rng := stats.NewRNG(cfg.Seed)
+
+	assign := make([]int, n)
+	centroids := make([][]float64, cfg.K)
+	switch cfg.Init {
+	case RandomPartition:
+		randomPartition(rng, assign, cfg.K)
+		centroids = computeCentroids(features, assign, cfg.K)
+	case RandomPoints:
+		for i, p := range rng.SampleWithoutReplacement(n, cfg.K) {
+			centroids[i] = stats.Clone(features[p])
+		}
+		assignAll(features, centroids, assign)
+	default: // KMeansPlusPlus
+		centroids = PlusPlusCentroids(features, cfg.K, rng)
+		assignAll(features, centroids, assign)
+	}
+
+	res := &Result{Assign: assign}
+	prevObj := math.Inf(1)
+	for iter := 1; iter <= maxIter; iter++ {
+		res.Iterations = iter
+		centroids = computeCentroids(features, assign, cfg.K)
+		changed := assignAll(features, centroids, assign)
+		obj := SSE(features, assign, centroids)
+		if changed == 0 {
+			res.Converged = true
+		}
+		if cfg.Tol > 0 && prevObj-obj < cfg.Tol {
+			res.Converged = true
+		}
+		prevObj = obj
+		if res.Converged {
+			break
+		}
+	}
+	res.Centroids = computeCentroids(features, assign, cfg.K)
+	res.Sizes = Sizes(assign, cfg.K)
+	res.Objective = SSE(features, assign, res.Centroids)
+	return res, nil
+}
+
+// randomPartition fills assign uniformly at random, then repairs any
+// empty cluster by stealing a random point, so every cluster is
+// non-empty when n >= k.
+func randomPartition(rng *stats.RNG, assign []int, k int) {
+	for i := range assign {
+		assign[i] = rng.Intn(k)
+	}
+	sizes := Sizes(assign, k)
+	for c := 0; c < k; c++ {
+		for sizes[c] == 0 {
+			i := rng.Intn(len(assign))
+			if sizes[assign[i]] > 1 {
+				sizes[assign[i]]--
+				assign[i] = c
+				sizes[c]++
+			}
+		}
+	}
+}
+
+// PlusPlusCentroids returns k centroids chosen by the k-means++
+// D²-sampling procedure.
+func PlusPlusCentroids(features [][]float64, k int, rng *stats.RNG) [][]float64 {
+	n := len(features)
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centroids = append(centroids, stats.Clone(features[first]))
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = stats.SqDist(features[i], centroids[0])
+	}
+	for len(centroids) < k {
+		total := stats.Sum(d2)
+		var next int
+		if total <= 0 {
+			// All remaining points coincide with chosen centroids; fall
+			// back to uniform choice to keep the procedure total.
+			next = rng.Intn(n)
+		} else {
+			next = rng.Categorical(d2)
+		}
+		c := stats.Clone(features[next])
+		centroids = append(centroids, c)
+		for i := range d2 {
+			if d := stats.SqDist(features[i], c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// assignAll reassigns every point to its nearest centroid, returning how
+// many assignments changed.
+func assignAll(features [][]float64, centroids [][]float64, assign []int) int {
+	changed := 0
+	for i, x := range features {
+		best, bestD := 0, math.Inf(1)
+		for c, cen := range centroids {
+			if d := stats.SqDist(x, cen); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if assign[i] != best {
+			assign[i] = best
+			changed++
+		}
+	}
+	return changed
+}
+
+// computeCentroids returns the per-cluster feature means. Empty clusters
+// get zero vectors.
+func computeCentroids(features [][]float64, assign []int, k int) [][]float64 {
+	dim := len(features[0])
+	sums := make([][]float64, k)
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+	counts := make([]int, k)
+	for i, x := range features {
+		stats.AddTo(sums[assign[i]], x)
+		counts[assign[i]]++
+	}
+	for c := range sums {
+		if counts[c] > 0 {
+			stats.Scale(sums[c], 1/float64(counts[c]))
+		}
+	}
+	return sums
+}
+
+// Centroids exposes centroid computation for other packages (metrics,
+// FairKM tests).
+func Centroids(features [][]float64, assign []int, k int) [][]float64 {
+	return computeCentroids(features, assign, k)
+}
+
+// SSE returns the K-Means objective: the summed squared distance of each
+// point to its cluster centroid (Eq. 24).
+func SSE(features [][]float64, assign []int, centroids [][]float64) float64 {
+	s := 0.0
+	for i, x := range features {
+		s += stats.SqDist(x, centroids[assign[i]])
+	}
+	return s
+}
+
+// Sizes returns per-cluster cardinalities for an assignment.
+func Sizes(assign []int, k int) []int {
+	sizes := make([]int, k)
+	for _, c := range assign {
+		sizes[c]++
+	}
+	return sizes
+}

@@ -1,0 +1,123 @@
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// RunWeighted clusters weighted points: the objective is
+// Σ_i w_i·‖x_i − μ_{assign(i)}‖² and centroids are weighted means.
+// It is the substrate for coreset-based clustering (internal/coreset),
+// where each retained point stands for w_i original points. Weights
+// must be positive and finite.
+func RunWeighted(features [][]float64, weights []float64, cfg Config) (*Result, error) {
+	n := len(features)
+	if n == 0 {
+		return nil, errors.New("kmeans: empty dataset")
+	}
+	if len(weights) != n {
+		return nil, fmt.Errorf("kmeans: %d weights for %d points", len(weights), n)
+	}
+	for i, w := range weights {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("kmeans: weight[%d] = %v must be positive and finite", i, w)
+		}
+	}
+	dim := len(features[0])
+	for i, row := range features {
+		if len(row) != dim {
+			return nil, fmt.Errorf("kmeans: row %d has %d features, want %d", i, len(row), dim)
+		}
+	}
+	if cfg.K < 1 || cfg.K > n {
+		return nil, fmt.Errorf("kmeans: K=%d out of range [1,%d]", cfg.K, n)
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	rng := stats.NewRNG(cfg.Seed)
+
+	// Initialization: weighted k-means++ (D² values scaled by weight).
+	centroids := weightedPlusPlus(features, weights, cfg.K, rng)
+	assign := make([]int, n)
+	assignAll(features, centroids, assign)
+
+	res := &Result{Assign: assign}
+	for iter := 1; iter <= maxIter; iter++ {
+		res.Iterations = iter
+		centroids = weightedCentroids(features, weights, assign, cfg.K)
+		if assignAll(features, centroids, assign) == 0 {
+			res.Converged = true
+			break
+		}
+	}
+	res.Centroids = weightedCentroids(features, weights, assign, cfg.K)
+	res.Sizes = Sizes(assign, cfg.K)
+	res.Objective = WeightedSSE(features, weights, assign, res.Centroids)
+	return res, nil
+}
+
+// weightedPlusPlus is k-means++ with weight-scaled D² sampling.
+func weightedPlusPlus(features [][]float64, weights []float64, k int, rng *stats.RNG) [][]float64 {
+	n := len(features)
+	first := rng.Categorical(weights)
+	centroids := [][]float64{stats.Clone(features[first])}
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = weights[i] * stats.SqDist(features[i], centroids[0])
+	}
+	for len(centroids) < k {
+		var next int
+		if stats.Sum(d2) <= 0 {
+			next = rng.Intn(n)
+		} else {
+			next = rng.Categorical(d2)
+		}
+		c := stats.Clone(features[next])
+		centroids = append(centroids, c)
+		for i := range d2 {
+			if d := weights[i] * stats.SqDist(features[i], c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// weightedCentroids computes per-cluster weighted means; empty clusters
+// get zero vectors.
+func weightedCentroids(features [][]float64, weights []float64, assign []int, k int) [][]float64 {
+	dim := len(features[0])
+	sums := make([][]float64, k)
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+	mass := make([]float64, k)
+	for i, x := range features {
+		w := weights[i]
+		c := assign[i]
+		for j, v := range x {
+			sums[c][j] += w * v
+		}
+		mass[c] += w
+	}
+	for c := range sums {
+		if mass[c] > 0 {
+			stats.Scale(sums[c], 1/mass[c])
+		}
+	}
+	return sums
+}
+
+// WeightedSSE returns the weighted K-Means objective.
+func WeightedSSE(features [][]float64, weights []float64, assign []int, centroids [][]float64) float64 {
+	s := 0.0
+	for i, x := range features {
+		s += weights[i] * stats.SqDist(x, centroids[assign[i]])
+	}
+	return s
+}

@@ -1,0 +1,295 @@
+// Package lp implements a dense two-phase simplex solver for linear
+// programs in inequality form:
+//
+//	minimize    c·x
+//	subject to  A_i·x (≤ | = | ≥) b_i   for each row i
+//	            x ≥ 0
+//
+// There is no LP-solver ecosystem available offline, so this solver is
+// written from scratch; it underlies the Bera et al. fair-assignment
+// baseline (internal/bera). It uses Bland's pivoting rule, which makes
+// termination guaranteed (no cycling) at the cost of speed — fine for
+// the problem sizes the baselines produce.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparator.
+type Op int
+
+const (
+	// LE is A_i·x ≤ b_i.
+	LE Op = iota
+	// EQ is A_i·x = b_i.
+	EQ
+	// GE is A_i·x ≥ b_i.
+	GE
+)
+
+// Problem is a linear program. All slices must agree on dimensions:
+// len(A) == len(B) == len(Ops), and every A row has len(C) entries.
+type Problem struct {
+	// C is the objective (minimized).
+	C []float64
+	// A holds constraint coefficient rows.
+	A [][]float64
+	// Ops holds one comparator per constraint row.
+	Ops []Op
+	// B holds right-hand sides.
+	B []float64
+}
+
+// Status reports how solving ended.
+type Status int
+
+const (
+	// Optimal: an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible: the constraints admit no solution.
+	Infeasible
+	// Unbounded: the objective decreases without bound.
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the solver output. X and Objective are meaningful only
+// when Status == Optimal.
+type Solution struct {
+	X         []float64
+	Objective float64
+	Status    Status
+}
+
+const eps = 1e-9
+
+// Solve runs two-phase simplex on the problem.
+func Solve(p Problem) (*Solution, error) {
+	n := len(p.C)
+	m := len(p.A)
+	if n == 0 {
+		return nil, errors.New("lp: empty objective")
+	}
+	if len(p.B) != m || len(p.Ops) != m {
+		return nil, fmt.Errorf("lp: %d constraint rows, %d rhs, %d ops", m, len(p.B), len(p.Ops))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return nil, fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+
+	// Normalize to b >= 0 by negating rows, flipping comparators.
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	ops := make([]Op, m)
+	for i := range p.A {
+		a[i] = append([]float64(nil), p.A[i]...)
+		b[i] = p.B[i]
+		ops[i] = p.Ops[i]
+		if b[i] < 0 {
+			for j := range a[i] {
+				a[i][j] = -a[i][j]
+			}
+			b[i] = -b[i]
+			switch ops[i] {
+			case LE:
+				ops[i] = GE
+			case GE:
+				ops[i] = LE
+			}
+		}
+	}
+
+	// Count auxiliary columns: slack for LE, surplus+artificial for GE,
+	// artificial for EQ.
+	nSlack, nArt := 0, 0
+	for _, op := range ops {
+		switch op {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	// Tableau: m rows of [coefficients | rhs].
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	slackCol, artCol := n, n+nSlack
+	artRows := []int{}
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, total+1)
+		copy(t[i], a[i])
+		t[i][total] = b[i]
+		switch ops[i] {
+		case LE:
+			t[i][slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case GE:
+			t[i][slackCol] = -1
+			slackCol++
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+			artRows = append(artRows, i)
+		case EQ:
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+		default:
+			return nil, fmt.Errorf("lp: constraint %d has unknown op %d", i, ops[i])
+		}
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	if nArt > 0 {
+		phase1 := make([]float64, total)
+		for j := n + nSlack; j < total; j++ {
+			phase1[j] = 1
+		}
+		obj, status := simplex(t, basis, phase1, total)
+		if status == Unbounded {
+			return nil, errors.New("lp: phase 1 unbounded (internal error)")
+		}
+		if obj > eps {
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Drive any remaining artificial variables out of the basis.
+		for i := range basis {
+			if basis[i] < n+nSlack {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(t[i][j]) > eps {
+					pivot(t, basis, i, j, total)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Row is all-zero over real variables: redundant
+				// constraint; the artificial stays basic at value 0,
+				// which is harmless.
+				_ = pivoted
+			}
+		}
+	}
+
+	// Phase 2: minimize the true objective over columns [0, n+nSlack),
+	// keeping artificial columns blocked.
+	phase2 := make([]float64, total)
+	copy(phase2, p.C)
+	blockArtificials(t, total, n+nSlack)
+	obj, status := simplex(t, basis, phase2, total)
+	if status == Unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for i, bv := range basis {
+		if bv < n {
+			x[bv] = t[i][total]
+		}
+	}
+	return &Solution{X: x, Objective: obj, Status: Optimal}, nil
+}
+
+// blockArtificials zeroes artificial columns so phase 2 can never
+// re-introduce them.
+func blockArtificials(t [][]float64, total, realCols int) {
+	for i := range t {
+		for j := realCols; j < total; j++ {
+			t[i][j] = 0
+		}
+	}
+}
+
+// simplex minimizes c over the tableau with Bland's rule. It returns
+// the objective value and Optimal or Unbounded.
+func simplex(t [][]float64, basis []int, c []float64, total int) (float64, Status) {
+	m := len(t)
+	// Reduced costs: z_j = c_j − c_B·B⁻¹A_j, maintained implicitly by
+	// recomputation each iteration (dense and simple; fine at our
+	// problem sizes).
+	for iter := 0; ; iter++ {
+		// Compute reduced costs.
+		entering := -1
+		for j := 0; j < total; j++ {
+			r := c[j]
+			for i := 0; i < m; i++ {
+				r -= c[basis[i]] * t[i][j]
+			}
+			if r < -eps {
+				entering = j // Bland: first improving column
+				break
+			}
+		}
+		if entering == -1 {
+			obj := 0.0
+			for i := 0; i < m; i++ {
+				obj += c[basis[i]] * t[i][total]
+			}
+			return obj, Optimal
+		}
+		// Ratio test with Bland tie-break on smallest basis index.
+		leaving := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][entering] > eps {
+				ratio := t[i][total] / t[i][entering]
+				if ratio < bestRatio-eps ||
+					(math.Abs(ratio-bestRatio) <= eps && (leaving == -1 || basis[i] < basis[leaving])) {
+					bestRatio = ratio
+					leaving = i
+				}
+			}
+		}
+		if leaving == -1 {
+			return 0, Unbounded
+		}
+		pivot(t, basis, leaving, entering, total)
+	}
+}
+
+// pivot makes column j basic in row i.
+func pivot(t [][]float64, basis []int, i, j, total int) {
+	pv := t[i][j]
+	for col := 0; col <= total; col++ {
+		t[i][col] /= pv
+	}
+	for row := range t {
+		if row == i {
+			continue
+		}
+		factor := t[row][j]
+		if factor == 0 {
+			continue
+		}
+		for col := 0; col <= total; col++ {
+			t[row][col] -= factor * t[i][col]
+		}
+	}
+	basis[i] = j
+}

@@ -1,0 +1,209 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func solveOK(t *testing.T, p Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func TestTextbookMaximization(t *testing.T) {
+	// max 3x+5y s.t. x<=4, 2y<=12, 3x+2y<=18  (classic Dantzig example)
+	// => min -3x-5y; optimum x=2, y=6, value 36.
+	s := solveOK(t, Problem{
+		C: []float64{-3, -5},
+		A: [][]float64{
+			{1, 0},
+			{0, 2},
+			{3, 2},
+		},
+		Ops: []Op{LE, LE, LE},
+		B:   []float64{4, 12, 18},
+	})
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.Objective-(-36)) > 1e-6 {
+		t.Errorf("objective = %v, want -36", s.Objective)
+	}
+	if math.Abs(s.X[0]-2) > 1e-6 || math.Abs(s.X[1]-6) > 1e-6 {
+		t.Errorf("x = %v, want [2 6]", s.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min x+2y s.t. x+y=10, x>=3, y>=2 → x=8,y=2, value 12.
+	s := solveOK(t, Problem{
+		C: []float64{1, 2},
+		A: [][]float64{
+			{1, 1},
+			{1, 0},
+			{0, 1},
+		},
+		Ops: []Op{EQ, GE, GE},
+		B:   []float64{10, 3, 2},
+	})
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.Objective-12) > 1e-6 {
+		t.Errorf("objective = %v, want 12", s.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= 1 and x >= 2.
+	s := solveOK(t, Problem{
+		C:   []float64{1},
+		A:   [][]float64{{1}, {1}},
+		Ops: []Op{LE, GE},
+		B:   []float64{1, 2},
+	})
+	if s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x with only x >= 0 and x >= 1: unbounded below.
+	s := solveOK(t, Problem{
+		C:   []float64{-1},
+		A:   [][]float64{{1}},
+		Ops: []Op{GE},
+		B:   []float64{1},
+	})
+	if s.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// -x <= -2 is x >= 2; min x → 2.
+	s := solveOK(t, Problem{
+		C:   []float64{1},
+		A:   [][]float64{{-1}},
+		Ops: []Op{LE},
+		B:   []float64{-2},
+	})
+	if s.Status != Optimal || math.Abs(s.Objective-2) > 1e-6 {
+		t.Errorf("got %v obj %v, want optimal 2", s.Status, s.Objective)
+	}
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// Beale's classic cycling example (cycles under Dantzig's rule,
+	// must terminate under Bland's).
+	s := solveOK(t, Problem{
+		C: []float64{-0.75, 150, -0.02, 6},
+		A: [][]float64{
+			{0.25, -60, -0.04, 9},
+			{0.5, -90, -0.02, 3},
+			{0, 0, 1, 0},
+		},
+		Ops: []Op{LE, LE, LE},
+		B:   []float64{0, 0, 1},
+	})
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.Objective-(-0.05)) > 1e-6 {
+		t.Errorf("objective = %v, want -0.05", s.Objective)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Solve(Problem{}); err == nil {
+		t.Error("empty problem accepted")
+	}
+	if _, err := Solve(Problem{C: []float64{1}, A: [][]float64{{1, 2}}, Ops: []Op{LE}, B: []float64{1}}); err == nil {
+		t.Error("ragged constraint accepted")
+	}
+	if _, err := Solve(Problem{C: []float64{1}, A: [][]float64{{1}}, Ops: []Op{LE}, B: []float64{1, 2}}); err == nil {
+		t.Error("rhs length mismatch accepted")
+	}
+}
+
+// TestRandomProblemsAgainstVertexEnumeration cross-checks the simplex
+// against brute-force enumeration of constraint-intersection vertices
+// on random bounded 2-variable LPs.
+func TestRandomProblemsAgainstVertexEnumeration(t *testing.T) {
+	rng := stats.NewRNG(9)
+	for trial := 0; trial < 300; trial++ {
+		// Random LE constraints with positive rhs keep the origin
+		// feasible; a box keeps the problem bounded.
+		m := 2 + rng.Intn(4)
+		p := Problem{C: []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2}}
+		for i := 0; i < m; i++ {
+			p.A = append(p.A, []float64{rng.Float64()*2 - 0.5, rng.Float64()*2 - 0.5})
+			p.Ops = append(p.Ops, LE)
+			p.B = append(p.B, rng.Float64()*3+0.5)
+		}
+		p.A = append(p.A, []float64{1, 0}, []float64{0, 1})
+		p.Ops = append(p.Ops, LE, LE)
+		p.B = append(p.B, 5, 5)
+
+		s := solveOK(t, p)
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v for a feasible bounded LP", trial, s.Status)
+		}
+		want := bruteForce2D(p)
+		if math.Abs(s.Objective-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: simplex %v, vertex enumeration %v", trial, s.Objective, want)
+		}
+		// The returned point must be feasible.
+		for i := range p.A {
+			lhs := p.A[i][0]*s.X[0] + p.A[i][1]*s.X[1]
+			if lhs > p.B[i]+1e-6 {
+				t.Fatalf("trial %d: solution violates constraint %d: %v > %v", trial, i, lhs, p.B[i])
+			}
+		}
+	}
+}
+
+// bruteForce2D enumerates all pairwise constraint intersections (plus
+// axes) and returns the best feasible objective.
+func bruteForce2D(p Problem) float64 {
+	type line struct{ a, b, c float64 } // a·x + b·y = c
+	var lines []line
+	for i := range p.A {
+		lines = append(lines, line{p.A[i][0], p.A[i][1], p.B[i]})
+	}
+	lines = append(lines, line{1, 0, 0}, line{0, 1, 0}) // x=0, y=0
+	feasible := func(x, y float64) bool {
+		if x < -1e-9 || y < -1e-9 {
+			return false
+		}
+		for i := range p.A {
+			if p.A[i][0]*x+p.A[i][1]*y > p.B[i]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	best := math.Inf(1)
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			det := lines[i].a*lines[j].b - lines[j].a*lines[i].b
+			if math.Abs(det) < 1e-12 {
+				continue
+			}
+			x := (lines[i].c*lines[j].b - lines[j].c*lines[i].b) / det
+			y := (lines[i].a*lines[j].c - lines[j].a*lines[i].c) / det
+			if feasible(x, y) {
+				if v := p.C[0]*x + p.C[1]*y; v < best {
+					best = v
+				}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,151 @@
+// Package mcmf implements minimum-cost maximum-flow on directed graphs
+// with integer capacities and float64 costs, using successive shortest
+// augmenting paths with SPFA (Bellman-Ford queue) path search.
+//
+// It is the substrate for fairlet decomposition (internal/fairlet),
+// whose (1,t)-fairlets are the min-cost assignment of majority-class
+// points to minority-class points under degree bounds. SPFA tolerates
+// the negative reduced costs that appear after the lower-bound
+// transformation fairlet decomposition uses.
+package mcmf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Graph is a flow network under construction. Nodes are integers
+// [0, n). Add edges with AddEdge, then call MinCostFlow.
+type Graph struct {
+	n     int
+	heads []int // per-node index of first edge in edges, -1 sentinel
+	next  []int
+	to    []int
+	cap   []int
+	cost  []float64
+}
+
+// New returns an empty graph with n nodes.
+func New(n int) *Graph {
+	if n <= 0 {
+		panic(fmt.Sprintf("mcmf: non-positive node count %d", n))
+	}
+	heads := make([]int, n)
+	for i := range heads {
+		heads[i] = -1
+	}
+	return &Graph{n: n, heads: heads}
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge adds a directed edge u→v with the given capacity and
+// per-unit cost (its residual reverse edge is added automatically).
+// It returns the edge id, usable with Flow after solving.
+func (g *Graph) AddEdge(u, v, capacity int, cost float64) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("mcmf: edge (%d,%d) outside [0,%d)", u, v, g.n))
+	}
+	if capacity < 0 {
+		panic(fmt.Sprintf("mcmf: negative capacity %d", capacity))
+	}
+	id := len(g.to)
+	// Forward edge.
+	g.to = append(g.to, v)
+	g.cap = append(g.cap, capacity)
+	g.cost = append(g.cost, cost)
+	g.next = append(g.next, g.heads[u])
+	g.heads[u] = id
+	// Residual edge.
+	g.to = append(g.to, u)
+	g.cap = append(g.cap, 0)
+	g.cost = append(g.cost, -cost)
+	g.next = append(g.next, g.heads[v])
+	g.heads[v] = id + 1
+	return id
+}
+
+// Flow returns the flow routed through the edge returned by AddEdge,
+// valid after MinCostFlow.
+func (g *Graph) Flow(edgeID int) int {
+	return g.cap[edgeID^1]
+}
+
+// MinCostFlow pushes up to maxFlow units from s to t along successive
+// cheapest paths, returning the total flow pushed and its cost. Pass
+// maxFlow < 0 for "as much as possible". An error is returned if a
+// negative-cost cycle is reachable (malformed input).
+func (g *Graph) MinCostFlow(s, t, maxFlow int) (flow int, cost float64, err error) {
+	if s < 0 || s >= g.n || t < 0 || t >= g.n {
+		return 0, 0, fmt.Errorf("mcmf: terminals (%d,%d) outside [0,%d)", s, t, g.n)
+	}
+	if s == t {
+		return 0, 0, errors.New("mcmf: source equals sink")
+	}
+	if maxFlow < 0 {
+		maxFlow = math.MaxInt
+	}
+	dist := make([]float64, g.n)
+	inQueue := make([]bool, g.n)
+	prevEdge := make([]int, g.n)
+	visits := make([]int, g.n)
+
+	for flow < maxFlow {
+		// SPFA from s.
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevEdge[i] = -1
+			visits[i] = 0
+			inQueue[i] = false
+		}
+		dist[s] = 0
+		queue := []int{s}
+		inQueue[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			inQueue[u] = false
+			visits[u]++
+			if visits[u] > g.n+1 {
+				return flow, cost, errors.New("mcmf: negative-cost cycle detected")
+			}
+			for e := g.heads[u]; e != -1; e = g.next[e] {
+				if g.cap[e] <= 0 {
+					continue
+				}
+				v := g.to[e]
+				if nd := dist[u] + g.cost[e]; nd < dist[v]-1e-12 {
+					dist[v] = nd
+					prevEdge[v] = e
+					if !inQueue[v] {
+						queue = append(queue, v)
+						inQueue[v] = true
+					}
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			break // no augmenting path
+		}
+		// Bottleneck along the path.
+		push := maxFlow - flow
+		for v := t; v != s; {
+			e := prevEdge[v]
+			if g.cap[e] < push {
+				push = g.cap[e]
+			}
+			v = g.to[e^1]
+		}
+		for v := t; v != s; {
+			e := prevEdge[v]
+			g.cap[e] -= push
+			g.cap[e^1] += push
+			v = g.to[e^1]
+		}
+		flow += push
+		cost += float64(push) * dist[t]
+	}
+	return flow, cost, nil
+}

@@ -1,0 +1,177 @@
+package mcmf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hungarian"
+	"repro/internal/stats"
+)
+
+func TestSimplePath(t *testing.T) {
+	// s→a→t with caps 3,2: max flow 2, cost 2*(1+1)=4.
+	g := New(3)
+	g.AddEdge(0, 1, 3, 1)
+	g.AddEdge(1, 2, 2, 1)
+	flow, cost, err := g.MinCostFlow(0, 2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 2 || math.Abs(cost-4) > 1e-12 {
+		t.Errorf("flow=%d cost=%v, want 2/4", flow, cost)
+	}
+}
+
+func TestPrefersCheaperPath(t *testing.T) {
+	// Two parallel 1-cap paths with costs 1 and 5; asking for 1 unit
+	// must use the cheap one.
+	g := New(4)
+	g.AddEdge(0, 1, 1, 1)
+	g.AddEdge(1, 3, 1, 0)
+	g.AddEdge(0, 2, 1, 5)
+	g.AddEdge(2, 3, 1, 0)
+	flow, cost, err := g.MinCostFlow(0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 1 || math.Abs(cost-1) > 1e-12 {
+		t.Errorf("flow=%d cost=%v, want 1/1", flow, cost)
+	}
+	// Second unit must take the expensive path.
+	flow2, cost2, err := g.MinCostFlow(0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow2 != 1 || math.Abs(cost2-5) > 1e-12 {
+		t.Errorf("second unit flow=%d cost=%v, want 1/5", flow2, cost2)
+	}
+}
+
+func TestFlowCap(t *testing.T) {
+	g := New(2)
+	e := g.AddEdge(0, 1, 10, 2)
+	flow, cost, err := g.MinCostFlow(0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 4 || math.Abs(cost-8) > 1e-12 {
+		t.Errorf("flow=%d cost=%v, want 4/8", flow, cost)
+	}
+	if g.Flow(e) != 4 {
+		t.Errorf("edge flow = %d, want 4", g.Flow(e))
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1, 1)
+	flow, cost, err := g.MinCostFlow(0, 2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 0 || cost != 0 {
+		t.Errorf("flow=%d cost=%v, want 0/0", flow, cost)
+	}
+}
+
+func TestErrorsAndPanics(t *testing.T) {
+	g := New(2)
+	if _, _, err := g.MinCostFlow(0, 0, -1); err == nil {
+		t.Error("s==t accepted")
+	}
+	if _, _, err := g.MinCostFlow(-1, 1, -1); err == nil {
+		t.Error("bad source accepted")
+	}
+	for name, f := range map[string]func(){
+		"bad node":     func() { g.AddEdge(0, 5, 1, 0) },
+		"negative cap": func() { g.AddEdge(0, 1, -1, 0) },
+		"zero nodes":   func() { New(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestAssignmentAgainstHungarian: min-cost flow on a complete bipartite
+// unit-capacity graph solves the assignment problem; cross-check with
+// the Hungarian solver on random instances.
+func TestAssignmentAgainstHungarian(t *testing.T) {
+	rng := stats.NewRNG(4)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(7)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = rng.Float64() * 10
+			}
+		}
+		_, want, err := hungarian.Solve(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Nodes: 0=s, 1..n rows, n+1..2n cols, 2n+1=t.
+		g := New(2*n + 2)
+		s, tt := 0, 2*n+1
+		for i := 0; i < n; i++ {
+			g.AddEdge(s, 1+i, 1, 0)
+			g.AddEdge(n+1+i, tt, 1, 0)
+			for j := 0; j < n; j++ {
+				g.AddEdge(1+i, n+1+j, 1, cost[i][j])
+			}
+		}
+		flow, got, err := g.MinCostFlow(s, tt, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flow != n {
+			t.Fatalf("trial %d: flow %d, want %d", trial, flow, n)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: MCMF %v, Hungarian %v", trial, got, want)
+		}
+	}
+}
+
+// TestFlowConservation: on a random graph, inflow must equal outflow at
+// every interior node after solving.
+func TestFlowConservation(t *testing.T) {
+	rng := stats.NewRNG(12)
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(8)
+		g := New(n)
+		type edge struct{ id, u, v int }
+		var edges []edge
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			id := g.AddEdge(u, v, 1+rng.Intn(5), rng.Float64()*4)
+			edges = append(edges, edge{id, u, v})
+		}
+		if _, _, err := g.MinCostFlow(0, n-1, -1); err != nil {
+			t.Fatal(err)
+		}
+		net := make([]int, n)
+		for _, e := range edges {
+			f := g.Flow(e.id)
+			net[e.u] -= f
+			net[e.v] += f
+		}
+		for v := 1; v < n-1; v++ {
+			if net[v] != 0 {
+				t.Fatalf("trial %d: node %d violates conservation: net %d", trial, v, net[v])
+			}
+		}
+		if net[0] != -net[n-1] {
+			t.Fatalf("trial %d: source/sink imbalance: %d vs %d", trial, net[0], net[n-1])
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Agreement measures between two labelings (e.g. clusters vs ground-
+// truth problem types). These supplement the paper's measures: they
+// quantify how much of the sensitive structure a clustering recovers,
+// which is the flip side of fairness — a perfectly fair clustering has
+// near-zero agreement with the sensitive labeling.
+
+// contingency builds the k1×k2 joint count table plus marginals.
+func contingency(a, b []int, k1, k2 int) (table [][]float64, ma, mb []float64, n float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metrics: labeling lengths differ: %d vs %d", len(a), len(b)))
+	}
+	table = make([][]float64, k1)
+	for i := range table {
+		table[i] = make([]float64, k2)
+	}
+	ma = make([]float64, k1)
+	mb = make([]float64, k2)
+	for i := range a {
+		table[a[i]][b[i]]++
+		ma[a[i]]++
+		mb[b[i]]++
+	}
+	return table, ma, mb, float64(len(a))
+}
+
+// NMI returns the normalized mutual information between two labelings,
+// in [0, 1] (arithmetic-mean normalization; 0 for independent
+// labelings, 1 for identical partitions). Degenerate single-cluster
+// labelings yield 0.
+func NMI(a, b []int, k1, k2 int) float64 {
+	table, ma, mb, n := contingency(a, b, k1, k2)
+	if n == 0 {
+		return 0
+	}
+	mi := 0.0
+	for i := range table {
+		for j := range table[i] {
+			if table[i][j] == 0 {
+				continue
+			}
+			pij := table[i][j] / n
+			mi += pij * math.Log(pij*n*n/(ma[i]*mb[j]))
+		}
+	}
+	ha, hb := 0.0, 0.0
+	for _, m := range ma {
+		if m > 0 {
+			ha -= m / n * math.Log(m/n)
+		}
+	}
+	for _, m := range mb {
+		if m > 0 {
+			hb -= m / n * math.Log(m/n)
+		}
+	}
+	den := (ha + hb) / 2
+	if den == 0 {
+		return 0
+	}
+	nmi := mi / den
+	if nmi < 0 {
+		nmi = 0 // floating-point guard
+	}
+	if nmi > 1 {
+		nmi = 1
+	}
+	return nmi
+}
+
+// ARI returns the adjusted Rand index between two labelings: 1 for
+// identical partitions, ~0 for random agreement (can be negative for
+// adversarial disagreement).
+func ARI(a, b []int, k1, k2 int) float64 {
+	table, ma, mb, n := contingency(a, b, k1, k2)
+	if n < 2 {
+		return 0
+	}
+	choose2 := func(x float64) float64 { return x * (x - 1) / 2 }
+	sumCont, sumA, sumB := 0.0, 0.0, 0.0
+	for i := range table {
+		for j := range table[i] {
+			sumCont += choose2(table[i][j])
+		}
+	}
+	for _, m := range ma {
+		sumA += choose2(m)
+	}
+	for _, m := range mb {
+		sumB += choose2(m)
+	}
+	total := choose2(n)
+	expected := sumA * sumB / total
+	maxIdx := (sumA + sumB) / 2
+	if maxIdx == expected {
+		return 0
+	}
+	return (sumCont - expected) / (maxIdx - expected)
+}

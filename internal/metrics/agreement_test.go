@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestNMIIdenticalPartitions(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	if got := NMI(a, a, 3, 3); math.Abs(got-1) > 1e-12 {
+		t.Errorf("NMI(a,a) = %v, want 1", got)
+	}
+	// Relabeling preserves the partition.
+	b := []int{2, 2, 0, 0, 1, 1}
+	if got := NMI(a, b, 3, 3); math.Abs(got-1) > 1e-12 {
+		t.Errorf("NMI under relabeling = %v, want 1", got)
+	}
+}
+
+func TestNMIIndependentLabelings(t *testing.T) {
+	// Perfectly crossed 2x2 design: labels carry no information about
+	// each other.
+	a := []int{0, 0, 1, 1}
+	b := []int{0, 1, 0, 1}
+	if got := NMI(a, b, 2, 2); got > 1e-12 {
+		t.Errorf("NMI independent = %v, want 0", got)
+	}
+}
+
+func TestNMIDegenerate(t *testing.T) {
+	a := []int{0, 0, 0}
+	b := []int{0, 1, 2}
+	if got := NMI(a, b, 1, 3); got != 0 {
+		t.Errorf("single-cluster NMI = %v, want 0", got)
+	}
+	if got := NMI(nil, nil, 1, 1); got != 0 {
+		t.Errorf("empty NMI = %v", got)
+	}
+}
+
+func TestARIIdenticalAndRandom(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	if got := ARI(a, a, 3, 3); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ARI(a,a) = %v, want 1", got)
+	}
+	// Large random labelings: ARI concentrates near 0.
+	rng := stats.NewRNG(5)
+	n := 5000
+	x := make([]int, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		x[i], y[i] = rng.Intn(4), rng.Intn(4)
+	}
+	if got := ARI(x, y, 4, 4); math.Abs(got) > 0.02 {
+		t.Errorf("ARI of random labelings = %v, want ~0", got)
+	}
+}
+
+func TestNMIARIRanges(t *testing.T) {
+	rng := stats.NewRNG(6)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(50)
+		k1, k2 := 1+rng.Intn(5), 1+rng.Intn(5)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i], b[i] = rng.Intn(k1), rng.Intn(k2)
+		}
+		nmi := NMI(a, b, k1, k2)
+		if nmi < 0 || nmi > 1 {
+			t.Fatalf("NMI %v outside [0,1]", nmi)
+		}
+		ari := ARI(a, b, k1, k2)
+		if ari > 1+1e-12 {
+			t.Fatalf("ARI %v above 1", ari)
+		}
+	}
+}
+
+func TestAgreementPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NMI([]int{0}, []int{0, 1}, 1, 2)
+}
+
+// TestSymmetry: both measures are symmetric in their arguments.
+func TestAgreementSymmetry(t *testing.T) {
+	rng := stats.NewRNG(7)
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(40)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i], b[i] = rng.Intn(3), rng.Intn(4)
+		}
+		if d := math.Abs(NMI(a, b, 3, 4) - NMI(b, a, 4, 3)); d > 1e-12 {
+			t.Fatalf("NMI asymmetric by %v", d)
+		}
+		if d := math.Abs(ARI(a, b, 3, 4) - ARI(b, a, 4, 3)); d > 1e-12 {
+			t.Fatalf("ARI asymmetric by %v", d)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package metrics
+
+import "fmt"
+
+// Wasserstein1 returns the 1-Wasserstein (earth mover's) distance
+// between two probability distributions over the same ordered finite
+// domain, with unit ground distance between adjacent values:
+//
+//	W1(p, q) = Σ_i |CDF_p(i) − CDF_q(i)|
+//
+// This is the distance the AW/MW fairness measures use (Section 5.2.2,
+// following Wang & Davidson's usage for multi-state protected
+// variables). For binary attributes it reduces to |p_0 − q_0|.
+// It panics on length mismatch or empty input.
+func Wasserstein1(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("metrics: Wasserstein1 length mismatch %d vs %d", len(p), len(q)))
+	}
+	if len(p) == 0 {
+		panic("metrics: Wasserstein1 of empty distributions")
+	}
+	cum := 0.0
+	total := 0.0
+	for i := 0; i < len(p)-1; i++ {
+		cum += p[i] - q[i]
+		if cum >= 0 {
+			total += cum
+		} else {
+			total -= cum
+		}
+	}
+	return total
+}
+
+// Euclidean returns the Euclidean distance between two probability
+// vectors, the distance used by the AE/ME fairness measures.
+func Euclidean(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("metrics: Euclidean length mismatch %d vs %d", len(p), len(q)))
+	}
+	s := 0.0
+	for i := range p {
+		d := p[i] - q[i]
+		s += d * d
+	}
+	return sqrt(s)
+}

@@ -1,0 +1,173 @@
+// Package proportional implements proportionally fair clustering
+// (Chen, Fain, Lyu, Munagala — "Proportionally Fair Clustering",
+// 2019), surveyed as reference [5] in the FairKM paper's Table 1.
+//
+// Unlike every other method in this repository, proportionality is
+// attribute-AGNOSTIC: a clustering of n points into k clusters is
+// proportionally fair if no group of ⌈n/k⌉ points could all strictly
+// benefit by deviating to some other center — i.e. there is no center
+// candidate y and set of ⌈n/k⌉ points each closer to y than to their
+// assigned center.
+//
+// This package provides the greedy ball-growing algorithm of Chen et
+// al. (GREEDY CAPTURE), which guarantees approximate proportionality,
+// plus an exact audit that searches for violations of the definition.
+package proportional
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Result is a completed proportional clustering.
+type Result struct {
+	// Centers holds the opened center row indexes (at most K).
+	Centers []int
+	// Assign maps each row to the index (into Centers) of the center
+	// that captured it.
+	Assign []int
+}
+
+// GreedyCapture grows balls around every candidate center
+// simultaneously; when a ball captures ⌈n/k⌉ unclustered points its
+// center opens and those points are assigned. Opened centers keep
+// capturing any point their ball reaches. This is Chen et al.'s
+// polynomial-time algorithm achieving (1+√2)-proportionality.
+func GreedyCapture(features [][]float64, k int) (*Result, error) {
+	n := len(features)
+	if n == 0 {
+		return nil, errors.New("proportional: empty dataset")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("proportional: K=%d out of range [1,%d]", k, n)
+	}
+	need := (n + k - 1) / k // ⌈n/k⌉
+
+	// Event-driven simulation over sorted (distance, point, candidate)
+	// triples: as the radius sweeps upward, candidates accumulate
+	// unclustered points; opened centers capture points immediately.
+	type event struct {
+		d    float64
+		p, c int
+	}
+	events := make([]event, 0, n*n)
+	for c := 0; c < n; c++ {
+		for p := 0; p < n; p++ {
+			events = append(events, event{stats.Dist(features[p], features[c]), p, c})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].d < events[j].d })
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	captured := make([][]int, n) // per candidate: unclustered points reached
+	opened := map[int]int{}      // candidate -> index in centers
+	var centers []int
+	remaining := n
+	for _, ev := range events {
+		if remaining == 0 {
+			break
+		}
+		if assign[ev.p] != -1 {
+			continue
+		}
+		if ci, ok := opened[ev.c]; ok {
+			// An open center's ball reached an unclustered point.
+			assign[ev.p] = ci
+			remaining--
+			continue
+		}
+		captured[ev.c] = append(captured[ev.c], ev.p)
+		// Re-filter: some captured points may have been claimed since.
+		live := captured[ev.c][:0]
+		for _, p := range captured[ev.c] {
+			if assign[p] == -1 {
+				live = append(live, p)
+			}
+		}
+		captured[ev.c] = live
+		if len(live) >= need {
+			ci := len(centers)
+			centers = append(centers, ev.c)
+			opened[ev.c] = ci
+			for _, p := range live {
+				assign[p] = ci
+				remaining--
+			}
+			captured[ev.c] = nil
+		}
+	}
+	// Leftover points (fewer than ⌈n/k⌉ remained): assign to nearest
+	// opened center; if none opened (k=n edge cases), open the first
+	// point as a center.
+	if len(centers) == 0 {
+		centers = append(centers, 0)
+	}
+	for p := 0; p < n; p++ {
+		if assign[p] != -1 {
+			continue
+		}
+		best, bestD := 0, math.Inf(1)
+		for ci, c := range centers {
+			if d := stats.Dist(features[p], features[c]); d < bestD {
+				best, bestD = ci, d
+			}
+		}
+		assign[p] = best
+	}
+	return &Result{Centers: centers, Assign: assign}, nil
+}
+
+// Violation describes a blocking coalition found by Audit.
+type Violation struct {
+	// Center is the deviating center candidate (row index).
+	Center int
+	// Coalition lists ⌈n/k⌉ rows all strictly closer to Center than to
+	// their assigned centers.
+	Coalition []int
+	// Factor is the smallest ratio d(p, assigned)/d(p, Center) over
+	// the coalition: how much every member gains at minimum.
+	Factor float64
+}
+
+// Audit searches for violations of ρ-approximate proportionality: a
+// candidate center y and ⌈n/k⌉ points p with ρ·d(p,y) < d(p, assigned).
+// It returns nil if the clustering is ρ-proportional. Cost is O(n²).
+func Audit(features [][]float64, assign []int, centers []int, k int, rho float64) *Violation {
+	n := len(features)
+	if rho <= 0 {
+		rho = 1
+	}
+	need := (n + k - 1) / k
+	assignedDist := make([]float64, n)
+	for p := 0; p < n; p++ {
+		assignedDist[p] = stats.Dist(features[p], features[centers[assign[p]]])
+	}
+	for y := 0; y < n; y++ {
+		var coalition []int
+		worst := math.Inf(1)
+		for p := 0; p < n; p++ {
+			dy := stats.Dist(features[p], features[y])
+			if rho*dy < assignedDist[p]-1e-12 {
+				coalition = append(coalition, p)
+				gain := math.Inf(1)
+				if dy > 0 {
+					gain = assignedDist[p] / dy
+				}
+				if gain < worst {
+					worst = gain
+				}
+			}
+		}
+		if len(coalition) >= need {
+			return &Violation{Center: y, Coalition: coalition[:need], Factor: worst}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package proportional
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func blobs(seed int64, g, m int, sep float64) [][]float64 {
+	rng := stats.NewRNG(seed)
+	var features [][]float64
+	for c := 0; c < g; c++ {
+		for i := 0; i < m; i++ {
+			features = append(features, []float64{
+				rng.Gaussian(float64(c)*sep, 0.3),
+				rng.Gaussian(0, 0.3),
+			})
+		}
+	}
+	return features
+}
+
+func TestGreedyCaptureCoversEveryPoint(t *testing.T) {
+	features := blobs(1, 3, 20, 10)
+	res, err := GreedyCapture(features, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assign) != len(features) {
+		t.Fatalf("assign length %d", len(res.Assign))
+	}
+	for i, a := range res.Assign {
+		if a < 0 || a >= len(res.Centers) {
+			t.Fatalf("point %d assigned to %d with %d centers", i, a, len(res.Centers))
+		}
+	}
+	if len(res.Centers) > 3 {
+		t.Errorf("opened %d centers, want <= 3", len(res.Centers))
+	}
+}
+
+func TestGreedyCaptureIsApproximatelyProportional(t *testing.T) {
+	// Chen et al. guarantee (1+√2)-proportionality (~2.414); audit at
+	// a slightly looser 2.5.
+	features := blobs(2, 4, 15, 6)
+	res, err := GreedyCapture(features, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Audit(features, res.Assign, res.Centers, 4, 2.5); v != nil {
+		t.Errorf("greedy capture violates 2.5-proportionality: center %d, coalition %d points, factor %v",
+			v.Center, len(v.Coalition), v.Factor)
+	}
+}
+
+func TestAuditFindsPlantedViolation(t *testing.T) {
+	// Two far blobs but a clustering that lumps everything onto a
+	// center in blob 1: blob 2's points (>= ⌈n/k⌉ of them) would all
+	// rather deviate to one of their own.
+	features := blobs(3, 2, 20, 50)
+	assign := make([]int, 40)
+	centers := []int{0} // a blob-1 point is the single pseudo-center
+	for i := range assign {
+		assign[i] = 0
+	}
+	// Audit at ρ=5: only coalitions gaining 5x qualify, which filters
+	// marginal within-blob improvements and must surface blob 2's
+	// wholesale defection.
+	v := Audit(features, assign, centers, 2, 5)
+	if v == nil {
+		t.Fatal("audit missed an obvious violation")
+	}
+	if len(v.Coalition) < 20 {
+		t.Errorf("coalition size %d, want >= 20", len(v.Coalition))
+	}
+	if v.Factor < 10 {
+		t.Errorf("violation factor %v suspiciously small for 50-separated blobs", v.Factor)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := GreedyCapture(nil, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	features := blobs(4, 1, 5, 0)
+	if _, err := GreedyCapture(features, 0); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := GreedyCapture(features, 6); err == nil {
+		t.Error("K>n accepted")
+	}
+}
+
+func TestKEqualsOne(t *testing.T) {
+	features := blobs(5, 2, 10, 5)
+	res, err := GreedyCapture(features, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With k=1, ⌈n/k⌉ = n: one center captures everything.
+	if len(res.Centers) != 1 {
+		t.Errorf("centers = %d, want 1", len(res.Centers))
+	}
+	for _, a := range res.Assign {
+		if a != 0 {
+			t.Fatal("not all points assigned to the single center")
+		}
+	}
+	// k=1 is trivially proportional (no smaller coalition can deviate).
+	if v := Audit(features, res.Assign, res.Centers, 1, 1); v != nil {
+		t.Errorf("k=1 clustering flagged: %+v", v)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	features := blobs(6, 3, 12, 8)
+	a, err := GreedyCapture(features, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GreedyCapture(features, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("assignment %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package spectral implements normalized spectral clustering and its
+// fair variant with group-fairness constraints (Kleindessner, Samadi,
+// Awasthi, Morgenstern — "Guarantees for Spectral Clustering with
+// Fairness Constraints", 2019), surveyed as reference [14] in the
+// FairKM paper's Table 1.
+//
+// Vanilla spectral clustering embeds points via the bottom eigenvectors
+// of the graph Laplacian L = D − W of a similarity graph and runs
+// K-Means in that embedding. The fair variant adds the linear
+// constraint FᵀH = 0, where F's columns are, for every non-redundant
+// sensitive value s, the group-membership indicator recentered by the
+// group's dataset share:
+//
+//	f_s(i) = 1{X_i.S = s} − |V_s|/n
+//
+// Requiring the embedding H to be orthogonal to every f_s forces each
+// cluster (a coordinate direction in embedding space) to contain
+// sensitive groups in dataset proportion. Following the paper, the
+// constrained problem min Tr(HᵀLH), HᵀH=I, FᵀH=0 is solved by
+// substituting H = Z·Y where Z's columns span the null space of Fᵀ,
+// and taking the bottom eigenvectors of ZᵀLZ.
+//
+// Cost: dense eigendecomposition, O(n³) — practical to a few thousand
+// points, which is exactly the scalability contrast the FairKM paper
+// draws (Section 4.3.1).
+package spectral
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/eigen"
+	"repro/internal/kmeans"
+	"repro/internal/stats"
+)
+
+// Config parameterizes a spectral clustering run.
+type Config struct {
+	// K is the number of clusters.
+	K int
+	// Sigma is the Gaussian-kernel bandwidth for the similarity graph
+	// W_ij = exp(−‖x_i−x_j‖²/(2σ²)). Zero means the local-scale
+	// heuristic: the median over points of the distance to their 7th
+	// nearest neighbour (a global median would land on the between-
+	// cluster scale and wash out graph structure).
+	Sigma float64
+	// Fair toggles the group-fairness constraint over all categorical
+	// sensitive attributes of the dataset.
+	Fair bool
+	// Seed drives the K-Means stage in embedding space.
+	Seed int64
+	// MaxIter bounds the K-Means stage; zero means its default.
+	MaxIter int
+}
+
+// Result is a completed spectral clustering.
+type Result struct {
+	// Assign maps each row to its cluster in [0, K).
+	Assign []int
+	// Embedding holds the n×K spectral embedding rows fed to K-Means.
+	Embedding [][]float64
+	// Eigenvalues are the K smallest (constrained) Laplacian
+	// eigenvalues.
+	Eigenvalues []float64
+	// Sigma is the kernel bandwidth actually used.
+	Sigma float64
+}
+
+// Run performs (fair) spectral clustering on the dataset.
+func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
+	if ds == nil {
+		return nil, errors.New("spectral: nil dataset")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("spectral: %w", err)
+	}
+	n := ds.N()
+	if cfg.K < 1 || cfg.K > n {
+		return nil, fmt.Errorf("spectral: K=%d out of range [1,%d]", cfg.K, n)
+	}
+	if cfg.Sigma < 0 {
+		return nil, fmt.Errorf("spectral: negative sigma %v", cfg.Sigma)
+	}
+
+	sigma := cfg.Sigma
+	if sigma == 0 {
+		sigma = localScale(ds.Features)
+		if sigma == 0 {
+			sigma = 1 // all points identical; any bandwidth works
+		}
+	}
+
+	lap := laplacian(ds.Features, sigma)
+
+	var basis [][]float64 // rows: orthonormal basis of the feasible space
+	if cfg.Fair {
+		constraints := fairnessConstraints(ds)
+		basis = eigen.NullSpaceBasis(constraints, n)
+		if len(basis) < cfg.K {
+			return nil, fmt.Errorf("spectral: only %d feasible dimensions after %d fairness constraints; need K=%d",
+				len(basis), len(constraints), cfg.K)
+		}
+	} else {
+		basis = identityBasis(n)
+	}
+
+	// Reduced Laplacian ZᵀLZ over the feasible space.
+	z := eigen.Transpose(basis) // n×m, columns = basis vectors
+	reduced := eigen.MatMul(eigen.MatMul(basis, lap), z)
+	vals, vecs, err := eigen.SymEigen(reduced)
+	if err != nil {
+		return nil, fmt.Errorf("spectral: eigensolve: %w", err)
+	}
+
+	// Embedding: H = Z·Y with Y the K bottom eigenvectors (as columns).
+	embedding := make([][]float64, n)
+	for i := range embedding {
+		embedding[i] = make([]float64, cfg.K)
+	}
+	for e := 0; e < cfg.K; e++ {
+		// h_e = Z·vecs[e]: expand the reduced eigenvector.
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for b := range basis {
+				s += basis[b][i] * vecs[e][b]
+			}
+			embedding[i][e] = s
+		}
+	}
+
+	km, err := kmeans.Run(embedding, kmeans.Config{K: cfg.K, Seed: cfg.Seed, MaxIter: cfg.MaxIter})
+	if err != nil {
+		return nil, fmt.Errorf("spectral: embedding K-Means: %w", err)
+	}
+	return &Result{
+		Assign:      km.Assign,
+		Embedding:   embedding,
+		Eigenvalues: vals[:cfg.K],
+		Sigma:       sigma,
+	}, nil
+}
+
+// laplacian builds the dense unnormalized Laplacian of the Gaussian
+// similarity graph.
+func laplacian(features [][]float64, sigma float64) [][]float64 {
+	n := len(features)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	inv := 1 / (2 * sigma * sigma)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := math.Exp(-stats.SqDist(features[i], features[j]) * inv)
+			l[i][j] = -w
+			l[j][i] = -w
+			l[i][i] += w
+			l[j][j] += w
+		}
+	}
+	return l
+}
+
+// fairnessConstraints returns, for every categorical attribute and
+// every value but the last (the full set is linearly dependent: the
+// rows of one attribute sum to 0), the recentered group indicator row.
+func fairnessConstraints(ds *dataset.Dataset) [][]float64 {
+	n := ds.N()
+	var rows [][]float64
+	for _, s := range ds.Sensitive {
+		if s.Kind != dataset.Categorical {
+			continue
+		}
+		fr := ds.Fractions(s)
+		for v := 0; v < len(s.Values)-1; v++ {
+			row := make([]float64, n)
+			for i, c := range s.Codes {
+				row[i] = -fr[v]
+				if c == v {
+					row[i] = 1 - fr[v]
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+func identityBasis(n int) [][]float64 {
+	basis := make([][]float64, n)
+	for i := range basis {
+		basis[i] = make([]float64, n)
+		basis[i][i] = 1
+	}
+	return basis
+}
+
+// localScale returns the median over (subsampled) points of the
+// distance to their 7th nearest neighbour — the standard local-scale
+// bandwidth heuristic for Gaussian similarity graphs.
+func localScale(features [][]float64) float64 {
+	n := len(features)
+	if n < 2 {
+		return 0
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if n > 500 {
+		rng := stats.NewRNG(1)
+		idx = rng.SampleWithoutReplacement(n, 500)
+	}
+	kth := 7
+	if kth > n-1 {
+		kth = n - 1
+	}
+	scales := make([]float64, 0, len(idx))
+	dists := make([]float64, 0, n-1)
+	for _, i := range idx {
+		dists = dists[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				dists = append(dists, stats.Dist(features[i], features[j]))
+			}
+		}
+		scales = append(scales, kthSmallest(dists, kth))
+	}
+	return stats.Median(scales)
+}
+
+// kthSmallest returns the k-th smallest element (1-based) of xs
+// without mutating it (quickselect would be overkill at these sizes).
+func kthSmallest(xs []float64, k int) float64 {
+	cp := append([]float64(nil), xs...)
+	// Partial selection sort up to k.
+	for i := 0; i < k; i++ {
+		min := i
+		for j := i + 1; j < len(cp); j++ {
+			if cp[j] < cp[min] {
+				min = j
+			}
+		}
+		cp[i], cp[min] = cp[min], cp[i]
+	}
+	return cp[k-1]
+}

@@ -1,0 +1,157 @@
+package spectral
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// blobDataset builds two well-separated blobs whose sensitive value
+// correlates with blob membership.
+func blobDataset(t *testing.T, n int) *dataset.Dataset {
+	t.Helper()
+	b := dataset.NewBuilder("x", "y")
+	b.AddCategoricalSensitive("g")
+	rng := stats.NewRNG(2)
+	for i := 0; i < n/2; i++ {
+		v := "a"
+		if i%4 == 0 {
+			v = "b"
+		}
+		b.Row([]float64{rng.Gaussian(0, 0.3), rng.Gaussian(0, 0.3)}, []string{v}, nil)
+	}
+	for i := 0; i < n/2; i++ {
+		v := "b"
+		if i%4 == 0 {
+			v = "a"
+		}
+		b.Row([]float64{rng.Gaussian(4, 0.3), rng.Gaussian(4, 0.3)}, []string{v}, nil)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestVanillaRecoversBlobs(t *testing.T) {
+	ds := blobDataset(t, 60)
+	res, err := Run(ds, Config{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 1; i < 30; i++ {
+		if res.Assign[i] != res.Assign[0] {
+			t.Fatalf("blob 1 split at %d", i)
+		}
+	}
+	for i := 31; i < 60; i++ {
+		if res.Assign[i] != res.Assign[30] {
+			t.Fatalf("blob 2 split at %d", i)
+		}
+	}
+	if res.Assign[0] == res.Assign[30] {
+		t.Error("blobs merged")
+	}
+	// The smallest Laplacian eigenvalue of a connected-ish graph is ~0.
+	if res.Eigenvalues[0] > 1e-6 {
+		t.Errorf("first eigenvalue = %v, want ~0", res.Eigenvalues[0])
+	}
+}
+
+func TestFairVariantBalancesGroups(t *testing.T) {
+	ds := blobDataset(t, 60)
+	vanilla, err := Run(ds, Config{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair, err := Run(ds, Config{K: 2, Seed: 1, Fair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.SensitiveByName("g")
+	fv := metrics.Fairness(ds, g, vanilla.Assign, 2)
+	ff := metrics.Fairness(ds, g, fair.Assign, 2)
+	if ff.AE >= fv.AE {
+		t.Errorf("fair spectral AE %v not better than vanilla %v", ff.AE, fv.AE)
+	}
+}
+
+func TestFairConstraintOrthogonality(t *testing.T) {
+	ds := blobDataset(t, 40)
+	res, err := Run(ds, Config{K: 2, Seed: 3, Fair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every embedding column must be orthogonal to the recentered group
+	// indicator.
+	g := ds.SensitiveByName("g")
+	fr := ds.Fractions(g)
+	for col := 0; col < 2; col++ {
+		dot := 0.0
+		for i := 0; i < ds.N(); i++ {
+			f := -fr[0]
+			if g.Codes[i] == 0 {
+				f = 1 - fr[0]
+			}
+			dot += f * res.Embedding[i][col]
+		}
+		if dot > 1e-6 || dot < -1e-6 {
+			t.Errorf("embedding column %d not orthogonal to fairness constraint: %v", col, dot)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	ds := blobDataset(t, 20)
+	if _, err := Run(nil, Config{K: 2}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := Run(ds, Config{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Run(ds, Config{K: 21}); err == nil {
+		t.Error("K>n accepted")
+	}
+	if _, err := Run(ds, Config{K: 2, Sigma: -1}); err == nil {
+		t.Error("negative sigma accepted")
+	}
+}
+
+func TestIdenticalPointsDoNotCrash(t *testing.T) {
+	b := dataset.NewBuilder("x")
+	b.AddCategoricalSensitive("g")
+	for i := 0; i < 8; i++ {
+		v := "a"
+		if i%2 == 0 {
+			v = "b"
+		}
+		b.Row([]float64{1}, []string{v}, nil)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(ds, Config{K: 2, Seed: 1}); err != nil {
+		t.Fatalf("identical points: %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ds := blobDataset(t, 30)
+	a, err := Run(ds, Config{K: 3, Seed: 5, Fair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ds, Config{K: 3, Seed: 5, Fair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("assignment %d differs", i)
+		}
+	}
+}

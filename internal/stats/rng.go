@@ -1,0 +1,121 @@
+// Package stats provides deterministic random-number utilities, sampling
+// routines and descriptive statistics used across the fairclust repository.
+//
+// All randomized components in this repository (dataset generators,
+// clustering initializations, embedding training) accept an explicit seed
+// and derive their randomness from an *RNG created here, so every
+// experiment is reproducible bit-for-bit given the same seed.
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps math/rand.Rand with convenience methods used by the
+// generators and clustering algorithms. It is not safe for concurrent
+// use; create one RNG per goroutine.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Intn returns a uniform pseudo-random int in [0, n). It panics if n <= 0.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Float64 returns a uniform pseudo-random float64 in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// NormFloat64 returns a standard-normal pseudo-random float64.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Gaussian returns a normal variate with the given mean and standard
+// deviation.
+func (g *RNG) Gaussian(mean, std float64) float64 {
+	return mean + std*g.r.NormFloat64()
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Fork returns a new RNG deterministically derived from this one.
+// Forking lets independent components (e.g. one RNG per experiment
+// repetition) consume randomness without interleaving their streams.
+func (g *RNG) Fork() *RNG { return NewRNG(g.r.Int63()) }
+
+// Bernoulli returns true with probability p.
+func (g *RNG) Bernoulli(p float64) bool { return g.r.Float64() < p }
+
+// Categorical draws an index from the (not necessarily normalized)
+// non-negative weight vector w. It panics if w is empty or sums to a
+// non-positive value.
+func (g *RNG) Categorical(w []float64) int {
+	if len(w) == 0 {
+		panic("stats: Categorical with empty weights")
+	}
+	total := 0.0
+	for _, v := range w {
+		if v < 0 {
+			panic("stats: Categorical with negative weight")
+		}
+		total += v
+	}
+	if total <= 0 {
+		panic("stats: Categorical with non-positive total weight")
+	}
+	u := g.r.Float64() * total
+	acc := 0.0
+	for i, v := range w {
+		acc += v
+		if u < acc {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// SampleWithoutReplacement returns m distinct indices drawn uniformly
+// from [0, n). It panics if m > n or m < 0.
+func (g *RNG) SampleWithoutReplacement(n, m int) []int {
+	if m < 0 || m > n {
+		panic("stats: SampleWithoutReplacement with m out of range")
+	}
+	// Partial Fisher-Yates: O(n) memory, O(m) swaps.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < m; i++ {
+		j := i + g.r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:m]
+}
+
+// Zipf returns a draw from a Zipf-like distribution over [0, n) with
+// exponent s >= 1. Used to model long-tailed categorical attributes such
+// as country of origin.
+func (g *RNG) Zipf(n int, s float64) int {
+	w := ZipfWeights(n, s)
+	return g.Categorical(w)
+}
+
+// ZipfWeights returns the (unnormalized) Zipf weight vector 1/rank^s for
+// ranks 1..n.
+func ZipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1.0 / math.Pow(float64(i+1), s)
+	}
+	return w
+}

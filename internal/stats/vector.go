@@ -1,0 +1,86 @@
+package stats
+
+import "math"
+
+// Vector helpers operate on []float64 treated as dense vectors. They are
+// deliberately allocation-conscious: clustering inner loops call them per
+// point per cluster per iteration.
+
+// Dot returns the inner product of a and b. It panics on length mismatch.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// SqDist returns the squared Euclidean distance between a and b.
+func SqDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: SqDist length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b []float64) float64 { return math.Sqrt(SqDist(a, b)) }
+
+// Norm returns the Euclidean norm of a.
+func Norm(a []float64) float64 { return math.Sqrt(Dot(a, a)) }
+
+// AddTo adds src into dst element-wise. It panics on length mismatch.
+func AddTo(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("stats: AddTo length mismatch")
+	}
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// SubFrom subtracts src from dst element-wise. It panics on length
+// mismatch.
+func SubFrom(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("stats: SubFrom length mismatch")
+	}
+	for i := range dst {
+		dst[i] -= src[i]
+	}
+}
+
+// Scale multiplies dst by c in place.
+func Scale(dst []float64, c float64) {
+	for i := range dst {
+		dst[i] *= c
+	}
+}
+
+// Clone returns a copy of a.
+func Clone(a []float64) []float64 { return append([]float64(nil), a...) }
+
+// Zeros returns a fresh zero vector of length n.
+func Zeros(n int) []float64 { return make([]float64, n) }
+
+// MeanVector returns the element-wise mean of the given rows. It panics
+// if rows is empty or rows have mismatched lengths.
+func MeanVector(rows [][]float64) []float64 {
+	if len(rows) == 0 {
+		panic("stats: MeanVector of no rows")
+	}
+	m := make([]float64, len(rows[0]))
+	for _, r := range rows {
+		AddTo(m, r)
+	}
+	Scale(m, 1/float64(len(rows)))
+	return m
+}

@@ -1,0 +1,256 @@
+package zgya
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/kmeans"
+	"repro/internal/stats"
+)
+
+// RunSoft is the literal soft-assignment bound-optimization solver from
+// Ziko et al.'s paper: maintain a probability vector s_p over clusters
+// per point, iterate the fairness-regularized fixed point
+//
+//	s_pk ∝ exp(−(d_pk + λ·g_pk)),  g_pk = (1 − U_j/p_kj)/b_k
+//
+// with damping, harden by argmax, recompute centroids, repeat.
+//
+// It is provided alongside the default hard coordinate-descent solver
+// (Run) as a documented research artifact: the experiments in
+// EXPERIMENTS.md note that the soft dynamics are fragile — the KL
+// gradient grows without bound as a cluster's soft share of a value
+// approaches zero (flooring required), simultaneous updates herd
+// same-value points, and at the fair soft equilibrium the gradient
+// vanishes so argmax hardening falls back to pure distances, undoing
+// the fairness the soft solution encodes. The package tests demonstrate
+// the last effect. Prefer Run for actual use.
+func RunSoft(ds *dataset.Dataset, attr string, cfg Config) (*Result, error) {
+	if err := validateSoft(ds, attr, cfg); err != nil {
+		return nil, err
+	}
+	s := ds.SensitiveByName(attr)
+	n := ds.N()
+	k := cfg.K
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	innerIter := 10
+
+	rng := stats.NewRNG(cfg.Seed)
+	features := ds.Features
+	groups := s.Codes
+	nvals := len(s.Values)
+	u := ds.Fractions(s)
+
+	centroids := kmeans.PlusPlusCentroids(features, k, rng)
+	dists := make([][]float64, n)
+	for p := range dists {
+		dists[p] = make([]float64, k)
+	}
+	computeDists := func() {
+		for p, x := range features {
+			for c, cen := range centroids {
+				dists[p][c] = stats.SqDist(x, cen)
+			}
+		}
+	}
+	computeDists()
+
+	lambda := cfg.Lambda
+	if cfg.AutoLambda {
+		mean := 0.0
+		for p := range dists {
+			mean += stats.Mean(dists[p])
+		}
+		mean /= float64(n)
+		lambda = 0.25 * (mean + 1) * float64(n) / float64(k)
+	}
+
+	soft := make([][]float64, n)
+	for p := range soft {
+		soft[p] = make([]float64, k)
+		softmaxNeg(dists[p], soft[p])
+	}
+	assign := make([]int, n)
+	hardAssign(soft, assign)
+
+	res := &Result{Lambda: lambda}
+	akj := make([][]float64, k)
+	for c := range akj {
+		akj[c] = make([]float64, nvals)
+	}
+	bk := make([]float64, k)
+	cost := make([]float64, k)
+	next := make([]float64, k)
+
+	for iter := 1; iter <= maxIter; iter++ {
+		res.Iterations = iter
+		for in := 0; in < innerIter; in++ {
+			for c := 0; c < k; c++ {
+				bk[c] = 0
+				for j := 0; j < nvals; j++ {
+					akj[c][j] = 0
+				}
+			}
+			for p := range soft {
+				g := groups[p]
+				for c := 0; c < k; c++ {
+					akj[c][g] += soft[p][c]
+					bk[c] += soft[p][c]
+				}
+			}
+			for p := range soft {
+				g := groups[p]
+				for c := 0; c < k; c++ {
+					grad := 0.0
+					if bk[c] > 1e-12 {
+						pkj := akj[c][g] / bk[c]
+						if floor := u[g] / 10; pkj < floor {
+							pkj = floor // cap the value-starved attraction
+						}
+						grad = (1 - u[g]/pkj) / bk[c]
+					}
+					cost[c] = dists[p][c] + lambda*grad
+				}
+				softmaxNeg(cost, next)
+				for c := 0; c < k; c++ {
+					soft[p][c] = 0.5*soft[p][c] + 0.5*next[c] // damping
+				}
+			}
+		}
+		changed := hardAssign(soft, assign)
+		refreshCentroids(features, assign, centroids, rng)
+		computeDists()
+		if changed == 0 {
+			res.Converged = true
+			break
+		}
+	}
+
+	res.Assign = assign
+	res.Centroids = centroids
+	res.Sizes = kmeans.Sizes(assign, k)
+	res.SSE = kmeans.SSE(features, assign, kmeans.Centroids(features, assign, k))
+	res.KLPenalty = hardKL(assign, groups, u, k, nvals)
+	res.Objective = res.SSE + lambda*res.KLPenalty
+	return res, nil
+}
+
+func validateSoft(ds *dataset.Dataset, attr string, cfg Config) error {
+	if ds == nil {
+		return fmt.Errorf("zgya: nil dataset")
+	}
+	if err := ds.Validate(); err != nil {
+		return fmt.Errorf("zgya: %w", err)
+	}
+	s := ds.SensitiveByName(attr)
+	if s == nil {
+		return fmt.Errorf("zgya: no sensitive attribute %q", attr)
+	}
+	if s.Kind != dataset.Categorical {
+		return fmt.Errorf("zgya: attribute %q is not categorical", attr)
+	}
+	if cfg.K < 1 || cfg.K > ds.N() {
+		return fmt.Errorf("zgya: K=%d out of range [1,%d]", cfg.K, ds.N())
+	}
+	if cfg.Lambda < 0 {
+		return fmt.Errorf("zgya: negative lambda %v", cfg.Lambda)
+	}
+	return nil
+}
+
+// softmaxNeg writes softmax(−cost) into out with min-subtraction for
+// numerical stability.
+func softmaxNeg(cost []float64, out []float64) {
+	minC := cost[0]
+	for _, v := range cost[1:] {
+		if v < minC {
+			minC = v
+		}
+	}
+	total := 0.0
+	for i, v := range cost {
+		e := math.Exp(-(v - minC))
+		out[i] = e
+		total += e
+	}
+	for i := range out {
+		out[i] /= total
+	}
+}
+
+// hardAssign sets assign[p] = argmax_k soft[p][k], returning how many
+// entries changed.
+func hardAssign(soft [][]float64, assign []int) int {
+	changed := 0
+	for p, sp := range soft {
+		best, bestV := 0, sp[0]
+		for c := 1; c < len(sp); c++ {
+			if sp[c] > bestV {
+				best, bestV = c, sp[c]
+			}
+		}
+		if assign[p] != best {
+			assign[p] = best
+			changed++
+		}
+	}
+	return changed
+}
+
+// refreshCentroids recomputes hard means; empty clusters re-seed from a
+// random point.
+func refreshCentroids(features [][]float64, assign []int, centroids [][]float64, rng *stats.RNG) {
+	k := len(centroids)
+	counts := make([]int, k)
+	for c := range centroids {
+		for j := range centroids[c] {
+			centroids[c][j] = 0
+		}
+	}
+	for p, x := range features {
+		stats.AddTo(centroids[assign[p]], x)
+		counts[assign[p]]++
+	}
+	for c := range centroids {
+		if counts[c] > 0 {
+			stats.Scale(centroids[c], 1/float64(counts[c]))
+		} else {
+			copy(centroids[c], features[rng.Intn(len(features))])
+		}
+	}
+}
+
+// hardKL computes Σ_C KL(U‖P_C) over hard assignments with flooring,
+// matching the coordinate-descent solver's scoring.
+func hardKL(assign, groups []int, u []float64, k, nvals int) float64 {
+	counts := make([]int, k)
+	valCounts := make([][]int, k)
+	for c := range valCounts {
+		valCounts[c] = make([]int, nvals)
+	}
+	for p, c := range assign {
+		counts[c]++
+		valCounts[c][groups[p]]++
+	}
+	total := 0.0
+	for c := 0; c < k; c++ {
+		for j, uj := range u {
+			if uj <= 0 {
+				continue
+			}
+			p := epsilon
+			if counts[c] > 0 {
+				p = float64(valCounts[c][j]) / float64(counts[c])
+				if p < epsilon {
+					p = epsilon
+				}
+			}
+			total += uj * math.Log(uj/p)
+		}
+	}
+	return total
+}

@@ -1,0 +1,80 @@
+package zgya
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestSoftSolverRunsAndValidates(t *testing.T) {
+	ds := correlatedDataset(t, 80)
+	res, err := RunSoft(ds, "g", Config{K: 2, AutoLambda: true, Seed: 1})
+	if err != nil {
+		t.Fatalf("RunSoft: %v", err)
+	}
+	if len(res.Assign) != 80 {
+		t.Fatalf("assignment length %d", len(res.Assign))
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != 80 {
+		t.Errorf("sizes sum to %d", total)
+	}
+	if _, err := RunSoft(nil, "g", Config{K: 2}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := RunSoft(ds, "nope", Config{K: 2}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := RunSoft(ds, "g", Config{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+}
+
+// TestSoftHardeningGapDocumented captures WHY the package defaults to
+// coordinate descent: on sensitive-correlated blob data the hard solver
+// achieves at-least-as-good fairness as the soft-then-argmax pipeline
+// at the same λ, because the soft equilibrium's fairness information is
+// lost in the argmax (gradients vanish at the fair fixed point and
+// distances take over).
+func TestSoftHardeningGapDocumented(t *testing.T) {
+	ds := correlatedDataset(t, 120)
+	g := ds.SensitiveByName("g")
+	hard, err := Run(ds, "g", Config{K: 2, Lambda: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft, err := RunSoft(ds, "g", Config{K: 2, Lambda: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fHard := metrics.Fairness(ds, g, hard.Assign, 2)
+	fSoft := metrics.Fairness(ds, g, soft.Assign, 2)
+	if fHard.AE > fSoft.AE+1e-9 {
+		t.Errorf("hard solver AE %v worse than soft %v — the documented gap inverted; revisit EXPERIMENTS.md",
+			fHard.AE, fSoft.AE)
+	}
+	// The hard solver must also never do worse on its own objective.
+	if hard.Objective > soft.Objective+1e-6*(1+soft.Objective) {
+		t.Errorf("hard objective %v worse than soft %v", hard.Objective, soft.Objective)
+	}
+}
+
+func TestSoftDeterminism(t *testing.T) {
+	ds := correlatedDataset(t, 60)
+	a, err := RunSoft(ds, "g", Config{K: 3, AutoLambda: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSoft(ds, "g", Config{K: 3, AutoLambda: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("assignment %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,386 @@
+// Package zgya implements the fair clustering baseline of Ziko, Granger,
+// Yuan and Ben Ayed, "Clustering with Fairness Constraints: A Flexible
+// and Scalable Approach" (2019) — the method the FairKM paper calls
+// ZGYA and uses as its primary baseline (reference [22], Section 5.3).
+//
+// ZGYA augments the K-Means objective with a KL-divergence fairness
+// penalty for a SINGLE multi-valued sensitive attribute:
+//
+//	E = Σ_C Σ_{X∈C} ‖X − μ_C‖²  +  λ · Σ_C KL(U ‖ P_C)
+//
+// where U is the dataset-level proportion vector of the sensitive
+// attribute's values and P_C the value proportions inside cluster C.
+//
+// The published method optimizes a soft-assignment relaxation by bound
+// optimization and hardens the result. Soft simultaneous updates are
+// delicate to stabilize (the KL gradient explodes as a cluster's soft
+// proportion of a value approaches zero), so this implementation
+// optimizes the same objective directly over hard assignments with the
+// round-robin coordinate descent also used by FairKM: each point moves
+// to the cluster that most decreases E, which is monotone and
+// convergent by construction. Cluster proportions are floored at a
+// small epsilon inside the KL (the standard smoothing, also required by
+// the soft solver), and an empty cluster is scored as maximally unfair
+// so the penalty cannot be gamed by collapsing clusters.
+//
+// Because the formulation admits exactly one sensitive attribute, the
+// FairKM evaluation invokes ZGYA once per attribute (ZGYA(S)).
+package zgya
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/kmeans"
+	"repro/internal/stats"
+)
+
+// DefaultMaxIter bounds round-robin iterations when Config.MaxIter is
+// zero, mirroring FairKM's experimental setting.
+const DefaultMaxIter = 30
+
+// Config parameterizes a ZGYA run.
+type Config struct {
+	// K is the number of clusters; required, 1 <= K <= n.
+	K int
+	// Lambda is the fairness trade-off weight. When AutoLambda is set,
+	// λ = ¼·(d̄+1)·n/k where d̄ is the mean point-to-initial-centroid
+	// squared distance: moving one point changes the KL penalty by
+	// O(k/n), so this scaling makes the fairness force comparable to
+	// the distance force on individual points. The result is the
+	// trade-off profile the FairKM paper reports for ZGYA — a moderate
+	// fairness gain bought with a visible clustering-quality loss,
+	// collapsing on high-cardinality attributes where the floored KL
+	// explodes (see EXPERIMENTS.md).
+	Lambda float64
+	// AutoLambda selects the heuristic above.
+	AutoLambda bool
+	// MaxIter bounds round-robin iterations; zero means DefaultMaxIter.
+	MaxIter int
+	// Seed drives initialization.
+	Seed int64
+	// Init selects the initial clustering (default k-means++ hard
+	// assignment).
+	Init kmeans.InitMethod
+}
+
+// Result is a completed ZGYA clustering.
+type Result struct {
+	// Assign is the cluster assignment.
+	Assign []int
+	// Centroids are the final cluster means.
+	Centroids [][]float64
+	// Sizes are per-cluster cardinalities.
+	Sizes []int
+	// SSE is the K-Means component of the objective.
+	SSE float64
+	// KLPenalty is Σ_C KL(U‖P_C).
+	KLPenalty float64
+	// Objective is SSE + λ·KLPenalty.
+	Objective float64
+	// Lambda is the λ actually used.
+	Lambda float64
+	// Iterations counts round-robin passes executed.
+	Iterations int
+	// Converged reports whether a full pass completed with no moves.
+	Converged bool
+}
+
+const epsilon = 1e-6
+
+// Run clusters ds fairly with respect to the single named categorical
+// sensitive attribute.
+func Run(ds *dataset.Dataset, attr string, cfg Config) (*Result, error) {
+	if ds == nil {
+		return nil, errors.New("zgya: nil dataset")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("zgya: %w", err)
+	}
+	s := ds.SensitiveByName(attr)
+	if s == nil {
+		return nil, fmt.Errorf("zgya: no sensitive attribute %q", attr)
+	}
+	if s.Kind != dataset.Categorical {
+		return nil, fmt.Errorf("zgya: attribute %q is numeric; ZGYA handles a single categorical attribute", attr)
+	}
+	n := ds.N()
+	if cfg.K < 1 || cfg.K > n {
+		return nil, fmt.Errorf("zgya: K=%d out of range [1,%d]", cfg.K, n)
+	}
+	if cfg.Lambda < 0 {
+		return nil, fmt.Errorf("zgya: negative lambda %v", cfg.Lambda)
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+
+	st := newSolver(ds, s, cfg)
+	res := &Result{Lambda: st.lambda}
+	for iter := 1; iter <= maxIter; iter++ {
+		res.Iterations = iter
+		if st.sweep() == 0 {
+			res.Converged = true
+			break
+		}
+	}
+	res.Assign = st.assign
+	res.Centroids = st.centroids()
+	res.Sizes = append([]int(nil), st.counts...)
+	res.SSE = st.sseTotal()
+	res.KLPenalty = st.klTotal()
+	res.Objective = res.SSE + st.lambda*res.KLPenalty
+	return res, nil
+}
+
+// solver carries the sufficient statistics for coordinate descent on
+// the ZGYA objective: per-cluster counts, feature sums, squared norms,
+// and per-value counts for the sensitive attribute.
+type solver struct {
+	features [][]float64
+	groups   []int
+	u        []float64
+	k        int
+	n        int
+	dim      int
+	lambda   float64
+
+	assign    []int
+	counts    []int
+	sums      [][]float64
+	ssqs      []float64
+	valCounts [][]int
+	klCache   []float64
+}
+
+func newSolver(ds *dataset.Dataset, s *dataset.SensitiveAttr, cfg Config) *solver {
+	n := ds.N()
+	st := &solver{
+		features: ds.Features,
+		groups:   s.Codes,
+		u:        ds.Fractions(s),
+		k:        cfg.K,
+		n:        n,
+		dim:      ds.Dim(),
+	}
+	rng := stats.NewRNG(cfg.Seed)
+
+	// Initial hard assignment from centroids (k-means++ by default).
+	var centroids [][]float64
+	switch cfg.Init {
+	case kmeans.RandomPoints, kmeans.RandomPartition:
+		pts := rng.SampleWithoutReplacement(n, st.k)
+		centroids = make([][]float64, st.k)
+		for i, p := range pts {
+			centroids[i] = stats.Clone(st.features[p])
+		}
+	default:
+		centroids = kmeans.PlusPlusCentroids(st.features, st.k, rng)
+	}
+	st.assign = make([]int, n)
+	meanD := 0.0
+	for i, x := range st.features {
+		best, bestD, sumD := 0, math.Inf(1), 0.0
+		for c, cen := range centroids {
+			d := stats.SqDist(x, cen)
+			sumD += d
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		st.assign[i] = best
+		meanD += sumD / float64(st.k)
+	}
+	meanD /= float64(n)
+
+	st.lambda = cfg.Lambda
+	if cfg.AutoLambda {
+		st.lambda = 0.25 * (meanD + 1) * float64(n) / float64(st.k)
+	}
+
+	st.counts = make([]int, st.k)
+	st.sums = make([][]float64, st.k)
+	for c := range st.sums {
+		st.sums[c] = make([]float64, st.dim)
+	}
+	st.ssqs = make([]float64, st.k)
+	st.valCounts = make([][]int, st.k)
+	for c := range st.valCounts {
+		st.valCounts[c] = make([]int, len(st.u))
+	}
+	for i := range st.features {
+		st.add(i, st.assign[i])
+	}
+	st.klCache = make([]float64, st.k)
+	for c := 0; c < st.k; c++ {
+		st.klCache[c] = st.klCluster(c)
+	}
+	return st
+}
+
+func (st *solver) add(i, c int) {
+	x := st.features[i]
+	st.counts[c]++
+	stats.AddTo(st.sums[c], x)
+	st.ssqs[c] += stats.Dot(x, x)
+	st.valCounts[c][st.groups[i]]++
+}
+
+func (st *solver) del(i, c int) {
+	x := st.features[i]
+	st.counts[c]--
+	stats.SubFrom(st.sums[c], x)
+	st.ssqs[c] -= stats.Dot(x, x)
+	st.valCounts[c][st.groups[i]]--
+}
+
+// klCluster returns KL(U ‖ P_c) with proportions floored at epsilon. An
+// empty cluster is treated as all-floor (maximally unfair), so the
+// penalty cannot be reduced by emptying clusters.
+func (st *solver) klCluster(c int) float64 {
+	return st.klOf(st.valCounts[c], st.counts[c])
+}
+
+func (st *solver) klOf(valCounts []int, count int) float64 {
+	total := 0.0
+	for j, uj := range st.u {
+		if uj <= 0 {
+			continue
+		}
+		p := epsilon
+		if count > 0 {
+			p = float64(valCounts[j]) / float64(count)
+			if p < epsilon {
+				p = epsilon
+			}
+		}
+		total += uj * math.Log(uj/p)
+	}
+	return total
+}
+
+// klWithDelta returns what KL(U‖P_c) becomes if point i is added
+// (sign=+1) or removed (sign=-1), without mutating state.
+func (st *solver) klWithDelta(c, i, sign int) float64 {
+	count := st.counts[c] + sign
+	if count == 0 {
+		return st.klOf(nil, 0)
+	}
+	g := st.groups[i]
+	inv := 1.0 / float64(count)
+	total := 0.0
+	for j, uj := range st.u {
+		if uj <= 0 {
+			continue
+		}
+		cnt := float64(st.valCounts[c][j])
+		if j == g {
+			cnt += float64(sign)
+		}
+		p := cnt * inv
+		if p < epsilon {
+			p = epsilon
+		}
+		total += uj * math.Log(uj/p)
+	}
+	return total
+}
+
+func (st *solver) sseCluster(c int) float64 {
+	m := st.counts[c]
+	if m == 0 {
+		return 0
+	}
+	s := st.ssqs[c] - stats.Dot(st.sums[c], st.sums[c])/float64(m)
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+func (st *solver) sseTotal() float64 {
+	total := 0.0
+	for c := 0; c < st.k; c++ {
+		total += st.sseCluster(c)
+	}
+	return total
+}
+
+func (st *solver) klTotal() float64 {
+	total := 0.0
+	for c := 0; c < st.k; c++ {
+		total += st.klCache[c]
+	}
+	return total
+}
+
+func (st *solver) sweep() int {
+	moves := 0
+	for i := 0; i < st.n; i++ {
+		from := st.assign[i]
+		to := st.bestMove(i, from)
+		if to != from {
+			st.del(i, from)
+			st.add(i, to)
+			st.assign[i] = to
+			st.klCache[from] = st.klCluster(from)
+			st.klCache[to] = st.klCluster(to)
+			moves++
+		}
+	}
+	return moves
+}
+
+func (st *solver) bestMove(i, from int) int {
+	x := st.features[i]
+	var sseOut float64
+	if m := st.counts[from]; m > 1 {
+		sseOut = -float64(m) / float64(m-1) * sqDistToMean(x, st.sums[from], m)
+	}
+	klFromAfter := st.klWithDelta(from, i, -1)
+
+	best := from
+	bestDelta := 0.0
+	for c := 0; c < st.k; c++ {
+		if c == from {
+			continue
+		}
+		dSSE := sseOut
+		if m := st.counts[c]; m > 0 {
+			dSSE += float64(m) / float64(m+1) * sqDistToMean(x, st.sums[c], m)
+		}
+		dKL := (klFromAfter - st.klCache[from]) + (st.klWithDelta(c, i, +1) - st.klCache[c])
+		if delta := dSSE + st.lambda*dKL; delta < bestDelta {
+			bestDelta = delta
+			best = c
+		}
+	}
+	return best
+}
+
+func sqDistToMean(x, sum []float64, m int) float64 {
+	inv := 1.0 / float64(m)
+	s := 0.0
+	for j := range x {
+		d := x[j] - sum[j]*inv
+		s += d * d
+	}
+	return s
+}
+
+func (st *solver) centroids() [][]float64 {
+	out := make([][]float64, st.k)
+	for c := 0; c < st.k; c++ {
+		out[c] = make([]float64, st.dim)
+		if st.counts[c] > 0 {
+			inv := 1.0 / float64(st.counts[c])
+			for j := 0; j < st.dim; j++ {
+				out[c][j] = st.sums[c][j] * inv
+			}
+		}
+	}
+	return out
+}
