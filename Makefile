@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test vet bench bench-smoke
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench records the sweep/kernel perf trajectory for this checkout.
+# BENCH_sweep.json holds the raw `go test -bench -json` event stream so
+# future PRs can diff ns/op against it.
+bench:
+	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkSweep|BenchmarkBestMove|BenchmarkRunAdult' -benchtime 1s -json > BENCH_sweep.json
+	$(GO) test ./internal/stats -run '^$$' -bench 'BenchmarkDot|BenchmarkSqDist' -benchtime 1s
+
+# bench-smoke just proves the benchmarks still compile and run (CI).
+bench-smoke:
+	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkSweep' -benchtime 1x
+	$(GO) test ./internal/stats -run '^$$' -bench 'BenchmarkDot|BenchmarkSqDist' -benchtime 1x

@@ -57,6 +57,7 @@ func run(args []string, out io.Writer) error {
 		singleAttr = fs.String("single-attr", "", "attribute for single-attribute methods (default: first sensitive column)")
 		seed       = fs.Int64("seed", 1, "random seed")
 		minmax     = fs.Bool("minmax", true, "min-max normalize features")
+		parallel   = fs.Int("parallel", 0, "FairKM sweep workers: 0 = sequential, -1 = GOMAXPROCS, n = n workers")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -117,7 +118,7 @@ func run(args []string, out io.Writer) error {
 	report("K-Means (blind)", "", km.Assign, nil, start)
 
 	start = time.Now()
-	fkm, err := core.Run(ds, core.Config{K: *k, AutoLambda: true, Seed: *seed})
+	fkm, err := core.Run(ds, core.Config{K: *k, AutoLambda: true, Seed: *seed, Parallelism: *parallel})
 	report("FairKM (all attrs)", "λ=(n/k)²", assignOf(fkm), err, start)
 
 	start = time.Now()

@@ -5,7 +5,8 @@
 //
 //	fairkm -in data.csv -features f1,f2 -sensitive s1,s2 -k 5
 //	       [-numeric-sensitive a1,a2] [-lambda L | -auto-lambda]
-//	       [-seed S] [-max-iter N] [-assign out.csv] [-compare]
+//	       [-seed S] [-max-iter N] [-parallel P] [-assign out.csv]
+//	       [-compare]
 //
 // With -compare it also runs S-blind K-Means on the same data and
 // prints both result columns side by side, quantifying what fairness
@@ -49,6 +50,7 @@ func run(args []string, out io.Writer) error {
 		autoLambda = fs.Bool("auto-lambda", false, "use the paper's λ=(n/k)² heuristic")
 		seed       = fs.Int64("seed", 1, "random seed")
 		maxIter    = fs.Int("max-iter", 30, "maximum round-robin iterations")
+		parallel   = fs.Int("parallel", 0, "sweep workers: 0 = paper's sequential Algorithm 1, -1 = GOMAXPROCS, n = n workers")
 		minmax     = fs.Bool("minmax", true, "min-max normalize features before clustering")
 		assignOut  = fs.String("assign", "", "write per-row cluster assignments to this CSV")
 		compare    = fs.Bool("compare", false, "also run S-blind K-Means and print both")
@@ -83,7 +85,7 @@ func run(args []string, out io.Writer) error {
 
 	res, err := core.Run(ds, core.Config{
 		K: *k, Lambda: *lambda, AutoLambda: *autoLambda,
-		Seed: *seed, MaxIter: *maxIter,
+		Seed: *seed, MaxIter: *maxIter, Parallelism: *parallel,
 	})
 	if err != nil {
 		return err

@@ -18,6 +18,34 @@
 // objective given all other assignments, with cluster prototypes and
 // fractional representations updated incrementally after every move.
 //
+// # Sweep complexity
+//
+// A direct implementation of the per-candidate fairness delta rescans
+// every value of every categorical sensitive attribute, so one
+// round-robin sweep costs O(n·k·(|N| + Σ_S |Values(S)|)). This package
+// instead maintains, per (attribute, cluster) pair, the quadratic
+// aggregates Σ_v mult·cc², Σ_v mult·cc·Fr_X and the constant
+// Σ_v mult·Fr_X² (see state), which turn each candidate evaluation into
+// an O(1)-per-attribute closed form; a sweep is O(n·k·(|N| + #attrs)),
+// independent of the attribute domain sizes — the Σ_S |Values(S)|
+// factor Section 6.1's scalability discussion worries about is gone
+// (41 values of native-country cost the same as 2 of gender).
+//
+// # Parallel sweeps
+//
+// Config.Parallelism additionally spreads candidate scoring over
+// worker goroutines: points are processed in fixed-size batches, each
+// batch is scored concurrently against statistics frozen at its start
+// (generalizing the Section 6.1 frozen-prototype mini-batch heuristic
+// to all sufficient statistics), and accepted moves are applied
+// sequentially in row order after re-validating their objective delta
+// against the live statistics. Results are deterministic and identical
+// for every worker count; they can differ from the strictly sequential
+// Algorithm 1 (Parallelism 0) because points within a batch do not see
+// each other's moves — the same relaxation the paper itself proposes
+// for mini-batching. Re-validation keeps descent monotone, so
+// convergence guarantees are preserved.
+//
 // The package also implements the paper's extensions: numeric sensitive
 // attributes (Eq. 22), per-attribute fairness weights (Eq. 23), and the
 // mini-batch prototype-update heuristic sketched as future work in
@@ -80,12 +108,31 @@ type Config struct {
 	// representation updates so they happen once per batch of m
 	// assignment decisions instead of after every move (the Section 6.1
 	// scalability heuristic). Zero reproduces the paper's per-move
-	// updates.
+	// updates. Under a parallel sweep (Parallelism != 0) it instead
+	// sets the frozen-statistics batch size.
 	MiniBatch int
+	// Parallelism selects the sweep execution mode. Zero (the default)
+	// runs the paper's strictly sequential Algorithm 1. A positive
+	// value scores candidate moves with that many worker goroutines
+	// against per-batch frozen statistics, applying accepted moves
+	// sequentially; any negative value (see ParallelismAuto) uses
+	// GOMAXPROCS workers. Results are deterministic and identical for
+	// every Parallelism >= 1, but may differ from the sequential sweep
+	// (see the package docs, "Parallel sweeps").
+	Parallelism int
 	// RecordHistory, when set, stores per-iteration objective values in
 	// Result.History (used by the λ-sweep figures and by tests).
 	RecordHistory bool
+
+	// naiveKernel routes scoring through the per-value reference
+	// kernel instead of the O(1) aggregate closed forms. Test-only:
+	// parity tests and benchmarks in this package compare the two.
+	naiveKernel bool
 }
+
+// ParallelismAuto is a Config.Parallelism value selecting GOMAXPROCS
+// worker goroutines.
+const ParallelismAuto = -1
 
 // DefaultLambda returns the paper's λ heuristic (|X|/k)² (Section 5.4).
 func DefaultLambda(n, k int) float64 {

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"runtime"
+	"sync"
+
 	"repro/internal/dataset"
 	"repro/internal/kmeans"
 	"repro/internal/stats"
@@ -19,16 +22,28 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	if maxIter <= 0 {
 		maxIter = DefaultMaxIter
 	}
+	workers := cfg.Parallelism
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	assign := initialAssignment(ds.Features, cfg)
 	st := newState(ds, &cfg, lambda, assign)
+
+	var par *parallelSweeper
+	if workers >= 1 {
+		par = newParallelSweeper(st, workers, cfg.MiniBatch)
+	}
 
 	res := &Result{Lambda: lambda}
 	for iter := 1; iter <= maxIter; iter++ {
 		res.Iterations = iter
 		var moves int
-		if cfg.MiniBatch > 0 {
+		switch {
+		case par != nil:
+			moves = par.sweep()
+		case cfg.MiniBatch > 0:
 			moves = st.sweepMiniBatch(cfg.MiniBatch)
-		} else {
+		default:
 			moves = st.sweep()
 		}
 		res.TotalMoves += moves
@@ -96,6 +111,92 @@ func (st *state) sweepMiniBatch(batch int) int {
 		if sinceRefresh == batch {
 			frozen = st.centroids()
 			sinceRefresh = 0
+		}
+	}
+	return moves
+}
+
+// defaultParallelBatch is the frozen-statistics batch size of parallel
+// sweeps when Config.MiniBatch doesn't override it. Smaller batches
+// keep statistics fresher (fewer stale proposals rejected at apply
+// time); larger ones amortize the snapshot copy and goroutine handoff.
+const defaultParallelBatch = 1024
+
+// parallelSweeper runs frozen-statistics parallel sweeps over a state,
+// holding the reusable snapshot and proposal buffers.
+type parallelSweeper struct {
+	st        *state
+	frozen    *state
+	proposals []int
+	workers   int
+	batch     int
+}
+
+func newParallelSweeper(st *state, workers, batch int) *parallelSweeper {
+	if batch <= 0 {
+		batch = defaultParallelBatch
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &parallelSweeper{
+		st:        st,
+		frozen:    st.newFrozen(),
+		proposals: make([]int, min(batch, st.n)),
+		workers:   workers,
+		batch:     batch,
+	}
+}
+
+// sweep performs one round-robin pass in fixed-size batches: each
+// batch's candidate moves are scored concurrently against statistics
+// frozen at the batch start, then applied sequentially in row order,
+// each re-validated against the live statistics so the objective only
+// ever decreases. The batch size and per-point proposals are
+// independent of the worker count, so results are bit-identical for
+// every Parallelism >= 1.
+func (ps *parallelSweeper) sweep() int {
+	st := ps.st
+	moves := 0
+	for b0 := 0; b0 < st.n; b0 += ps.batch {
+		b1 := min(b0+ps.batch, st.n)
+		st.freezeInto(ps.frozen)
+
+		span := b1 - b0
+		workers := min(ps.workers, span)
+		chunk := (span + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := b0 + w*chunk
+			if lo >= b1 {
+				break
+			}
+			hi := min(lo+chunk, b1)
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					// st.assign is stable during the scoring phase;
+					// the frozen view is read-only.
+					ps.proposals[i-b0] = ps.frozen.bestMove(i, st.assign[i])
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+
+		for i := b0; i < b1; i++ {
+			to := ps.proposals[i-b0]
+			from := st.assign[i]
+			if to == from {
+				continue
+			}
+			// Earlier moves in this batch may have invalidated the
+			// frozen-state proposal; accept it only if it still
+			// improves the live objective.
+			if st.moveDelta(i, from, to) < 0 {
+				st.move(i, from, to)
+				moves++
+			}
 		}
 	}
 	return moves

@@ -8,8 +8,10 @@ import (
 )
 
 // state holds the sufficient statistics FairKM maintains so every
-// candidate move is evaluated in O(|N| + Σ_S |Values(S)|) instead of
-// rescanning cluster members (the optimization Section 4.2.1 motivates).
+// candidate move is evaluated in O(|N| + #attrs) — constant time per
+// sensitive attribute — instead of rescanning cluster members or
+// attribute domains (the optimization Section 4.2.1 motivates, taken
+// one step further than the paper's O(Σ_S |Values(S)|) bookkeeping).
 //
 // Per cluster c it tracks:
 //   - counts[c]: cardinality |c|
@@ -19,6 +21,26 @@ import (
 //   - numSums[a][c]: sum of numeric sensitive attr a over members
 //   - devCache[c]: the cluster's current fairness deviation
 //     contribution (the (|c|/n)²·ND_C term of Eq. 7 plus Eq. 22 terms)
+//
+// On top of the raw value counts, the scoring kernel maintains three
+// quadratic aggregates per (categorical attribute, cluster) pair:
+//
+//	catSq[a][c]    = Σ_v mult[v]·cc[v]²
+//	catCross[a][c] = Σ_v mult[v]·cc[v]·Fr_X(v)
+//	catConst[a]    = Σ_v mult[v]·Fr_X(v)²   (assignment-independent)
+//
+// Expanding Eq. 7's Σ_v mult[v]·(cc[v]/m − Fr_X(v))² gives the closed
+// form (1/m²)·catSq − (2/m)·catCross + catConst, so both
+// clusterDeviation and deviationWithDelta cost O(1) per attribute.
+// When a point with value code moves in or out, only cc[code] changes,
+// so the aggregates update in O(1) too:
+//
+//	catSq    += mult[code]·(±2·cc[code] + 1)
+//	catCross += ±mult[code]·Fr_X(code)
+//
+// The pre-aggregate per-value kernel is kept as the *Naive methods; the
+// unexported Config.naiveKernel knob routes scoring through it so parity
+// tests and benchmarks can compare the two end to end.
 type state struct {
 	ds      *dataset.Dataset
 	k       int
@@ -29,11 +51,13 @@ type state struct {
 
 	exponent float64 // cluster-weight exponent, paper default 2
 	domNorm  bool    // divide by |Values(S)| (Eq. 4), paper default true
+	naive    bool    // score with the per-value reference kernel
 
 	assign []int
 	counts []int
 	sums   [][]float64
 	ssqs   []float64
+	xsq    []float64 // xsq[i] = ‖Features[i]‖², computed once per run
 
 	catAttrs []int // indexes into ds.Sensitive with Kind == Categorical
 	numAttrs []int // indexes into ds.Sensitive with Kind == Numeric
@@ -47,9 +71,17 @@ type state struct {
 	// frMult[ai][v] multiplies value v's squared deviation: all ones by
 	// default, 1/(fr·(1−fr)) under Config.SkewCompensation.
 	frMult [][]float64
+	// catScale[ai] folds the Eq. 23 weight and the Eq. 4 domain
+	// normalization into one factor: w_S/|Values(S)| (or w_S without
+	// domain normalization).
+	catScale []float64
 
 	catCounts [][][]int   // [attr][cluster][value], attr indexed as ds.Sensitive
 	numSums   [][]float64 // [attr][cluster]
+
+	catSq    [][]float64 // [attr][cluster] Σ_v mult·cc²
+	catCross [][]float64 // [attr][cluster] Σ_v mult·cc·frX
+	catConst []float64   // [attr] Σ_v mult·frX²
 
 	devCache []float64
 }
@@ -65,6 +97,7 @@ func newState(ds *dataset.Dataset, cfg *Config, lambda float64, assign []int) *s
 		assign:   assign,
 		exponent: cfg.ClusterWeightExponent,
 		domNorm:  !cfg.NoDomainNormalization,
+		naive:    cfg.naiveKernel,
 	}
 	if st.exponent == 0 {
 		st.exponent = 2
@@ -85,22 +118,41 @@ func newState(ds *dataset.Dataset, cfg *Config, lambda float64, assign []int) *s
 		st.sums[c] = make([]float64, st.dim)
 	}
 	st.ssqs = make([]float64, st.k)
+	st.xsq = make([]float64, n)
+	for i, x := range ds.Features {
+		st.xsq[i] = stats.Dot(x, x)
+	}
 	st.frX = make([][]float64, len(ds.Sensitive))
 	st.meanX = make([]float64, len(ds.Sensitive))
 	st.frMult = make([][]float64, len(ds.Sensitive))
+	st.catScale = make([]float64, len(ds.Sensitive))
 	st.catCounts = make([][][]int, len(ds.Sensitive))
 	st.numSums = make([][]float64, len(ds.Sensitive))
+	st.catSq = make([][]float64, len(ds.Sensitive))
+	st.catCross = make([][]float64, len(ds.Sensitive))
+	st.catConst = make([]float64, len(ds.Sensitive))
 	for ai, s := range ds.Sensitive {
 		switch s.Kind {
 		case dataset.Categorical:
 			st.catAttrs = append(st.catAttrs, ai)
 			st.frX[ai] = ds.Fractions(s)
 			st.frMult[ai] = skewMultipliers(st.frX[ai], cfg.SkewCompensation)
+			st.catScale[ai] = st.weights[ai]
+			if st.domNorm {
+				st.catScale[ai] /= float64(len(s.Values))
+			}
 			cc := make([][]int, st.k)
 			for c := range cc {
 				cc[c] = make([]int, len(s.Values))
 			}
 			st.catCounts[ai] = cc
+			st.catSq[ai] = make([]float64, st.k)
+			st.catCross[ai] = make([]float64, st.k)
+			cnst := 0.0
+			for v, fr := range st.frX[ai] {
+				cnst += st.frMult[ai][v] * fr * fr
+			}
+			st.catConst[ai] = cnst
 		case dataset.Numeric:
 			st.numAttrs = append(st.numAttrs, ai)
 			st.meanX[ai] = stats.Mean(s.Reals)
@@ -123,9 +175,15 @@ func (st *state) accumulate(i, c int) {
 	x := st.ds.Features[i]
 	st.counts[c]++
 	stats.AddTo(st.sums[c], x)
-	st.ssqs[c] += stats.Dot(x, x)
+	st.ssqs[c] += st.xsq[i]
 	for _, ai := range st.catAttrs {
-		st.catCounts[ai][c][st.ds.Sensitive[ai].Codes[i]]++
+		code := st.ds.Sensitive[ai].Codes[i]
+		cc := st.catCounts[ai][c]
+		old := cc[code]
+		cc[code] = old + 1
+		mult := st.frMult[ai][code]
+		st.catSq[ai][c] += mult * float64(2*old+1)
+		st.catCross[ai][c] += mult * st.frX[ai][code]
 	}
 	for _, ai := range st.numAttrs {
 		st.numSums[ai][c] += st.ds.Sensitive[ai].Reals[i]
@@ -137,9 +195,15 @@ func (st *state) remove(i, c int) {
 	x := st.ds.Features[i]
 	st.counts[c]--
 	stats.SubFrom(st.sums[c], x)
-	st.ssqs[c] -= stats.Dot(x, x)
+	st.ssqs[c] -= st.xsq[i]
 	for _, ai := range st.catAttrs {
-		st.catCounts[ai][c][st.ds.Sensitive[ai].Codes[i]]--
+		code := st.ds.Sensitive[ai].Codes[i]
+		cc := st.catCounts[ai][c]
+		old := cc[code]
+		cc[code] = old - 1
+		mult := st.frMult[ai][code]
+		st.catSq[ai][c] -= mult * float64(2*old-1)
+		st.catCross[ai][c] -= mult * st.frX[ai][code]
 	}
 	for _, ai := range st.numAttrs {
 		st.numSums[ai][c] -= st.ds.Sensitive[ai].Reals[i]
@@ -184,8 +248,36 @@ func (st *state) sseTotal() float64 {
 //	(|c|/n)² · [ Σ_cat w_S · Σ_s (Fr_C(s) − Fr_X(s))² / |Values(S)|
 //	           + Σ_num w_S · (mean_C(S) − mean_X(S))² ]
 //
-// Empty clusters contribute 0 (Eq. 3).
+// Empty clusters contribute 0 (Eq. 3). The categorical inner sum is the
+// O(1) closed form (1/m²)·catSq − (2/m)·catCross + catConst.
 func (st *state) clusterDeviation(c int) float64 {
+	if st.naive {
+		return st.clusterDeviationNaive(c)
+	}
+	m := st.counts[c]
+	if m == 0 {
+		return 0
+	}
+	inv := 1.0 / float64(m)
+	nd := 0.0
+	for _, ai := range st.catAttrs {
+		sum := inv*inv*st.catSq[ai][c] - 2*inv*st.catCross[ai][c] + st.catConst[ai]
+		if sum < 0 {
+			sum = 0 // floating-point cancellation guard
+		}
+		nd += st.catScale[ai] * sum
+	}
+	for _, ai := range st.numAttrs {
+		d := st.numSums[ai][c]*inv - st.meanX[ai]
+		nd += st.weights[ai] * d * d
+	}
+	return st.clusterWeight(m) * nd
+}
+
+// clusterDeviationNaive is the per-value reference form of
+// clusterDeviation — a direct transcription of Eqs. 3–7 that rescans
+// every value of every categorical attribute. O(Σ_S |Values(S)|).
+func (st *state) clusterDeviationNaive(c int) float64 {
 	m := st.counts[c]
 	if m == 0 {
 		return 0
@@ -234,8 +326,43 @@ func (st *state) fairnessTotal() float64 {
 
 // deviationWithDelta computes what cluster c's fairness contribution
 // would become if row i were added (sign=+1) or removed (sign=-1),
-// without mutating state.
+// without mutating state. Only cc[code] shifts by sign, so the
+// aggregates adjust in O(1) per attribute:
+//
+//	catSq'    = catSq + mult[code]·(2·sign·cc[code] + 1)
+//	catCross' = catCross + sign·mult[code]·Fr_X(code)
 func (st *state) deviationWithDelta(c, i, sign int) float64 {
+	if st.naive {
+		return st.deviationWithDeltaNaive(c, i, sign)
+	}
+	m := st.counts[c] + sign
+	if m == 0 {
+		return 0
+	}
+	inv := 1.0 / float64(m)
+	nd := 0.0
+	for _, ai := range st.catAttrs {
+		code := st.ds.Sensitive[ai].Codes[i]
+		mult := st.frMult[ai][code]
+		sq := st.catSq[ai][c] + mult*float64(2*sign*st.catCounts[ai][c][code]+1)
+		cross := st.catCross[ai][c] + float64(sign)*mult*st.frX[ai][code]
+		sum := inv*inv*sq - 2*inv*cross + st.catConst[ai]
+		if sum < 0 {
+			sum = 0 // floating-point cancellation guard
+		}
+		nd += st.catScale[ai] * sum
+	}
+	for _, ai := range st.numAttrs {
+		val := st.numSums[ai][c] + float64(sign)*st.ds.Sensitive[ai].Reals[i]
+		d := val*inv - st.meanX[ai]
+		nd += st.weights[ai] * d * d
+	}
+	return st.clusterWeight(m) * nd
+}
+
+// deviationWithDeltaNaive is the per-value reference form of
+// deviationWithDelta. O(Σ_S |Values(S)|).
+func (st *state) deviationWithDeltaNaive(c, i, sign int) float64 {
 	m := st.counts[c] + sign
 	if m == 0 {
 		return 0
@@ -295,6 +422,15 @@ func (st *state) kmeansInDelta(i, c int) float64 {
 	return float64(m) / float64(m+1) * d2
 }
 
+// moveDelta returns the exact objective change δ(O) of moving row i
+// from cluster from to cluster to against the live statistics.
+func (st *state) moveDelta(i, from, to int) float64 {
+	dKM := st.kmeansOutDelta(i, from) + st.kmeansInDelta(i, to)
+	dFair := (st.deviationWithDelta(from, i, -1) - st.devCache[from]) +
+		(st.deviationWithDelta(to, i, +1) - st.devCache[to])
+	return dKM + st.lambda*dFair
+}
+
 // sqDistToMean returns ‖x − sum/m‖² without materializing the mean.
 func sqDistToMean(x, sum []float64, m int) float64 {
 	inv := 1.0 / float64(m)
@@ -319,6 +455,75 @@ func (st *state) centroids() [][]float64 {
 		}
 	}
 	return out
+}
+
+// newFrozen allocates a snapshot buffer shaped like st, for reuse
+// across freezeInto calls.
+func (st *state) newFrozen() *state {
+	fz := &state{}
+	fz.counts = make([]int, st.k)
+	fz.sums = make([][]float64, st.k)
+	for c := range fz.sums {
+		fz.sums[c] = make([]float64, st.dim)
+	}
+	fz.catCounts = make([][][]int, len(st.catCounts))
+	fz.catSq = make([][]float64, len(st.catSq))
+	fz.catCross = make([][]float64, len(st.catCross))
+	fz.numSums = make([][]float64, len(st.numSums))
+	for _, ai := range st.catAttrs {
+		cc := make([][]int, st.k)
+		for c := range cc {
+			cc[c] = make([]int, len(st.catCounts[ai][c]))
+		}
+		fz.catCounts[ai] = cc
+		fz.catSq[ai] = make([]float64, st.k)
+		fz.catCross[ai] = make([]float64, st.k)
+	}
+	for _, ai := range st.numAttrs {
+		fz.numSums[ai] = make([]float64, st.k)
+	}
+	fz.devCache = make([]float64, st.k)
+	return fz
+}
+
+// freezeInto copies st's mutable statistics into the snapshot buffer fz
+// (allocated by newFrozen) and shares the immutable ones, yielding a
+// read-only view safe for concurrent scoring while st keeps mutating.
+// fz.assign and fz.ssqs stay nil: scoring never touches them.
+func (st *state) freezeInto(fz *state) {
+	fz.ds = st.ds
+	fz.k = st.k
+	fz.lambda = st.lambda
+	fz.n = st.n
+	fz.dim = st.dim
+	fz.weights = st.weights
+	fz.exponent = st.exponent
+	fz.domNorm = st.domNorm
+	fz.naive = st.naive
+	fz.catAttrs = st.catAttrs
+	fz.numAttrs = st.numAttrs
+	fz.frX = st.frX
+	fz.meanX = st.meanX
+	fz.frMult = st.frMult
+	fz.catScale = st.catScale
+	fz.catConst = st.catConst
+	fz.xsq = st.xsq
+
+	copy(fz.counts, st.counts)
+	for c := range st.sums {
+		copy(fz.sums[c], st.sums[c])
+	}
+	for _, ai := range st.catAttrs {
+		for c := 0; c < st.k; c++ {
+			copy(fz.catCounts[ai][c], st.catCounts[ai][c])
+		}
+		copy(fz.catSq[ai], st.catSq[ai])
+		copy(fz.catCross[ai], st.catCross[ai])
+	}
+	for _, ai := range st.numAttrs {
+		copy(fz.numSums[ai], st.numSums[ai])
+	}
+	copy(fz.devCache, st.devCache)
 }
 
 // skewMultipliers returns the per-value deviation multipliers: all ones

@@ -94,7 +94,7 @@ func RunAttrSweep(opts Options) (*AttrSweep, error) {
 					return nil, err
 				}
 				// λ heuristic (n/k)²: features are O(1)-scale here.
-				fkm, err := core.Run(ds, core.Config{K: k, AutoLambda: true, Seed: seed, MaxIter: opts.MaxIter})
+				fkm, err := core.Run(ds, core.Config{K: k, AutoLambda: true, Seed: seed, MaxIter: opts.MaxIter, Parallelism: opts.Parallelism})
 				if err != nil {
 					return nil, err
 				}

@@ -51,6 +51,10 @@ type Options struct {
 	KinLambda float64
 	// MaxIter bounds FairKM/ZGYA iterations; zero means the paper's 30.
 	MaxIter int
+	// Parallelism is passed through to core.Config.Parallelism for
+	// every FairKM run: 0 reproduces the paper's sequential sweeps,
+	// core.ParallelismAuto (-1) uses GOMAXPROCS workers.
+	Parallelism int
 }
 
 // DefaultOptions returns the scale used by cmd/experiments by default.

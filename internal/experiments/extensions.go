@@ -89,7 +89,7 @@ func RunBaselines(opts Options) (*BaselineComparison, error) {
 		return nil, err
 	}
 	if err := add("FairKM(all)", "all 5 attrs", func() ([]int, error) {
-		r, err := core.Run(ds, core.Config{K: k, Lambda: opts.KinLambda, Seed: opts.Seed, MaxIter: opts.MaxIter})
+		r, err := core.Run(ds, core.Config{K: k, Lambda: opts.KinLambda, Seed: opts.Seed, MaxIter: opts.MaxIter, Parallelism: opts.Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -217,7 +217,7 @@ func RunScalability(opts Options) (*Scalability, error) {
 		p.KMeansMillis = ms(start)
 
 		start = time.Now()
-		if _, err := core.Run(ds, core.Config{K: k, Lambda: 1e6, Seed: opts.Seed, MaxIter: opts.MaxIter}); err != nil {
+		if _, err := core.Run(ds, core.Config{K: k, Lambda: 1e6, Seed: opts.Seed, MaxIter: opts.MaxIter, Parallelism: opts.Parallelism}); err != nil {
 			return nil, err
 		}
 		p.FairKMMillis = ms(start)
@@ -284,7 +284,7 @@ func RunNumericSensitive(opts Options) (*NumericSensitive, error) {
 	if err != nil {
 		return nil, err
 	}
-	fkm, err := core.Run(ds, core.Config{K: k, Lambda: opts.AdultLambda, Seed: opts.Seed, MaxIter: opts.MaxIter})
+	fkm, err := core.Run(ds, core.Config{K: k, Lambda: opts.AdultLambda, Seed: opts.Seed, MaxIter: opts.MaxIter, Parallelism: opts.Parallelism})
 	if err != nil {
 		return nil, err
 	}

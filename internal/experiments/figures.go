@@ -151,7 +151,7 @@ func RunLambdaSweep(opts Options) (*LambdaSweep, error) {
 			if err != nil {
 				return nil, err
 			}
-			fkm, err := core.Run(ds, core.Config{K: 5, Lambda: lambda, Seed: seed, MaxIter: opts.MaxIter})
+			fkm, err := core.Run(ds, core.Config{K: 5, Lambda: lambda, Seed: seed, MaxIter: opts.MaxIter, Parallelism: opts.Parallelism})
 			if err != nil {
 				return nil, err
 			}

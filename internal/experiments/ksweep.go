@@ -57,7 +57,7 @@ func RunKSweep(opts Options) (*KSweep, error) {
 			if err != nil {
 				return nil, err
 			}
-			fkm, err := core.Run(ds, core.Config{K: k, Lambda: opts.AdultLambda, Seed: seed, MaxIter: opts.MaxIter})
+			fkm, err := core.Run(ds, core.Config{K: k, Lambda: opts.AdultLambda, Seed: seed, MaxIter: opts.MaxIter, Parallelism: opts.Parallelism})
 			if err != nil {
 				return nil, err
 			}
@@ -141,7 +141,7 @@ func RunConvergence(opts Options) (*Convergence, error) {
 		for rep := 0; rep < opts.Reps; rep++ {
 			res, err := core.Run(ds, core.Config{
 				K: 5, Lambda: lambda, Seed: opts.Seed + int64(rep),
-				MaxIter: opts.MaxIter, RecordHistory: true,
+				MaxIter: opts.MaxIter, RecordHistory: true, Parallelism: opts.Parallelism,
 			})
 			if err != nil {
 				return nil, err

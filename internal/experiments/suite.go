@@ -162,7 +162,7 @@ func runRep(ds *dataset.Dataset, k int, lambda float64, attrs []string, opts Opt
 	if err != nil {
 		return nil, fmt.Errorf("K-Means: %w", err)
 	}
-	fkm, err := core.Run(ds, core.Config{K: k, Lambda: lambda, Seed: seed, MaxIter: opts.MaxIter})
+	fkm, err := core.Run(ds, core.Config{K: k, Lambda: lambda, Seed: seed, MaxIter: opts.MaxIter, Parallelism: opts.Parallelism})
 	if err != nil {
 		return nil, fmt.Errorf("FairKM: %w", err)
 	}
@@ -194,7 +194,7 @@ func runRep(ds *dataset.Dataset, k int, lambda float64, attrs []string, opts Opt
 			if err != nil {
 				return nil, err
 			}
-			fs, err := core.Run(sub, core.Config{K: k, Lambda: singleLambda, Seed: seed, MaxIter: opts.MaxIter})
+			fs, err := core.Run(sub, core.Config{K: k, Lambda: singleLambda, Seed: seed, MaxIter: opts.MaxIter, Parallelism: opts.Parallelism})
 			if err != nil {
 				return nil, fmt.Errorf("FairKM(%s): %w", attr, err)
 			}

@@ -7,24 +7,52 @@ import "math"
 // point per cluster per iteration.
 
 // Dot returns the inner product of a and b. It panics on length mismatch.
+//
+// The loop is unrolled 4-wide with independent accumulators so the four
+// multiply-adds pipeline instead of serializing on one running sum; see
+// BenchmarkDot.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("stats: Dot length mismatch")
 	}
-	s := 0.0
-	for i := range a {
+	b = b[:len(a)] // bounds-check elimination hint
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i <= len(a)-4; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := (s0 + s2) + (s1 + s3)
+	for ; i < len(a); i++ {
 		s += a[i] * b[i]
 	}
 	return s
 }
 
 // SqDist returns the squared Euclidean distance between a and b.
+//
+// Unrolled 4-wide like Dot; see BenchmarkSqDist.
 func SqDist(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("stats: SqDist length mismatch")
 	}
-	s := 0.0
-	for i := range a {
+	b = b[:len(a)] // bounds-check elimination hint
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i <= len(a)-4; i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	s := (s0 + s2) + (s1 + s3)
+	for ; i < len(a); i++ {
 		d := a[i] - b[i]
 		s += d * d
 	}

@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchRows is the rotation window of benchVectors. Power of two so
+// the hot-loop index wrap is a mask.
+const benchRows = 32
+
+// benchVectors returns benchRows deterministic pseudo-random vectors of
+// length n (no RNG dependency so the benchmark input is fixed forever).
+// Benchmarks rotate through them so the compiler cannot hoist an
+// inlined call out of the measurement loop.
+func benchVectors(n int) [][]float64 {
+	rows := make([][]float64, benchRows)
+	for r := range rows {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(((r*8191+i)*2654435761)%1000)/1000 - 0.5
+		}
+		rows[r] = v
+	}
+	return rows
+}
+
+var benchSink float64
+
+// BenchmarkDot locks in the 4-wide unrolled inner product. Dim 8
+// matches the Adult feature space; 3, 64 and 301 exercise the scalar
+// tail and longer doc2vec-style embeddings.
+func BenchmarkDot(b *testing.B) {
+	for _, n := range []int{3, 8, 64, 301} {
+		xs, ys := benchVectors(n), benchVectors(n)
+		b.Run(fmt.Sprintf("dim=%d", n), func(b *testing.B) {
+			s := 0.0
+			for i := 0; i < b.N; i++ {
+				s += Dot(xs[i&(benchRows-1)], ys[i&(benchRows-1)])
+			}
+			benchSink = s
+		})
+	}
+}
+
+// BenchmarkSqDist locks in the 4-wide unrolled squared distance.
+func BenchmarkSqDist(b *testing.B) {
+	for _, n := range []int{3, 8, 64, 301} {
+		xs, ys := benchVectors(n), benchVectors(n)
+		b.Run(fmt.Sprintf("dim=%d", n), func(b *testing.B) {
+			s := 0.0
+			for i := 0; i < b.N; i++ {
+				s += SqDist(xs[i&(benchRows-1)], ys[i&(benchRows-1)])
+			}
+			benchSink = s
+		})
+	}
+}
