@@ -5,7 +5,8 @@
 // Usage:
 //
 //	experiments [-exp all|table5..table8|fig1..fig7|baselines|scaling|numeric]
-//	            [-reps N] [-seed S] [-adult-rows N] [-parallel P] [-out FILE]
+//	            [-reps N] [-seed S] [-adult-rows N] [-parallel P]
+//	            [-budget D] [-trace] [-out FILE]
 //
 // With -exp all (the default) it runs the paper's full evaluation.
 // -reps controls the number of random restarts averaged per
@@ -94,7 +95,9 @@ func run(args []string, out io.Writer) error {
 		reps      = fs.Int("reps", 10, "random restarts averaged per configuration (paper: 100)")
 		seed      = fs.Int64("seed", 1, "base random seed")
 		adultRows = fs.Int("adult-rows", 0, "reduced Adult generation size (0 = paper's 32561)")
-		parallel  = fs.Int("parallel", 0, "FairKM sweep workers: 0 = paper's sequential sweeps, -1 = GOMAXPROCS, n = n workers")
+		parallel  = fs.Int("parallel", 0, "engine sweep workers (FairKM/K-Means/ZGYA): 0 = paper's sequential sweeps, -1 = GOMAXPROCS, n = n workers")
+		budget    = fs.Duration("budget", 0, "wall-clock budget per individual solver run (0 = none)")
+		trace     = fs.Bool("trace", false, "log every solver iteration to stderr (very verbose)")
 		outPath   = fs.String("out", "", "also write output to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -106,6 +109,10 @@ func run(args []string, out io.Writer) error {
 	opts.Seed = *seed
 	opts.AdultRows = *adultRows
 	opts.Parallelism = *parallel
+	opts.Budget = *budget
+	if *trace {
+		opts.Trace = os.Stderr
+	}
 
 	selected, err := selectExperiments(*exp)
 	if err != nil {

@@ -6,7 +6,11 @@
 // Usage:
 //
 //	fairbench -in data.csv -features f1,f2 -sensitive s1,s2 -k 5
-//	          [-single-attr S] [-seed N] [-minmax=true]
+//	          [-single-attr S] [-seed N] [-minmax=true] [-parallel P]
+//	          [-budget D] [-trace]
+//
+// -budget bounds the wall-clock of each engine-based solver run
+// (FairKM, K-Means, ZGYA); -trace prints their per-iteration progress.
 //
 // Methods needing a single sensitive attribute (ZGYA, fairlet, fair
 // k-center) use -single-attr, defaulting to the first sensitive
@@ -27,6 +31,7 @@ import (
 	"repro/internal/bera"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/fairlet"
 	"repro/internal/fairproj"
 	"repro/internal/kcenter"
@@ -57,7 +62,9 @@ func run(args []string, out io.Writer) error {
 		singleAttr = fs.String("single-attr", "", "attribute for single-attribute methods (default: first sensitive column)")
 		seed       = fs.Int64("seed", 1, "random seed")
 		minmax     = fs.Bool("minmax", true, "min-max normalize features")
-		parallel   = fs.Int("parallel", 0, "FairKM sweep workers: 0 = sequential, -1 = GOMAXPROCS, n = n workers")
+		parallel   = fs.Int("parallel", 0, "engine sweep workers (FairKM/K-Means/ZGYA): 0 = sequential, -1 = GOMAXPROCS, n = n workers")
+		budget     = fs.Duration("budget", 0, "wall-clock budget per engine-based solver run (0 = none)")
+		trace      = fs.Bool("trace", false, "print one line per solver iteration")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,19 +117,26 @@ func run(args []string, out io.Writer) error {
 			mean.AE, mean.MW, elapsed, note)
 	}
 
+	observer := func(label string) engine.Observer {
+		if !*trace {
+			return nil
+		}
+		return engine.TraceObserver(out, "trace "+label)
+	}
+
 	start := time.Now()
-	km, err := kmeans.Run(ds.Features, kmeans.Config{K: *k, Seed: *seed})
+	km, err := kmeans.Run(ds.Features, kmeans.Config{K: *k, Seed: *seed, Parallelism: *parallel, Budget: *budget, Observer: observer("K-Means")})
 	if err != nil {
 		return err
 	}
 	report("K-Means (blind)", "", km.Assign, nil, start)
 
 	start = time.Now()
-	fkm, err := core.Run(ds, core.Config{K: *k, AutoLambda: true, Seed: *seed, Parallelism: *parallel})
+	fkm, err := core.Run(ds, core.Config{K: *k, AutoLambda: true, Seed: *seed, Parallelism: *parallel, Budget: *budget, Observer: observer("FairKM")})
 	report("FairKM (all attrs)", "λ=(n/k)²", assignOf(fkm), err, start)
 
 	start = time.Now()
-	zg, err := zgya.Run(ds, attr, zgya.Config{K: *k, AutoLambda: true, Seed: *seed})
+	zg, err := zgya.Run(ds, attr, zgya.Config{K: *k, AutoLambda: true, Seed: *seed, Parallelism: *parallel, Budget: *budget, Observer: observer("ZGYA")})
 	report("ZGYA("+attr+")", "single attr", assignOfZ(zg), err, start)
 
 	start = time.Now()

@@ -5,8 +5,8 @@
 //
 //	fairkm -in data.csv -features f1,f2 -sensitive s1,s2 -k 5
 //	       [-numeric-sensitive a1,a2] [-lambda L | -auto-lambda]
-//	       [-seed S] [-max-iter N] [-parallel P] [-assign out.csv]
-//	       [-compare]
+//	       [-seed S] [-max-iter N] [-tol T] [-budget D] [-parallel P]
+//	       [-trace] [-assign out.csv] [-compare]
 //
 // With -compare it also runs S-blind K-Means on the same data and
 // prints both result columns side by side, quantifying what fairness
@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/kmeans"
 	"repro/internal/metrics"
 )
@@ -50,7 +51,10 @@ func run(args []string, out io.Writer) error {
 		autoLambda = fs.Bool("auto-lambda", false, "use the paper's λ=(n/k)² heuristic")
 		seed       = fs.Int64("seed", 1, "random seed")
 		maxIter    = fs.Int("max-iter", 30, "maximum round-robin iterations")
+		tol        = fs.Float64("tol", 0, "stop when the objective improves by less than this between iterations (0 = exact zero-moves convergence)")
+		budget     = fs.Duration("budget", 0, "wall-clock budget for the solve, e.g. 500ms (0 = none)")
 		parallel   = fs.Int("parallel", 0, "sweep workers: 0 = paper's sequential Algorithm 1, -1 = GOMAXPROCS, n = n workers")
+		trace      = fs.Bool("trace", false, "print one line per iteration (moves, objective, elapsed)")
 		minmax     = fs.Bool("minmax", true, "min-max normalize features before clustering")
 		assignOut  = fs.String("assign", "", "write per-row cluster assignments to this CSV")
 		compare    = fs.Bool("compare", false, "also run S-blind K-Means and print both")
@@ -83,10 +87,15 @@ func run(args []string, out io.Writer) error {
 		ds.MinMaxNormalize()
 	}
 
-	res, err := core.Run(ds, core.Config{
+	cfg := core.Config{
 		K: *k, Lambda: *lambda, AutoLambda: *autoLambda,
-		Seed: *seed, MaxIter: *maxIter, Parallelism: *parallel,
-	})
+		Seed: *seed, MaxIter: *maxIter, Tol: *tol, Budget: *budget,
+		Parallelism: *parallel,
+	}
+	if *trace {
+		cfg.Observer = engine.TraceObserver(out, "fairkm")
+	}
+	res, err := core.Run(ds, cfg)
 	if err != nil {
 		return err
 	}

@@ -20,15 +20,24 @@
 //
 // # Package map
 //
-//   - internal/core — the FairKM algorithm (re-exported here)
-//   - internal/kmeans — classical K-Means (the S-blind baseline)
-//   - internal/zgya — the ZGYA fair-clustering baseline [Ziko et al. 2019]
+//   - internal/engine — the shared descent engine: initializers, sweep
+//     strategies (sequential, mini-batch, frozen-parallel, Lloyd),
+//     convergence policies (zero-moves, Tol, MaxIter, wall-clock
+//     budget) and the per-iteration Observer hook
+//   - internal/core — the FairKM objective on the engine (re-exported
+//     here)
+//   - internal/kmeans — classical K-Means on the engine (the S-blind
+//     baseline)
+//   - internal/zgya — the ZGYA fair-clustering baseline [Ziko et al.
+//     2019] on the engine
 //   - internal/fairlet, internal/bera — further baselines from the
 //     fair-clustering literature
 //   - internal/metrics — the paper's quality and fairness measures
 //   - internal/data/adult, internal/data/kinematics — synthetic
 //     stand-ins for the paper's evaluation datasets
 //   - internal/experiments — regenerates every table and figure
+//   - internal/goldencase — pinned solver trajectories guarding
+//     refactors of the engine and objectives
 //
 // See README.md, DESIGN.md and EXPERIMENTS.md for the full tour.
 package fairclust
@@ -38,6 +47,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/kmeans"
 	"repro/internal/metrics"
 )
@@ -73,6 +83,19 @@ type KMeansConfig = kmeans.Config
 
 // KMeansResult is a completed K-Means clustering.
 type KMeansResult = kmeans.Result
+
+// Observer is the engine's per-iteration hook: set Config.Observer (on
+// any solver config) to receive an IterEvent after every sweep —
+// progress callbacks, trace logging, convergence studies.
+type Observer = engine.Observer
+
+// IterEvent is the per-iteration record passed to an Observer.
+type IterEvent = engine.IterEvent
+
+// InitMethod selects the shared initializer (k-means++ by default,
+// random partition with empty-cluster repair, or random points) used
+// identically by FairKM, K-Means and ZGYA.
+type InitMethod = engine.InitMethod
 
 // NewBuilder creates a Builder for the given feature column names.
 func NewBuilder(featureNames ...string) *Builder {

@@ -18,6 +18,18 @@
 // objective given all other assignments, with cluster prototypes and
 // fractional representations updated incrementally after every move.
 //
+// # Architecture
+//
+// This package is the FairKM *objective* for the shared descent engine
+// (internal/engine): state holds the sufficient statistics and scores/
+// applies single-point moves, while initialization, sweep scheduling
+// (full, mini-batch, frozen-parallel), convergence policies
+// (zero-moves, Tol, MaxIter, wall-clock Budget) and the per-iteration
+// Observer hook are the engine's, shared bit-for-bit with the K-Means
+// and ZGYA solvers. See DESIGN.md for the layering and the parallelism
+// contract; golden-trajectory tests (internal/goldencase) pin this
+// split to the pre-engine behaviour.
+//
 // # Sweep complexity
 //
 // A direct implementation of the per-candidate fairness delta rescans
@@ -34,17 +46,18 @@
 // # Parallel sweeps
 //
 // Config.Parallelism additionally spreads candidate scoring over
-// worker goroutines: points are processed in fixed-size batches, each
-// batch is scored concurrently against statistics frozen at its start
-// (generalizing the Section 6.1 frozen-prototype mini-batch heuristic
-// to all sufficient statistics), and accepted moves are applied
-// sequentially in row order after re-validating their objective delta
-// against the live statistics. Results are deterministic and identical
-// for every worker count; they can differ from the strictly sequential
-// Algorithm 1 (Parallelism 0) because points within a batch do not see
-// each other's moves — the same relaxation the paper itself proposes
-// for mini-batching. Re-validation keeps descent monotone, so
-// convergence guarantees are preserved.
+// worker goroutines via the engine's frozen sweep: points are
+// processed in fixed-size batches, each batch is scored concurrently
+// against statistics frozen at its start (generalizing the Section 6.1
+// frozen-prototype mini-batch heuristic to all sufficient statistics),
+// and accepted moves are applied sequentially in row order after
+// re-validating their objective delta against the live statistics.
+// Results are deterministic and identical for every worker count; they
+// can differ from the strictly sequential Algorithm 1 (Parallelism 0)
+// because points within a batch do not see each other's moves — the
+// same relaxation the paper itself proposes for mini-batching.
+// Re-validation keeps descent monotone, so convergence guarantees are
+// preserved.
 //
 // The package also implements the paper's extensions: numeric sensitive
 // attributes (Eq. 22), per-attribute fairness weights (Eq. 23), and the
@@ -56,8 +69,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/kmeans"
 )
 
@@ -77,10 +92,21 @@ type Config struct {
 	AutoLambda bool
 	// MaxIter bounds round-robin iterations; zero means DefaultMaxIter.
 	MaxIter int
+	// Tol, when positive, additionally stops the run once the
+	// objective improves by less than Tol between iterations (the
+	// engine's shared policy, identical for K-Means and ZGYA). The
+	// zero default keeps Algorithm 1's exact convergence: stop only
+	// when a full sweep moves no object.
+	Tol float64
+	// Budget, when positive, stops the run at the first iteration
+	// boundary after the wall-clock budget is spent.
+	Budget time.Duration
 	// Seed drives the random initialization.
 	Seed int64
-	// Init selects the initial clustering. The paper's Algorithm 1 uses
-	// a random partition, which is the zero value here.
+	// Init selects the initial clustering. The zero value is k-means++
+	// (the repository-wide default, so FairKM and the K-Means baseline
+	// start from comparable configurations); the paper's Algorithm 1
+	// random partition is kmeans.RandomPartition.
 	Init kmeans.InitMethod
 	// Weights optionally assigns per-attribute fairness weights w_S
 	// (Eq. 23), keyed by sensitive attribute name. Attributes absent
@@ -123,6 +149,10 @@ type Config struct {
 	// RecordHistory, when set, stores per-iteration objective values in
 	// Result.History (used by the λ-sweep figures and by tests).
 	RecordHistory bool
+	// Observer, when non-nil, receives per-iteration statistics
+	// (moves, objective, elapsed wall-clock) as the run progresses —
+	// the engine's trace hook, used by the CLIs' -trace flags.
+	Observer engine.Observer
 
 	// naiveKernel routes scoring through the per-value reference
 	// kernel instead of the O(1) aggregate closed forms. Test-only:
@@ -229,6 +259,9 @@ func validate(ds *dataset.Dataset, cfg *Config) error {
 	}
 	if cfg.MiniBatch < 0 {
 		return fmt.Errorf("fairkm: negative mini-batch size %d", cfg.MiniBatch)
+	}
+	if cfg.Tol < 0 {
+		return fmt.Errorf("fairkm: negative tolerance %v", cfg.Tol)
 	}
 	for name, w := range cfg.Weights {
 		if w < 0 {

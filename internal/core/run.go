@@ -2,14 +2,18 @@ package core
 
 import (
 	"runtime"
-	"sync"
 
 	"repro/internal/dataset"
-	"repro/internal/kmeans"
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
 // Run executes FairKM (Algorithm 1) on the dataset.
+//
+// Orchestration — initialization, sweep scheduling, parallelism,
+// convergence policies and observation — is delegated to
+// internal/engine; this package contributes the FairKM objective
+// (state) and assembles the Result.
 func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	if err := validate(ds, &cfg); err != nil {
 		return nil, err
@@ -26,43 +30,54 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	assign := initialAssignment(ds.Features, cfg)
+	assign := engine.InitAssignment(ds.Features, cfg.K, cfg.Init, stats.NewRNG(cfg.Seed))
 	st := newState(ds, &cfg, lambda, assign)
 
-	var par *parallelSweeper
-	if workers >= 1 {
-		par = newParallelSweeper(st, workers, cfg.MiniBatch)
+	var sw engine.Sweeper
+	switch {
+	case workers >= 1:
+		sw = engine.NewFrozenSweep(st, engine.FrozenOpts{
+			Workers:    workers,
+			Batch:      cfg.MiniBatch,
+			Revalidate: true,
+		})
+	case cfg.MiniBatch > 0:
+		sw = engine.NewMiniBatchSweep(st, cfg.MiniBatch)
+	default:
+		sw = engine.NewFullSweep(st)
 	}
 
 	res := &Result{Lambda: lambda}
-	for iter := 1; iter <= maxIter; iter++ {
-		res.Iterations = iter
-		var moves int
-		switch {
-		case par != nil:
-			moves = par.sweep()
-		case cfg.MiniBatch > 0:
-			moves = st.sweepMiniBatch(cfg.MiniBatch)
-		default:
-			moves = st.sweep()
-		}
-		res.TotalMoves += moves
-		if cfg.RecordHistory {
-			km := st.sseTotal()
-			fair := st.fairnessTotal()
-			res.History = append(res.History, IterStats{
-				Iteration:    iter,
-				Moves:        moves,
-				KMeansTerm:   km,
-				FairnessTerm: fair,
-				Objective:    km + lambda*fair,
-			})
-		}
-		if moves == 0 {
-			res.Converged = true
-			break
+	var observer engine.Observer
+	if cfg.RecordHistory || cfg.Observer != nil {
+		observer = func(ev engine.IterEvent) {
+			if cfg.RecordHistory {
+				km := st.sseTotal()
+				fair := st.fairnessTotal()
+				res.History = append(res.History, IterStats{
+					Iteration:    ev.Iteration,
+					Moves:        ev.Moves,
+					KMeansTerm:   km,
+					FairnessTerm: fair,
+					Objective:    km + lambda*fair,
+				})
+			}
+			if cfg.Observer != nil {
+				cfg.Observer(ev)
+			}
 		}
 	}
+
+	er := engine.Solve(st, sw, engine.Config{
+		MaxIter:  maxIter,
+		Tol:      cfg.Tol,
+		Budget:   cfg.Budget,
+		Observer: observer,
+	})
+
+	res.Iterations = er.Iterations
+	res.TotalMoves = er.TotalMoves
+	res.Converged = er.Converged
 	res.Assign = st.assign
 	res.Centroids = st.centroids()
 	res.Sizes = append([]int(nil), st.counts...)
@@ -72,154 +87,110 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// sweep performs one round-robin pass over all objects, applying the
-// best move for each (Eq. 9) immediately, with prototype and
-// fractional-representation updates after every move (Sections
-// 4.2.1–4.2.3). It returns the number of objects that changed cluster.
-func (st *state) sweep() int {
-	moves := 0
-	for i := 0; i < st.n; i++ {
-		from := st.assign[i]
-		to := st.bestMove(i, from)
-		if to != from {
-			st.move(i, from, to)
-			moves++
-		}
-	}
-	return moves
+// ---- engine.Objective ----
+
+// N returns the number of rows.
+func (st *state) N() int { return st.n }
+
+// K returns the number of clusters.
+func (st *state) K() int { return st.k }
+
+// Current returns row i's cluster.
+func (st *state) Current(i int) int { return st.assign[i] }
+
+// BestMove scores row i against live statistics (Eq. 10).
+func (st *state) BestMove(i, from int) int { return st.bestMove(i, from) }
+
+// Delta returns the exact objective change of moving row i, against
+// live statistics.
+func (st *state) Delta(i, from, to int) float64 { return st.moveDelta(i, from, to) }
+
+// Move applies the move (Sections 4.2.1–4.2.3 incremental updates).
+func (st *state) Move(i, from, to int) { st.move(i, from, to) }
+
+// Value returns the current objective O = SSE + λ·deviation.
+func (st *state) Value() float64 { return st.sseTotal() + st.lambda*st.fairnessTotal() }
+
+// ---- engine.BatchObjective (Section 6.1 mini-batch heuristic) ----
+
+// RefreshBatchView re-materializes the frozen prototypes the mini-batch
+// sweep scores the K-Means term against; the (cheap) fairness
+// statistics stay live.
+func (st *state) RefreshBatchView() { st.batchProtos = st.centroids() }
+
+// BestMoveBatch scores row i with the K-Means term against the frozen
+// prototypes and the fairness term against live statistics.
+func (st *state) BestMoveBatch(i, from int) int {
+	return st.bestMoveAgainst(i, from, st.batchProtos)
 }
 
-// sweepMiniBatch is the Section 6.1 heuristic, which the paper frames
-// as "centroid updates are done only once every mini-batch of
-// clustering assignment updates": assignments and the (cheap)
-// fractional-representation bookkeeping still update after every move,
-// but the K-Means term is evaluated against cluster prototypes frozen
-// at the start of each batch, so the expensive prototype refresh
-// happens once per batch instead of once per move.
-func (st *state) sweepMiniBatch(batch int) int {
-	moves := 0
-	frozen := st.centroids()
-	sinceRefresh := 0
-	for i := 0; i < st.n; i++ {
-		from := st.assign[i]
-		to := st.bestMoveFrozen(i, from, frozen)
-		if to != from {
-			st.move(i, from, to)
-			moves++
-		}
-		sinceRefresh++
-		if sinceRefresh == batch {
-			frozen = st.centroids()
-			sinceRefresh = 0
-		}
-	}
-	return moves
+// ---- engine.SnapshotObjective (frozen-statistics parallel sweeps) ----
+
+// stateSnap is a reusable frozen copy of all mutable statistics,
+// sharing the immutable ones with the live state.
+type stateSnap struct {
+	live   *state
+	frozen *state
 }
 
-// defaultParallelBatch is the frozen-statistics batch size of parallel
-// sweeps when Config.MiniBatch doesn't override it. Smaller batches
-// keep statistics fresher (fewer stale proposals rejected at apply
-// time); larger ones amortize the snapshot copy and goroutine handoff.
-const defaultParallelBatch = 1024
-
-// parallelSweeper runs frozen-statistics parallel sweeps over a state,
-// holding the reusable snapshot and proposal buffers.
-type parallelSweeper struct {
-	st        *state
-	frozen    *state
-	proposals []int
-	workers   int
-	batch     int
+// NewSnapshot allocates the snapshot buffer.
+func (st *state) NewSnapshot() engine.Snapshot {
+	return &stateSnap{live: st, frozen: st.newFrozen()}
 }
 
-func newParallelSweeper(st *state, workers, batch int) *parallelSweeper {
-	if batch <= 0 {
-		batch = defaultParallelBatch
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return &parallelSweeper{
-		st:        st,
-		frozen:    st.newFrozen(),
-		proposals: make([]int, min(batch, st.n)),
-		workers:   workers,
-		batch:     batch,
-	}
-}
+// Freeze copies the live statistics into the buffer.
+func (s *stateSnap) Freeze() { s.live.freezeInto(s.frozen) }
 
-// sweep performs one round-robin pass in fixed-size batches: each
-// batch's candidate moves are scored concurrently against statistics
-// frozen at the batch start, then applied sequentially in row order,
-// each re-validated against the live statistics so the objective only
-// ever decreases. The batch size and per-point proposals are
-// independent of the worker count, so results are bit-identical for
-// every Parallelism >= 1.
-func (ps *parallelSweeper) sweep() int {
-	st := ps.st
-	moves := 0
-	for b0 := 0; b0 < st.n; b0 += ps.batch {
-		b1 := min(b0+ps.batch, st.n)
-		st.freezeInto(ps.frozen)
+// BestMove scores row i against the frozen statistics; safe for
+// concurrent calls because the frozen state is read-only between
+// freezes.
+func (s *stateSnap) BestMove(i, from int) int { return s.frozen.bestMove(i, from) }
 
-		span := b1 - b0
-		workers := min(ps.workers, span)
-		chunk := (span + workers - 1) / workers
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			lo := b0 + w*chunk
-			if lo >= b1 {
-				break
-			}
-			hi := min(lo+chunk, b1)
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					// st.assign is stable during the scoring phase;
-					// the frozen view is read-only.
-					ps.proposals[i-b0] = ps.frozen.bestMove(i, st.assign[i])
-				}
-			}(lo, hi)
-		}
-		wg.Wait()
+// bestMove returns the cluster minimizing the objective change δ(O) of
+// Eq. 10 for row i, which currently sits in cluster from, with every
+// term scored against live statistics. Ties keep the current cluster
+// (δ = 0 for staying put).
+func (st *state) bestMove(i, from int) int { return st.bestMoveAgainst(i, from, nil) }
 
-		for i := b0; i < b1; i++ {
-			to := ps.proposals[i-b0]
-			from := st.assign[i]
-			if to == from {
-				continue
-			}
-			// Earlier moves in this batch may have invalidated the
-			// frozen-state proposal; accept it only if it still
-			// improves the live objective.
-			if st.moveDelta(i, from, to) < 0 {
-				st.move(i, from, to)
-				moves++
-			}
-		}
-	}
-	return moves
-}
-
-// bestMoveFrozen mirrors bestMove but scores the K-Means term against
-// frozen prototypes (the classic nearest-centroid rule) while the
-// fairness term uses live statistics.
-func (st *state) bestMoveFrozen(i, from int, frozen [][]float64) int {
-	x := st.ds.Features[i]
-	dFrom := stats.SqDist(x, frozen[from])
-	devFromBefore := st.devCache[from]
-	devFromAfter := st.deviationWithDelta(from, i, -1)
+// bestMoveAgainst is the single scoring kernel behind every sweep
+// strategy. With frozen == nil both objective terms use the live
+// sufficient statistics (the strictly sequential Algorithm 1). With a
+// frozen prototype matrix, the K-Means term becomes the classic
+// nearest-centroid rule against those prototypes while the fairness
+// term stays live — the Section 6.1 mini-batch heuristic. The two
+// variants differ only in the K-Means delta, so the candidate loop is
+// specialized per variant to keep the branch out of the hot path.
+func (st *state) bestMoveAgainst(i, from int, frozen [][]float64) int {
+	// Leaving `from` costs the same regardless of destination; compute
+	// those pieces once.
+	dDevOut := st.deviationWithDelta(from, i, -1) - st.devCache[from]
 
 	best := from
 	bestDelta := 0.0
+	if frozen == nil {
+		kmOut := st.kmeansOutDelta(i, from)
+		for c := 0; c < st.k; c++ {
+			if c == from {
+				continue
+			}
+			dKM := kmOut + st.kmeansInDelta(i, c)
+			dFair := dDevOut + (st.deviationWithDelta(c, i, +1) - st.devCache[c])
+			delta := dKM + st.lambda*dFair
+			if delta < bestDelta {
+				bestDelta = delta
+				best = c
+			}
+		}
+		return best
+	}
+	x := st.ds.Features[i]
+	dFrom := stats.SqDist(x, frozen[from])
 	for c := 0; c < st.k; c++ {
 		if c == from {
 			continue
 		}
 		dKM := stats.SqDist(x, frozen[c]) - dFrom
-		dFair := (devFromAfter - devFromBefore) +
-			(st.deviationWithDelta(c, i, +1) - st.devCache[c])
+		dFair := dDevOut + (st.deviationWithDelta(c, i, +1) - st.devCache[c])
 		delta := dKM + st.lambda*dFair
 		if delta < bestDelta {
 			bestDelta = delta
@@ -227,84 +198,4 @@ func (st *state) bestMoveFrozen(i, from int, frozen [][]float64) int {
 		}
 	}
 	return best
-}
-
-// bestMove returns the cluster minimizing the objective change δ(O) of
-// Eq. 10 for row i, which currently sits in cluster from. Ties keep the
-// current cluster (δ = 0 for staying put).
-func (st *state) bestMove(i, from int) int {
-	// Leaving `from` costs the same regardless of destination; compute
-	// those pieces once.
-	kmOut := st.kmeansOutDelta(i, from)
-	devFromBefore := st.devCache[from]
-	devFromAfter := st.deviationWithDelta(from, i, -1)
-
-	best := from
-	bestDelta := 0.0
-	for c := 0; c < st.k; c++ {
-		if c == from {
-			continue
-		}
-		dKM := kmOut + st.kmeansInDelta(i, c)
-		dFair := (devFromAfter - devFromBefore) +
-			(st.deviationWithDelta(c, i, +1) - st.devCache[c])
-		delta := dKM + st.lambda*dFair
-		if delta < bestDelta {
-			bestDelta = delta
-			best = c
-		}
-	}
-	return best
-}
-
-// initialAssignment produces the starting partition per Config.Init.
-func initialAssignment(features [][]float64, cfg Config) []int {
-	n := len(features)
-	rng := stats.NewRNG(cfg.Seed)
-	assign := make([]int, n)
-	switch cfg.Init {
-	case kmeans.KMeansPlusPlus:
-		centroids := kmeans.PlusPlusCentroids(features, cfg.K, rng)
-		for i, x := range features {
-			best, bestD := 0, stats.SqDist(x, centroids[0])
-			for c := 1; c < len(centroids); c++ {
-				if d := stats.SqDist(x, centroids[c]); d < bestD {
-					best, bestD = c, d
-				}
-			}
-			assign[i] = best
-		}
-	case kmeans.RandomPoints:
-		pts := rng.SampleWithoutReplacement(n, cfg.K)
-		for i, x := range features {
-			best, bestD := 0, stats.SqDist(x, features[pts[0]])
-			for c := 1; c < len(pts); c++ {
-				if d := stats.SqDist(x, features[pts[c]]); d < bestD {
-					best, bestD = c, d
-				}
-			}
-			assign[i] = best
-		}
-	default: // RandomPartition — Algorithm 1 step 1
-		for i := range assign {
-			assign[i] = rng.Intn(cfg.K)
-		}
-		// Repair empty clusters so k-cluster invariants hold from the
-		// start (n >= k is guaranteed by validate).
-		sizes := make([]int, cfg.K)
-		for _, c := range assign {
-			sizes[c]++
-		}
-		for c := 0; c < cfg.K; c++ {
-			for sizes[c] == 0 {
-				i := rng.Intn(n)
-				if sizes[assign[i]] > 1 {
-					sizes[assign[i]]--
-					assign[i] = c
-					sizes[c]++
-				}
-			}
-		}
-	}
-	return assign
 }

@@ -84,6 +84,10 @@ type state struct {
 	catConst []float64   // [attr] Σ_v mult·frX²
 
 	devCache []float64
+
+	// batchProtos are the frozen prototypes mini-batch sweeps score the
+	// K-Means term against, re-materialized by RefreshBatchView.
+	batchProtos [][]float64
 }
 
 func newState(ds *dataset.Dataset, cfg *Config, lambda float64, assign []int) *state {

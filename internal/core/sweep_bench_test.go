@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/data/adult"
 	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/stats"
 )
 
 // benchAdult lazily generates the Adult-scale benchmark workload from
@@ -37,7 +39,7 @@ func benchState(b *testing.B, ds *dataset.Dataset, naive bool) *state {
 	b.Helper()
 	cfg := Config{K: benchK, AutoLambda: true, Seed: 5, naiveKernel: naive}
 	lambda := DefaultLambda(ds.N(), cfg.K)
-	assign := initialAssignment(ds.Features, cfg)
+	assign := engine.InitAssignment(ds.Features, cfg.K, cfg.Init, stats.NewRNG(cfg.Seed))
 	return newState(ds, &cfg, lambda, assign)
 }
 
@@ -53,10 +55,11 @@ func BenchmarkSweep(b *testing.B) {
 	}{{"aggregate", false}, {"naive", true}} {
 		b.Run(mode.name, func(b *testing.B) {
 			st := benchState(b, ds, mode.naive)
+			sw := engine.NewFullSweep(st)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				st.sweep()
+				sw.Sweep()
 			}
 		})
 	}
@@ -94,10 +97,10 @@ func BenchmarkSweepParallel(b *testing.B) {
 	for _, p := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
 			st := benchState(b, ds, false)
-			ps := newParallelSweeper(st, p, 0)
+			sw := engine.NewFrozenSweep(st, engine.FrozenOpts{Workers: p, Revalidate: true})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				ps.sweep()
+				sw.Sweep()
 			}
 		})
 	}

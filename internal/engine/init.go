@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// InitMethod selects how a solver's initial clustering is chosen. It
+// lives in the engine so FairKM, K-Means and ZGYA share one
+// implementation (and therefore start from comparable configurations,
+// the premise of the paper's evaluation); internal/kmeans re-exports
+// the type and constants for its public API.
+type InitMethod int
+
+const (
+	// KMeansPlusPlus picks initial centroids with the k-means++
+	// D²-weighting scheme (Arthur & Vassilvitskii 2007). It is the
+	// zero value, i.e. the default of every solver in this repository.
+	KMeansPlusPlus InitMethod = iota
+	// RandomPartition assigns every point to a uniformly random
+	// cluster and repairs empty clusters, matching "Initialize k
+	// clusters randomly" in FairKM's Algorithm 1.
+	RandomPartition
+	// RandomPoints picks k distinct data points as initial centroids.
+	RandomPoints
+)
+
+// String implements fmt.Stringer.
+func (m InitMethod) String() string {
+	switch m {
+	case KMeansPlusPlus:
+		return "kmeans++"
+	case RandomPartition:
+		return "random-partition"
+	case RandomPoints:
+		return "random-points"
+	default:
+		return fmt.Sprintf("InitMethod(%d)", int(m))
+	}
+}
+
+// InitAssignment produces a starting partition of the feature rows
+// into k clusters: nearest-centroid assignment for the centroid-seeded
+// methods, a repaired random partition for RandomPartition. The RNG
+// stream is consumed in a fixed order per method, so (features, k,
+// method, seed) fully determines the result.
+func InitAssignment(features [][]float64, k int, method InitMethod, rng *stats.RNG) []int {
+	n := len(features)
+	assign := make([]int, n)
+	switch method {
+	case KMeansPlusPlus:
+		centroids := PlusPlusCentroids(features, k, rng)
+		nearestInto(assign, features, centroids)
+	case RandomPoints:
+		pts := rng.SampleWithoutReplacement(n, k)
+		centroids := make([][]float64, k)
+		for c, p := range pts {
+			centroids[c] = features[p]
+		}
+		nearestInto(assign, features, centroids)
+	default: // RandomPartition — Algorithm 1 step 1
+		RandomPartitionAssign(rng, assign, k)
+	}
+	return assign
+}
+
+// nearestInto assigns every row to its nearest centroid (squared
+// Euclidean distance, lowest cluster index on ties).
+func nearestInto(assign []int, features, centroids [][]float64) {
+	for i, x := range features {
+		best, bestD := 0, stats.SqDist(x, centroids[0])
+		for c := 1; c < len(centroids); c++ {
+			if d := stats.SqDist(x, centroids[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+	}
+}
+
+// RandomPartitionAssign fills assign uniformly at random, then repairs
+// any empty cluster by stealing a random point from a cluster with more
+// than one member, so every cluster is non-empty whenever len(assign)
+// >= k. The repair preserves the k-cluster invariants solvers assume
+// from their first sweep.
+func RandomPartitionAssign(rng *stats.RNG, assign []int, k int) {
+	for i := range assign {
+		assign[i] = rng.Intn(k)
+	}
+	sizes := make([]int, k)
+	for _, c := range assign {
+		sizes[c]++
+	}
+	for c := 0; c < k; c++ {
+		for sizes[c] == 0 {
+			i := rng.Intn(len(assign))
+			if sizes[assign[i]] > 1 {
+				sizes[assign[i]]--
+				assign[i] = c
+				sizes[c]++
+			}
+		}
+	}
+}
+
+// PlusPlusCentroids returns k centroids chosen by the k-means++
+// D²-sampling procedure.
+func PlusPlusCentroids(features [][]float64, k int, rng *stats.RNG) [][]float64 {
+	n := len(features)
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centroids = append(centroids, stats.Clone(features[first]))
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = stats.SqDist(features[i], centroids[0])
+	}
+	for len(centroids) < k {
+		total := stats.Sum(d2)
+		var next int
+		if total <= 0 {
+			// All remaining points coincide with chosen centroids; fall
+			// back to uniform choice to keep the procedure total.
+			next = rng.Intn(n)
+		} else {
+			next = rng.Categorical(d2)
+		}
+		c := stats.Clone(features[next])
+		centroids = append(centroids, c)
+		for i := range d2 {
+			if d := stats.SqDist(features[i], c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}

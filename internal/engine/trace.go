@@ -1,0 +1,25 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// traceMu serializes trace lines across observers, so concurrent
+// solves (e.g. parallel experiment restarts) interleave whole lines,
+// never fragments.
+var traceMu sync.Mutex
+
+// TraceObserver returns an Observer writing one line per iteration to
+// w, tagged with label — the implementation behind the CLIs' -trace
+// flags and the experiment harness's Options.Trace.
+func TraceObserver(w io.Writer, label string) Observer {
+	return func(ev IterEvent) {
+		traceMu.Lock()
+		defer traceMu.Unlock()
+		fmt.Fprintf(w, "%s: iter=%d moves=%d objective=%.6g elapsed=%s\n",
+			label, ev.Iteration, ev.Moves, ev.Objective, ev.Elapsed.Round(time.Microsecond))
+	}
+}

@@ -89,12 +89,14 @@ func RunAttrSweep(opts Options) (*AttrSweep, error) {
 					return nil, err
 				}
 				ds.MinMaxNormalize() // λ=(n/k)² assumes unit-scale features
-				km, err := kmeans.Run(ds.Features, kmeans.Config{K: k, Seed: seed, MaxIter: opts.MaxIter})
+				km, err := kmeans.Run(ds.Features, opts.KMeansConfig(k, seed))
 				if err != nil {
 					return nil, err
 				}
 				// λ heuristic (n/k)²: features are O(1)-scale here.
-				fkm, err := core.Run(ds, core.Config{K: k, AutoLambda: true, Seed: seed, MaxIter: opts.MaxIter, Parallelism: opts.Parallelism})
+				fkmCfg := opts.FairKMConfig(k, seed)
+				fkmCfg.AutoLambda = true
+				fkm, err := core.Run(ds, fkmCfg)
 				if err != nil {
 					return nil, err
 				}

@@ -18,11 +18,17 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"sync"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/data/adult"
 	"repro/internal/data/kinematics"
 	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/kmeans"
+	"repro/internal/zgya"
 )
 
 // Options control experiment scale. The zero value is NOT runnable; use
@@ -51,10 +57,20 @@ type Options struct {
 	KinLambda float64
 	// MaxIter bounds FairKM/ZGYA iterations; zero means the paper's 30.
 	MaxIter int
-	// Parallelism is passed through to core.Config.Parallelism for
-	// every FairKM run: 0 reproduces the paper's sequential sweeps,
-	// core.ParallelismAuto (-1) uses GOMAXPROCS workers.
+	// Parallelism is passed through to every solver's
+	// Config.Parallelism: 0 reproduces the paper's sequential sweeps,
+	// core.ParallelismAuto (-1) uses GOMAXPROCS workers. Since the
+	// descent-engine refactor FairKM, K-Means and ZGYA all honour it
+	// with identical frozen-sweep semantics.
 	Parallelism int
+	// Budget, when positive, bounds the wall-clock of every individual
+	// solver run (the engine's budget policy); runs cut short report
+	// Converged == false but remain valid clusterings.
+	Budget time.Duration
+	// Trace, when non-nil, receives one line per solver iteration
+	// (labelled with method, k and seed). With parallel restarts the
+	// lines interleave; each line is written atomically.
+	Trace io.Writer
 }
 
 // DefaultOptions returns the scale used by cmd/experiments by default.
@@ -84,6 +100,46 @@ func (o *Options) normalize() {
 	}
 	if o.MaxIter <= 0 {
 		o.MaxIter = 30
+	}
+}
+
+// observer returns an engine.Observer writing per-iteration trace
+// lines tagged with label (whole lines, serialized across the
+// parallel restart goroutines), or nil when tracing is off.
+func (o Options) observer(label string) engine.Observer {
+	if o.Trace == nil {
+		return nil
+	}
+	return engine.TraceObserver(o.Trace, label)
+}
+
+// FairKMConfig returns a core.Config carrying the orchestration
+// options (MaxIter, Parallelism, Budget, trace observer) every
+// experiment threads into FairKM runs.
+func (o Options) FairKMConfig(k int, seed int64) core.Config {
+	return core.Config{
+		K: k, Seed: seed, MaxIter: o.MaxIter,
+		Parallelism: o.Parallelism, Budget: o.Budget,
+		Observer: o.observer(fmt.Sprintf("FairKM[k=%d seed=%d]", k, seed)),
+	}
+}
+
+// KMeansConfig is FairKMConfig's counterpart for the S-blind baseline.
+func (o Options) KMeansConfig(k int, seed int64) kmeans.Config {
+	return kmeans.Config{
+		K: k, Seed: seed, MaxIter: o.MaxIter,
+		Parallelism: o.Parallelism, Budget: o.Budget,
+		Observer: o.observer(fmt.Sprintf("K-Means[k=%d seed=%d]", k, seed)),
+	}
+}
+
+// ZGYAConfig is FairKMConfig's counterpart for the ZGYA baseline runs
+// dedicated to one sensitive attribute.
+func (o Options) ZGYAConfig(attr string, k int, seed int64) zgya.Config {
+	return zgya.Config{
+		K: k, Seed: seed, MaxIter: o.MaxIter,
+		Parallelism: o.Parallelism, Budget: o.Budget,
+		Observer: o.observer(fmt.Sprintf("ZGYA(%s)[k=%d seed=%d]", attr, k, seed)),
 	}
 }
 

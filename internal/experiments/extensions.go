@@ -57,7 +57,7 @@ func RunBaselines(opts Options) (*BaselineComparison, error) {
 	const attr = "Type-1"
 	cmp := &BaselineComparison{Dataset: "Kinematics", K: k}
 
-	ref, err := kmeans.Run(ds.Features, kmeans.Config{K: k, Seed: opts.Seed, MaxIter: opts.MaxIter})
+	ref, err := kmeans.Run(ds.Features, opts.KMeansConfig(k, opts.Seed))
 	if err != nil {
 		return nil, err
 	}
@@ -89,7 +89,9 @@ func RunBaselines(opts Options) (*BaselineComparison, error) {
 		return nil, err
 	}
 	if err := add("FairKM(all)", "all 5 attrs", func() ([]int, error) {
-		r, err := core.Run(ds, core.Config{K: k, Lambda: opts.KinLambda, Seed: opts.Seed, MaxIter: opts.MaxIter, Parallelism: opts.Parallelism})
+		cfg := opts.FairKMConfig(k, opts.Seed)
+		cfg.Lambda = opts.KinLambda
+		r, err := core.Run(ds, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +100,9 @@ func RunBaselines(opts Options) (*BaselineComparison, error) {
 		return nil, err
 	}
 	if err := add("ZGYA("+attr+")", "single attr", func() ([]int, error) {
-		r, err := zgya.Run(ds, attr, zgya.Config{K: k, AutoLambda: true, Seed: opts.Seed, MaxIter: opts.MaxIter})
+		cfg := opts.ZGYAConfig(attr, k, opts.Seed)
+		cfg.AutoLambda = true
+		r, err := zgya.Run(ds, attr, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -157,7 +161,7 @@ func RunBaselines(opts Options) (*BaselineComparison, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := kmeans.Run(proj.Features, kmeans.Config{K: k, Seed: opts.Seed, MaxIter: opts.MaxIter})
+		r, err := kmeans.Run(proj.Features, opts.KMeansConfig(k, opts.Seed))
 		if err != nil {
 			return nil, err
 		}
@@ -211,19 +215,23 @@ func RunScalability(opts Options) (*Scalability, error) {
 		p := ScalePoint{N: ds.N()}
 
 		start := time.Now()
-		if _, err := kmeans.Run(ds.Features, kmeans.Config{K: k, Seed: opts.Seed, MaxIter: opts.MaxIter}); err != nil {
+		if _, err := kmeans.Run(ds.Features, opts.KMeansConfig(k, opts.Seed)); err != nil {
 			return nil, err
 		}
 		p.KMeansMillis = ms(start)
 
 		start = time.Now()
-		if _, err := core.Run(ds, core.Config{K: k, Lambda: 1e6, Seed: opts.Seed, MaxIter: opts.MaxIter, Parallelism: opts.Parallelism}); err != nil {
+		fkmCfg := opts.FairKMConfig(k, opts.Seed)
+		fkmCfg.Lambda = 1e6
+		if _, err := core.Run(ds, fkmCfg); err != nil {
 			return nil, err
 		}
 		p.FairKMMillis = ms(start)
 
 		start = time.Now()
-		if _, err := zgya.Run(ds, "gender", zgya.Config{K: k, AutoLambda: true, Seed: opts.Seed, MaxIter: opts.MaxIter}); err != nil {
+		zgCfg := opts.ZGYAConfig("gender", k, opts.Seed)
+		zgCfg.AutoLambda = true
+		if _, err := zgya.Run(ds, "gender", zgCfg); err != nil {
 			return nil, err
 		}
 		p.ZGYAMillis = ms(start)
@@ -280,11 +288,13 @@ func RunNumericSensitive(opts Options) (*NumericSensitive, error) {
 		return nil, err
 	}
 	const k = 5
-	km, err := kmeans.Run(ds.Features, kmeans.Config{K: k, Seed: opts.Seed, MaxIter: opts.MaxIter})
+	km, err := kmeans.Run(ds.Features, opts.KMeansConfig(k, opts.Seed))
 	if err != nil {
 		return nil, err
 	}
-	fkm, err := core.Run(ds, core.Config{K: k, Lambda: opts.AdultLambda, Seed: opts.Seed, MaxIter: opts.MaxIter, Parallelism: opts.Parallelism})
+	fkmCfg := opts.FairKMConfig(k, opts.Seed)
+	fkmCfg.Lambda = opts.AdultLambda
+	fkm, err := core.Run(ds, fkmCfg)
 	if err != nil {
 		return nil, err
 	}

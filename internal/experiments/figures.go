@@ -147,11 +147,13 @@ func RunLambdaSweep(opts Options) (*LambdaSweep, error) {
 		var fairAcc metrics.FairnessReport
 		for rep := 0; rep < opts.Reps; rep++ {
 			seed := opts.Seed + int64(rep)
-			km, err := kmeans.Run(ds.Features, kmeans.Config{K: 5, Seed: seed, MaxIter: opts.MaxIter})
+			km, err := kmeans.Run(ds.Features, opts.KMeansConfig(5, seed))
 			if err != nil {
 				return nil, err
 			}
-			fkm, err := core.Run(ds, core.Config{K: 5, Lambda: lambda, Seed: seed, MaxIter: opts.MaxIter, Parallelism: opts.Parallelism})
+			fkmCfg := opts.FairKMConfig(5, seed)
+			fkmCfg.Lambda = lambda
+			fkm, err := core.Run(ds, fkmCfg)
 			if err != nil {
 				return nil, err
 			}

@@ -53,11 +53,13 @@ func RunKSweep(opts Options) (*KSweep, error) {
 		p.WideAttr = wide
 		for rep := 0; rep < opts.Reps; rep++ {
 			seed := opts.Seed + int64(rep)
-			km, err := kmeans.Run(ds.Features, kmeans.Config{K: k, Seed: seed, MaxIter: opts.MaxIter})
+			km, err := kmeans.Run(ds.Features, opts.KMeansConfig(k, seed))
 			if err != nil {
 				return nil, err
 			}
-			fkm, err := core.Run(ds, core.Config{K: k, Lambda: opts.AdultLambda, Seed: seed, MaxIter: opts.MaxIter, Parallelism: opts.Parallelism})
+			fkmCfg := opts.FairKMConfig(k, seed)
+			fkmCfg.Lambda = opts.AdultLambda
+			fkm, err := core.Run(ds, fkmCfg)
 			if err != nil {
 				return nil, err
 			}
@@ -139,10 +141,10 @@ func RunConvergence(opts Options) (*Convergence, error) {
 		var p ConvergencePoint
 		p.Lambda = lambda
 		for rep := 0; rep < opts.Reps; rep++ {
-			res, err := core.Run(ds, core.Config{
-				K: 5, Lambda: lambda, Seed: opts.Seed + int64(rep),
-				MaxIter: opts.MaxIter, RecordHistory: true, Parallelism: opts.Parallelism,
-			})
+			cfg := opts.FairKMConfig(5, opts.Seed+int64(rep))
+			cfg.Lambda = lambda
+			cfg.RecordHistory = true
+			res, err := core.Run(ds, cfg)
 			if err != nil {
 				return nil, err
 			}

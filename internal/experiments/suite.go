@@ -158,11 +158,13 @@ func runRep(ds *dataset.Dataset, k int, lambda float64, attrs []string, opts Opt
 		zgFair:  map[string]metrics.FairnessReport{},
 	}
 
-	km, err := kmeans.Run(ds.Features, kmeans.Config{K: k, Seed: seed, MaxIter: opts.MaxIter})
+	km, err := kmeans.Run(ds.Features, opts.KMeansConfig(k, seed))
 	if err != nil {
 		return nil, fmt.Errorf("K-Means: %w", err)
 	}
-	fkm, err := core.Run(ds, core.Config{K: k, Lambda: lambda, Seed: seed, MaxIter: opts.MaxIter, Parallelism: opts.Parallelism})
+	fkmCfg := opts.FairKMConfig(k, seed)
+	fkmCfg.Lambda = lambda
+	fkm, err := core.Run(ds, fkmCfg)
 	if err != nil {
 		return nil, fmt.Errorf("FairKM: %w", err)
 	}
@@ -172,7 +174,9 @@ func runRep(ds *dataset.Dataset, k int, lambda float64, attrs []string, opts Opt
 	addFairness(out.fkmFair, ds, fkm.Assign, k)
 
 	for _, attr := range attrs {
-		zg, err := zgya.Run(ds, attr, zgya.Config{K: k, AutoLambda: true, Seed: seed, MaxIter: opts.MaxIter})
+		zgCfg := opts.ZGYAConfig(attr, k, seed)
+		zgCfg.AutoLambda = true
+		zg, err := zgya.Run(ds, attr, zgCfg)
 		if err != nil {
 			return nil, fmt.Errorf("ZGYA(%s): %w", attr, err)
 		}
@@ -194,7 +198,9 @@ func runRep(ds *dataset.Dataset, k int, lambda float64, attrs []string, opts Opt
 			if err != nil {
 				return nil, err
 			}
-			fs, err := core.Run(sub, core.Config{K: k, Lambda: singleLambda, Seed: seed, MaxIter: opts.MaxIter, Parallelism: opts.Parallelism})
+			fsCfg := opts.FairKMConfig(k, seed)
+			fsCfg.Lambda = singleLambda
+			fs, err := core.Run(sub, fsCfg)
 			if err != nil {
 				return nil, fmt.Errorf("FairKM(%s): %w", attr, err)
 			}

@@ -1,0 +1,73 @@
+package goldencase
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+)
+
+// TestGoldenTrajectories re-runs every pinned configuration and
+// requires bit-identical results to the recordings made against the
+// pre-engine solvers: same assignment for every row, same IEEE-754
+// objective and λ bits, same iteration count and convergence flag.
+// Any divergence means the descent engine changed the optimization
+// trajectory — which is a behaviour change, not a refactor.
+func TestGoldenTrajectories(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden trajectories run the full solver matrix; skipped with -short")
+	}
+	buf, err := os.ReadFile("testdata/golden.json")
+	if err != nil {
+		t.Fatalf("reading goldens: %v", err)
+	}
+	var want []Record
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatalf("parsing goldens: %v", err)
+	}
+	got, err := All()
+	if err != nil {
+		t.Fatalf("running golden cases: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("case count changed: got %d, golden has %d — regenerate testdata/golden.json deliberately if cases were added", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Name != w.Name {
+			t.Fatalf("case %d: name %q, golden %q", i, g.Name, w.Name)
+		}
+		t.Run(w.Name, func(t *testing.T) {
+			if g.Iterations != w.Iterations || g.Converged != w.Converged {
+				t.Errorf("trajectory shape: iterations %d converged %v, golden %d/%v",
+					g.Iterations, g.Converged, w.Iterations, w.Converged)
+			}
+			if g.TotalMoves != w.TotalMoves {
+				t.Errorf("total moves %d, golden %d", g.TotalMoves, w.TotalMoves)
+			}
+			if g.Objective != w.Objective {
+				t.Errorf("objective %v (bits %#x), golden %v (bits %#x)",
+					math.Float64frombits(g.Objective), g.Objective,
+					math.Float64frombits(w.Objective), w.Objective)
+			}
+			if g.Lambda != w.Lambda {
+				t.Errorf("lambda bits %#x, golden %#x", g.Lambda, w.Lambda)
+			}
+			if len(g.Assign) != len(w.Assign) {
+				t.Fatalf("assignment length %d, golden %d", len(g.Assign), len(w.Assign))
+			}
+			diff := 0
+			for r := range w.Assign {
+				if g.Assign[r] != w.Assign[r] {
+					if diff == 0 {
+						t.Errorf("first assignment mismatch at row %d: %d, golden %d", r, g.Assign[r], w.Assign[r])
+					}
+					diff++
+				}
+			}
+			if diff > 0 {
+				t.Errorf("%d/%d assignments diverged", diff, len(w.Assign))
+			}
+		})
+	}
+}

@@ -5,43 +5,45 @@
 // "K-Means(N)" from the paper's evaluation (Section 5.3), and its
 // initialization routines seed FairKM and ZGYA so all methods start from
 // comparable configurations.
+//
+// Since the descent-engine refactor the package is a thin objective
+// over internal/engine: Lloyd iteration is the engine's frozen sweep
+// with one batch spanning the whole dataset (score every point against
+// centroids frozen at the iteration start, apply all reassignments,
+// recompute). Initialization, convergence policies (zero-moves, Tol,
+// MaxIter, wall-clock budget), parallel scoring and the per-iteration
+// observer hook all come from the engine and behave identically across
+// FairKM, K-Means and ZGYA; see DESIGN.md.
 package kmeans
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
-// InitMethod selects how initial clusters are chosen.
-type InitMethod int
+// InitMethod selects how initial clusters are chosen. It is the
+// engine's shared initializer selector; the constants re-export
+// engine's so existing call sites keep working.
+type InitMethod = engine.InitMethod
 
 const (
 	// KMeansPlusPlus picks initial centroids with the k-means++
-	// D²-weighting scheme (Arthur & Vassilvitskii 2007).
-	KMeansPlusPlus InitMethod = iota
-	// RandomPartition assigns every point to a uniformly random cluster,
-	// matching "Initialize k clusters randomly" in FairKM's Algorithm 1.
-	RandomPartition
+	// D²-weighting scheme (Arthur & Vassilvitskii 2007). Zero value:
+	// the default for every solver in this repository.
+	KMeansPlusPlus = engine.KMeansPlusPlus
+	// RandomPartition assigns every point to a uniformly random cluster
+	// (with empty-cluster repair), matching "Initialize k clusters
+	// randomly" in FairKM's Algorithm 1.
+	RandomPartition = engine.RandomPartition
 	// RandomPoints picks k distinct data points as initial centroids.
-	RandomPoints
+	RandomPoints = engine.RandomPoints
 )
-
-// String implements fmt.Stringer.
-func (m InitMethod) String() string {
-	switch m {
-	case KMeansPlusPlus:
-		return "kmeans++"
-	case RandomPartition:
-		return "random-partition"
-	case RandomPoints:
-		return "random-points"
-	default:
-		return fmt.Sprintf("InitMethod(%d)", int(m))
-	}
-}
 
 // Config parameterizes a K-Means run.
 type Config struct {
@@ -54,9 +56,22 @@ type Config struct {
 	// Init selects the initialization method.
 	Init InitMethod
 	// Tol stops iteration when the objective improves by less than Tol
-	// between iterations. Zero means exact convergence (no change in
-	// assignments).
+	// between iterations. Zero — the default — means exact convergence
+	// (no change in assignments), the same policy FairKM and ZGYA
+	// default to.
 	Tol float64
+	// Budget, when positive, stops the run at the first iteration
+	// boundary after the wall-clock budget is spent.
+	Budget time.Duration
+	// Parallelism is the number of scoring workers per Lloyd
+	// iteration: 0 or 1 scores sequentially, n > 1 uses n goroutines,
+	// any negative value uses GOMAXPROCS. Because Lloyd scoring
+	// against frozen centroids is pure, results are bit-identical for
+	// every setting.
+	Parallelism int
+	// Observer, when non-nil, receives per-iteration statistics
+	// (moves, objective, elapsed wall-clock).
+	Observer engine.Observer
 }
 
 // DefaultMaxIter is used when Config.MaxIter is zero.
@@ -75,12 +90,66 @@ type Result struct {
 	Objective float64
 	// Iterations is the number of Lloyd iterations executed.
 	Iterations int
-	// Converged reports whether assignments stabilized before MaxIter.
+	// Converged reports whether assignments stabilized (or the Tol
+	// policy fired) before MaxIter.
 	Converged bool
 }
 
 // K returns the number of clusters in the result.
 func (r *Result) K() int { return len(r.Centroids) }
+
+// lloyd is the K-Means objective for the descent engine: assignments
+// plus centroids frozen at the iteration start. Scoring is the classic
+// nearest-frozen-centroid rule; Move only updates the assignment —
+// centroids are re-derived from scratch on every Freeze, exactly like
+// the textbook recompute step (and bit-identical to the pre-engine
+// loop, which never kept incremental sums).
+type lloyd struct {
+	features [][]float64
+	k        int
+	assign   []int
+	frozen   [][]float64
+}
+
+func (l *lloyd) N() int                   { return len(l.features) }
+func (l *lloyd) K() int                   { return l.k }
+func (l *lloyd) Current(i int) int        { return l.assign[i] }
+func (l *lloyd) Move(i, from, to int)     { l.assign[i] = to }
+func (l *lloyd) BestMove(i, from int) int { return l.nearest(i) }
+func (l *lloyd) Delta(i, from, to int) float64 {
+	x := l.features[i]
+	return stats.SqDist(x, l.frozen[to]) - stats.SqDist(x, l.frozen[from])
+}
+
+// Value is the SSE against the frozen centroids — the quantity the Tol
+// policy compares between iterations.
+func (l *lloyd) Value() float64 { return SSE(l.features, l.assign, l.frozen) }
+
+// nearest mirrors the historical assignAll rule: all K centroids are
+// candidates (including zero-vector centroids of empty clusters), ties
+// keep the lowest cluster index.
+func (l *lloyd) nearest(i int) int {
+	x := l.features[i]
+	best, bestD := 0, math.Inf(1)
+	for c, cen := range l.frozen {
+		if d := stats.SqDist(x, cen); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// NewSnapshot: the frozen-centroid view IS the snapshot; Freeze
+// recomputes it from the live assignment.
+func (l *lloyd) NewSnapshot() engine.Snapshot { return (*lloydSnap)(l) }
+
+type lloydSnap lloyd
+
+func (s *lloydSnap) Freeze() {
+	s.frozen = computeCentroids(s.features, s.assign, s.k)
+}
+
+func (s *lloydSnap) BestMove(i, from int) int { return (*lloyd)(s).nearest(i) }
 
 // Run clusters the given feature rows. It returns an error for invalid
 // configurations (K out of range, ragged or empty input).
@@ -102,102 +171,44 @@ func Run(features [][]float64, cfg Config) (*Result, error) {
 	if maxIter <= 0 {
 		maxIter = DefaultMaxIter
 	}
+	workers := cfg.Parallelism
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
 	rng := stats.NewRNG(cfg.Seed)
-
-	assign := make([]int, n)
-	centroids := make([][]float64, cfg.K)
-	switch cfg.Init {
-	case RandomPartition:
-		randomPartition(rng, assign, cfg.K)
-		centroids = computeCentroids(features, assign, cfg.K)
-	case RandomPoints:
-		for i, p := range rng.SampleWithoutReplacement(n, cfg.K) {
-			centroids[i] = stats.Clone(features[p])
-		}
-		assignAll(features, centroids, assign)
-	default: // KMeansPlusPlus
-		centroids = PlusPlusCentroids(features, cfg.K, rng)
-		assignAll(features, centroids, assign)
+	obj := &lloyd{
+		features: features,
+		k:        cfg.K,
+		assign:   engine.InitAssignment(features, cfg.K, cfg.Init, rng),
 	}
 
-	res := &Result{Assign: assign}
-	prevObj := math.Inf(1)
-	for iter := 1; iter <= maxIter; iter++ {
-		res.Iterations = iter
-		centroids = computeCentroids(features, assign, cfg.K)
-		changed := assignAll(features, centroids, assign)
-		obj := SSE(features, assign, centroids)
-		if changed == 0 {
-			res.Converged = true
-		}
-		if cfg.Tol > 0 && prevObj-obj < cfg.Tol {
-			res.Converged = true
-		}
-		prevObj = obj
-		if res.Converged {
-			break
-		}
+	er := engine.Solve(obj, engine.NewLloydSweep(obj, workers), engine.Config{
+		MaxIter:  maxIter,
+		Tol:      cfg.Tol,
+		Budget:   cfg.Budget,
+		Observer: cfg.Observer,
+	})
+
+	res := &Result{
+		Assign:     obj.assign,
+		Iterations: er.Iterations,
+		Converged:  er.Converged,
 	}
-	res.Centroids = computeCentroids(features, assign, cfg.K)
-	res.Sizes = Sizes(assign, cfg.K)
-	res.Objective = SSE(features, assign, res.Centroids)
+	res.Centroids = computeCentroids(features, obj.assign, cfg.K)
+	res.Sizes = Sizes(obj.assign, cfg.K)
+	res.Objective = SSE(features, obj.assign, res.Centroids)
 	return res, nil
 }
 
-// randomPartition fills assign uniformly at random, then repairs any
-// empty cluster by stealing a random point, so every cluster is
-// non-empty when n >= k.
-func randomPartition(rng *stats.RNG, assign []int, k int) {
-	for i := range assign {
-		assign[i] = rng.Intn(k)
-	}
-	sizes := Sizes(assign, k)
-	for c := 0; c < k; c++ {
-		for sizes[c] == 0 {
-			i := rng.Intn(len(assign))
-			if sizes[assign[i]] > 1 {
-				sizes[assign[i]]--
-				assign[i] = c
-				sizes[c]++
-			}
-		}
-	}
-}
-
 // PlusPlusCentroids returns k centroids chosen by the k-means++
-// D²-sampling procedure.
+// D²-sampling procedure (shared engine implementation).
 func PlusPlusCentroids(features [][]float64, k int, rng *stats.RNG) [][]float64 {
-	n := len(features)
-	centroids := make([][]float64, 0, k)
-	first := rng.Intn(n)
-	centroids = append(centroids, stats.Clone(features[first]))
-	d2 := make([]float64, n)
-	for i := range d2 {
-		d2[i] = stats.SqDist(features[i], centroids[0])
-	}
-	for len(centroids) < k {
-		total := stats.Sum(d2)
-		var next int
-		if total <= 0 {
-			// All remaining points coincide with chosen centroids; fall
-			// back to uniform choice to keep the procedure total.
-			next = rng.Intn(n)
-		} else {
-			next = rng.Categorical(d2)
-		}
-		c := stats.Clone(features[next])
-		centroids = append(centroids, c)
-		for i := range d2 {
-			if d := stats.SqDist(features[i], c); d < d2[i] {
-				d2[i] = d
-			}
-		}
-	}
-	return centroids
+	return engine.PlusPlusCentroids(features, k, rng)
 }
 
 // assignAll reassigns every point to its nearest centroid, returning how
-// many assignments changed.
+// many assignments changed (still used by the weighted variant).
 func assignAll(features [][]float64, centroids [][]float64, assign []int) int {
 	changed := 0
 	for i, x := range features {

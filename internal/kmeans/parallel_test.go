@@ -1,0 +1,81 @@
+package kmeans
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+func gaussianBlobs(seed int64, n, k int) [][]float64 {
+	rng := stats.NewRNG(seed)
+	features := make([][]float64, n)
+	for i := range features {
+		c := float64(i % k)
+		features[i] = []float64{rng.Gaussian(c*5, 1), rng.Gaussian(-c*3, 1)}
+	}
+	return features
+}
+
+// TestParallelLloydDeterminism: scoring against frozen centroids is
+// pure, so every Parallelism setting must reproduce the sequential
+// Lloyd run exactly.
+func TestParallelLloydDeterminism(t *testing.T) {
+	features := gaussianBlobs(17, 800, 5)
+	var ref *Result
+	for _, p := range []int{0, 1, 2, 4, -1} {
+		res, err := Run(features, Config{K: 5, Seed: 2, Parallelism: p})
+		if err != nil {
+			t.Fatalf("parallelism=%d: %v", p, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.Objective != ref.Objective || res.Iterations != ref.Iterations || res.Converged != ref.Converged {
+			t.Fatalf("parallelism=%d diverged: objective %v vs %v, iters %d vs %d",
+				p, res.Objective, ref.Objective, res.Iterations, ref.Iterations)
+		}
+		for i := range res.Assign {
+			if res.Assign[i] != ref.Assign[i] {
+				t.Fatalf("parallelism=%d: assignment mismatch at row %d", p, i)
+			}
+		}
+	}
+}
+
+// TestBudgetStopsEarly: a tiny wall-clock budget ends the run after
+// one iteration, reported as not converged.
+func TestBudgetStopsEarly(t *testing.T) {
+	features := gaussianBlobs(23, 2000, 12)
+	res, err := Run(features, Config{K: 12, Seed: 4, Budget: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 && !res.Converged {
+		t.Fatalf("budgeted run should stop at the first iteration boundary, ran %d", res.Iterations)
+	}
+	if res.Converged && res.Iterations > 2 {
+		t.Fatalf("unexpectedly converged at iteration %d under a 1ns budget", res.Iterations)
+	}
+}
+
+// TestObserverReportsLloydIterations: the engine observer fires once
+// per Lloyd iteration with a decreasing-or-equal frozen-centroid SSE.
+func TestObserverReportsLloydIterations(t *testing.T) {
+	features := gaussianBlobs(29, 500, 4)
+	var events []engine.IterEvent
+	res, err := Run(features, Config{K: 4, Seed: 6, Observer: func(ev engine.IterEvent) {
+		events = append(events, ev)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != res.Iterations {
+		t.Fatalf("observer saw %d events for %d iterations", len(events), res.Iterations)
+	}
+	if last := events[len(events)-1]; res.Converged && last.Moves != 0 {
+		t.Fatalf("converged run's final iteration made %d moves", last.Moves)
+	}
+}

@@ -1,0 +1,74 @@
+// Package testfix builds the deterministic datasets shared by the
+// engine golden-trajectory tests and cross-package benchmarks. The
+// fixtures are frozen: the goldens in
+// internal/goldencase/testdata/golden.json were recorded against the
+// pre-engine solvers (commit 9c464aa) on exactly these datasets, so
+// changing a fixture invalidates the goldens.
+package testfix
+
+import (
+	"fmt"
+
+	"repro/internal/data/adult"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Synth builds a small random mixed dataset: dim Gaussian features,
+// nCat categorical sensitive attributes with random domain sizes in
+// [2,5], and nNum numeric sensitive attributes. The construction
+// consumes the RNG stream in a fixed order, so (seed, n, dim, nCat,
+// nNum) fully determines the dataset.
+func Synth(seed int64, n, dim, nCat, nNum int) *dataset.Dataset {
+	rng := stats.NewRNG(seed)
+	names := make([]string, dim)
+	for i := range names {
+		names[i] = fmt.Sprintf("f%d", i)
+	}
+	b := dataset.NewBuilder(names...)
+	catDomains := make([][]string, nCat)
+	for a := 0; a < nCat; a++ {
+		b.AddCategoricalSensitive(fmt.Sprintf("cat%d", a))
+		size := 2 + rng.Intn(4)
+		dom := make([]string, size)
+		for v := range dom {
+			dom[v] = string(rune('a' + v))
+		}
+		catDomains[a] = dom
+	}
+	for a := 0; a < nNum; a++ {
+		b.AddNumericSensitive(fmt.Sprintf("num%d", a))
+	}
+	for i := 0; i < n; i++ {
+		feats := make([]float64, dim)
+		for j := range feats {
+			feats[j] = rng.Gaussian(0, 2)
+		}
+		cats := make([]string, nCat)
+		for a := range cats {
+			cats[a] = catDomains[a][rng.Intn(len(catDomains[a]))]
+		}
+		nums := make([]float64, nNum)
+		for a := range nums {
+			nums[a] = rng.Gaussian(40, 10)
+		}
+		b.Row(feats, cats, nums)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("testfix: building synthetic dataset: %v", err))
+	}
+	return ds
+}
+
+// Adult generates the reduced synthetic Adult dataset used by the
+// golden tests: rows rows, min-max normalized features, parity
+// undersampling skipped (faster, and domain sizes stay Adult-shaped).
+func Adult(seed int64, rows int) *dataset.Dataset {
+	ds, err := adult.Generate(adult.Config{Seed: seed, Rows: rows, SkipParity: true})
+	if err != nil {
+		panic(fmt.Sprintf("testfix: generating Adult: %v", err))
+	}
+	ds.MinMaxNormalize()
+	return ds
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -134,9 +135,10 @@ func TestSweepMonotone(t *testing.T) {
 	}
 	s := ds.SensitiveByName("g")
 	st := newSolver(ds, s, Config{K: 3, Lambda: 30, Seed: 5})
+	sw := engine.NewFullSweep(st)
 	prev := naiveObjective(ds, s, st.assign, 3, 30)
 	for iter := 0; iter < 10; iter++ {
-		moves := st.sweep()
+		moves := sw.Sweep()
 		cur := naiveObjective(ds, s, st.assign, 3, 30)
 		if cur > prev+1e-7*(1+math.Abs(prev)) {
 			t.Fatalf("iteration %d increased objective: %v -> %v", iter, prev, cur)

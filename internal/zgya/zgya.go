@@ -31,8 +31,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/kmeans"
 	"repro/internal/stats"
 )
@@ -59,11 +62,36 @@ type Config struct {
 	AutoLambda bool
 	// MaxIter bounds round-robin iterations; zero means DefaultMaxIter.
 	MaxIter int
+	// Tol, when positive, additionally stops the run once the
+	// objective improves by less than Tol between iterations (the
+	// engine's shared policy, identical for FairKM and K-Means). The
+	// zero default keeps exact zero-moves convergence.
+	Tol float64
+	// Budget, when positive, stops the run at the first iteration
+	// boundary after the wall-clock budget is spent.
+	Budget time.Duration
 	// Seed drives initialization.
 	Seed int64
 	// Init selects the initial clustering (default k-means++ hard
 	// assignment).
 	Init kmeans.InitMethod
+	// MiniBatch, when m > 0, scores the SSE term against cluster
+	// prototypes frozen once per batch of m assignment decisions (the
+	// same Section 6.1 heuristic FairKM supports) instead of live
+	// statistics. Under a parallel sweep it instead sets the
+	// frozen-statistics batch size.
+	MiniBatch int
+	// Parallelism selects the sweep execution mode, with exactly
+	// FairKM's semantics: 0 (the default) is the strictly sequential
+	// round-robin sweep; a positive value scores candidate moves with
+	// that many workers against per-batch frozen statistics, applying
+	// re-validated moves sequentially; any negative value uses
+	// GOMAXPROCS workers. Results are deterministic and bit-identical
+	// for every Parallelism >= 1.
+	Parallelism int
+	// Observer, when non-nil, receives per-iteration statistics
+	// (moves, objective, elapsed wall-clock).
+	Observer engine.Observer
 }
 
 // Result is a completed ZGYA clustering.
@@ -113,20 +141,47 @@ func Run(ds *dataset.Dataset, attr string, cfg Config) (*Result, error) {
 	if cfg.Lambda < 0 {
 		return nil, fmt.Errorf("zgya: negative lambda %v", cfg.Lambda)
 	}
+	if cfg.Tol < 0 {
+		return nil, fmt.Errorf("zgya: negative tolerance %v", cfg.Tol)
+	}
+	if cfg.MiniBatch < 0 {
+		return nil, fmt.Errorf("zgya: negative mini-batch size %d", cfg.MiniBatch)
+	}
 	maxIter := cfg.MaxIter
 	if maxIter <= 0 {
 		maxIter = DefaultMaxIter
 	}
+	workers := cfg.Parallelism
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
 	st := newSolver(ds, s, cfg)
-	res := &Result{Lambda: st.lambda}
-	for iter := 1; iter <= maxIter; iter++ {
-		res.Iterations = iter
-		if st.sweep() == 0 {
-			res.Converged = true
-			break
-		}
+
+	var sw engine.Sweeper
+	switch {
+	case workers >= 1:
+		sw = engine.NewFrozenSweep(st, engine.FrozenOpts{
+			Workers:    workers,
+			Batch:      cfg.MiniBatch,
+			Revalidate: true,
+		})
+	case cfg.MiniBatch > 0:
+		sw = engine.NewMiniBatchSweep(st, cfg.MiniBatch)
+	default:
+		sw = engine.NewFullSweep(st)
 	}
+
+	er := engine.Solve(st, sw, engine.Config{
+		MaxIter:  maxIter,
+		Tol:      cfg.Tol,
+		Budget:   cfg.Budget,
+		Observer: cfg.Observer,
+	})
+
+	res := &Result{Lambda: st.lambda}
+	res.Iterations = er.Iterations
+	res.Converged = er.Converged
 	res.Assign = st.assign
 	res.Centroids = st.centroids()
 	res.Sizes = append([]int(nil), st.counts...)
@@ -154,6 +209,10 @@ type solver struct {
 	ssqs      []float64
 	valCounts [][]int
 	klCache   []float64
+
+	// batchProtos are the frozen prototypes mini-batch sweeps score
+	// the SSE term against, re-materialized by RefreshBatchView.
+	batchProtos [][]float64
 }
 
 func newSolver(ds *dataset.Dataset, s *dataset.SensitiveAttr, cfg Config) *solver {
@@ -317,41 +376,152 @@ func (st *solver) klTotal() float64 {
 	return total
 }
 
-func (st *solver) sweep() int {
-	moves := 0
-	for i := 0; i < st.n; i++ {
-		from := st.assign[i]
-		to := st.bestMove(i, from)
-		if to != from {
-			st.del(i, from)
-			st.add(i, to)
-			st.assign[i] = to
-			st.klCache[from] = st.klCluster(from)
-			st.klCache[to] = st.klCluster(to)
-			moves++
-		}
+// ---- engine.Objective ----
+
+// N returns the number of rows.
+func (st *solver) N() int { return st.n }
+
+// K returns the number of clusters.
+func (st *solver) K() int { return st.k }
+
+// Current returns row i's cluster.
+func (st *solver) Current(i int) int { return st.assign[i] }
+
+// BestMove scores row i against live statistics.
+func (st *solver) BestMove(i, from int) int { return st.bestMoveAgainst(i, from, nil) }
+
+// Delta returns the exact objective change of moving row i, against
+// live statistics.
+func (st *solver) Delta(i, from, to int) float64 {
+	x := st.features[i]
+	dSSE := 0.0
+	if m := st.counts[from]; m > 1 {
+		dSSE -= float64(m) / float64(m-1) * sqDistToMean(x, st.sums[from], m)
 	}
-	return moves
+	if m := st.counts[to]; m > 0 {
+		dSSE += float64(m) / float64(m+1) * sqDistToMean(x, st.sums[to], m)
+	}
+	dKL := (st.klWithDelta(from, i, -1) - st.klCache[from]) +
+		(st.klWithDelta(to, i, +1) - st.klCache[to])
+	return dSSE + st.lambda*dKL
 }
 
-func (st *solver) bestMove(i, from int) int {
-	x := st.features[i]
-	var sseOut float64
-	if m := st.counts[from]; m > 1 {
-		sseOut = -float64(m) / float64(m-1) * sqDistToMean(x, st.sums[from], m)
+// Move applies the move, refreshing the KL cache of both clusters.
+func (st *solver) Move(i, from, to int) {
+	st.del(i, from)
+	st.add(i, to)
+	st.assign[i] = to
+	st.klCache[from] = st.klCluster(from)
+	st.klCache[to] = st.klCluster(to)
+}
+
+// Value returns the current objective E = SSE + λ·Σ_C KL(U‖P_C).
+func (st *solver) Value() float64 { return st.sseTotal() + st.lambda*st.klTotal() }
+
+// ---- engine.BatchObjective (mini-batch heuristic) ----
+
+// RefreshBatchView re-materializes the frozen prototypes the
+// mini-batch sweep scores the SSE term against; the KL statistics stay
+// live.
+func (st *solver) RefreshBatchView() { st.batchProtos = st.centroids() }
+
+// BestMoveBatch scores row i with the SSE term against the frozen
+// prototypes.
+func (st *solver) BestMoveBatch(i, from int) int {
+	return st.bestMoveAgainst(i, from, st.batchProtos)
+}
+
+// ---- engine.SnapshotObjective (frozen-statistics parallel sweeps) ----
+
+// solverSnap is a reusable frozen copy of the mutable statistics.
+type solverSnap struct {
+	live   *solver
+	frozen *solver
+}
+
+// NewSnapshot allocates the snapshot buffer.
+func (st *solver) NewSnapshot() engine.Snapshot {
+	fz := &solver{
+		counts: make([]int, st.k),
+		sums:   make([][]float64, st.k),
+		ssqs:   make([]float64, st.k),
 	}
+	for c := range fz.sums {
+		fz.sums[c] = make([]float64, st.dim)
+	}
+	fz.valCounts = make([][]int, st.k)
+	for c := range fz.valCounts {
+		fz.valCounts[c] = make([]int, len(st.u))
+	}
+	fz.klCache = make([]float64, st.k)
+	return &solverSnap{live: st, frozen: fz}
+}
+
+// Freeze copies the live statistics into the buffer and shares the
+// immutable ones.
+func (s *solverSnap) Freeze() {
+	st, fz := s.live, s.frozen
+	fz.features = st.features
+	fz.groups = st.groups
+	fz.u = st.u
+	fz.k = st.k
+	fz.n = st.n
+	fz.dim = st.dim
+	fz.lambda = st.lambda
+	copy(fz.counts, st.counts)
+	for c := range st.sums {
+		copy(fz.sums[c], st.sums[c])
+	}
+	copy(fz.ssqs, st.ssqs)
+	for c := range st.valCounts {
+		copy(fz.valCounts[c], st.valCounts[c])
+	}
+	copy(fz.klCache, st.klCache)
+}
+
+// BestMove scores row i against the frozen statistics; safe for
+// concurrent calls because the frozen solver is read-only between
+// freezes.
+func (s *solverSnap) BestMove(i, from int) int { return s.frozen.bestMoveAgainst(i, from, nil) }
+
+// bestMoveAgainst is the single scoring kernel behind every sweep
+// strategy: with frozen == nil the SSE term uses the live sufficient
+// statistics; with a frozen prototype matrix it is the classic
+// nearest-centroid comparison against those prototypes, while the KL
+// term always stays live.
+func (st *solver) bestMoveAgainst(i, from int, frozen [][]float64) int {
+	x := st.features[i]
 	klFromAfter := st.klWithDelta(from, i, -1)
 
 	best := from
 	bestDelta := 0.0
+	if frozen == nil {
+		var sseOut float64
+		if m := st.counts[from]; m > 1 {
+			sseOut = -float64(m) / float64(m-1) * sqDistToMean(x, st.sums[from], m)
+		}
+		for c := 0; c < st.k; c++ {
+			if c == from {
+				continue
+			}
+			dSSE := sseOut
+			if m := st.counts[c]; m > 0 {
+				dSSE += float64(m) / float64(m+1) * sqDistToMean(x, st.sums[c], m)
+			}
+			dKL := (klFromAfter - st.klCache[from]) + (st.klWithDelta(c, i, +1) - st.klCache[c])
+			if delta := dSSE + st.lambda*dKL; delta < bestDelta {
+				bestDelta = delta
+				best = c
+			}
+		}
+		return best
+	}
+	dFrom := stats.SqDist(x, frozen[from])
 	for c := 0; c < st.k; c++ {
 		if c == from {
 			continue
 		}
-		dSSE := sseOut
-		if m := st.counts[c]; m > 0 {
-			dSSE += float64(m) / float64(m+1) * sqDistToMean(x, st.sums[c], m)
-		}
+		dSSE := stats.SqDist(x, frozen[c]) - dFrom
 		dKL := (klFromAfter - st.klCache[from]) + (st.klWithDelta(c, i, +1) - st.klCache[c])
 		if delta := dSSE + st.lambda*dKL; delta < bestDelta {
 			bestDelta = delta
