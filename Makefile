@@ -17,12 +17,17 @@ vet:
 # raw `go test -bench -json` event stream, so future PRs can diff
 # ns/op. BENCH_sweep.json is the frozen pre-engine baseline (PR 1);
 # BENCH_engine.json is re-recorded by this target and must stay within
-# 5% of it on BenchmarkSweep/BenchmarkBestMove.
+# 5% of it on BenchmarkSweep/BenchmarkBestMove. BENCH_stream.json
+# records the summarize-then-solve pipeline against full-data FairKM
+# (wall-clock, summary size and objective ratio on Adult-6500 and a
+# synthetic n=10^5 stream).
 bench:
 	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkSweep|BenchmarkBestMove|BenchmarkRunAdult' -benchtime 1s -json > BENCH_engine.json
-	$(GO) test ./internal/stats -run '^$$' -bench 'BenchmarkDot|BenchmarkSqDist' -benchtime 1s
+	$(GO) test . -run '^$$' -bench 'BenchmarkStream' -benchtime 1x -count 3 -json > BENCH_stream.json
+	$(GO) test ./internal/stats -run '^$$' -bench 'BenchmarkDot|BenchmarkSqDist|BenchmarkZipf' -benchtime 1s
 
 # bench-smoke just proves the benchmarks still compile and run (CI).
 bench-smoke:
 	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkSweep' -benchtime 1x
-	$(GO) test ./internal/stats -run '^$$' -bench 'BenchmarkDot|BenchmarkSqDist' -benchtime 1x
+	$(GO) test . -run '^$$' -bench 'BenchmarkStream/stream' -benchtime 1x
+	$(GO) test ./internal/stats -run '^$$' -bench 'BenchmarkDot|BenchmarkSqDist|BenchmarkZipf' -benchtime 1x

@@ -4,9 +4,11 @@ import (
 	"testing"
 
 	"repro/internal/bera"
+	"repro/internal/core"
 	"repro/internal/coreset"
 	"repro/internal/data/adult"
 	"repro/internal/data/kinematics"
+	"repro/internal/dataset"
 	"repro/internal/eigen"
 	"repro/internal/experiments"
 	"repro/internal/fairlet"
@@ -14,9 +16,11 @@ import (
 	"repro/internal/kmeans"
 	"repro/internal/lp"
 	"repro/internal/mcmf"
+	"repro/internal/pipeline"
 	"repro/internal/proportional"
 	"repro/internal/spectral"
 	"repro/internal/stats"
+	"repro/internal/testfix"
 )
 
 // Benchmarks for the extension experiments and the baseline-family
@@ -220,6 +224,63 @@ func BenchmarkJacobiEigen(b *testing.B) {
 		if _, _, err := eigen.SymEigen(a); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkStream measures the summarize-then-solve pipeline against
+// full-data FairKM on Adult (n=6500, streamed in 500-row blocks) and a
+// synthetic n=10⁵ mixture. Sub-benchmarks separate the two paths so
+// `make bench` records their wall-clocks side by side in
+// BENCH_stream.json; the stream path reports the summary size and the
+// summary/full objective ratio as metrics.
+func BenchmarkStream(b *testing.B) {
+	adultDS, err := adult.Generate(adult.Config{Seed: 1, Rows: 6500, SkipParity: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	adultDS.MinMaxNormalize()
+	adultStrat, err := adultDS.WithSensitive("gender", "race")
+	if err != nil {
+		b.Fatal(err)
+	}
+	synth := testfix.Synth(101, 100000, 6, 2, 0)
+
+	cases := []struct {
+		name  string
+		ds    *dataset.Dataset
+		k     int
+		chunk int
+	}{
+		{"adult6500", adultStrat, 7, 500},
+		{"synth100k", synth, 8, 2048},
+	}
+	for _, c := range cases {
+		c := c
+		var fullObj float64
+		b.Run("full/"+c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(c.ds, core.Config{K: c.k, AutoLambda: true, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fullObj = res.Objective
+			}
+		})
+		b.Run("stream/"+c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				src := pipeline.NewSliceSource(c.ds, c.chunk)
+				res, err := pipeline.FitStream(src, pipeline.Config{
+					K: c.k, AutoLambda: true, CoresetSize: 160, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Summary.N()), "summary-rows")
+				if fullObj > 0 {
+					b.ReportMetric(res.Solve.Objective/fullObj, "obj-ratio")
+				}
+			}
+		})
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table5..table8|fig1..fig7|baselines|scaling|numeric]
+//	experiments [-exp all|table5..table8|fig1..fig7|baselines|scaling|numeric|stream]
 //	            [-reps N] [-seed S] [-adult-rows N] [-parallel P]
 //	            [-budget D] [-trace] [-out FILE]
 //
@@ -75,6 +75,7 @@ var extensionExperiments = []runnable{
 	{"ksweep", func(o experiments.Options) (renderer, error) { return experiments.RunKSweep(o) }},
 	{"convergence", func(o experiments.Options) (renderer, error) { return experiments.RunConvergence(o) }},
 	{"attrsweep", func(o experiments.Options) (renderer, error) { return experiments.RunAttrSweep(o) }},
+	{"stream", func(o experiments.Options) (renderer, error) { return experiments.RunStreamStudy(o) }},
 }
 
 func main() {
@@ -91,7 +92,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		exp       = fs.String("exp", "all", "experiment(s): all, table5..table8, fig1..fig7, baselines, scaling, numeric, ksweep, convergence, attrsweep (comma-separated)")
+		exp       = fs.String("exp", "all", "experiment(s): all, table5..table8, fig1..fig7, baselines, scaling, numeric, ksweep, convergence, attrsweep, stream (comma-separated)")
 		reps      = fs.Int("reps", 10, "random restarts averaged per configuration (paper: 100)")
 		seed      = fs.Int64("seed", 1, "base random seed")
 		adultRows = fs.Int("adult-rows", 0, "reduced Adult generation size (0 = paper's 32561)")

@@ -1,0 +1,282 @@
+// Command fairstream clusters a CSV dataset of any size on fixed
+// memory with the summarize-then-solve pipeline: the file is streamed
+// in chunks through a fair merge-and-reduce coreset (one stratum per
+// combination of the sensitive columns, O(m·log n) retained rows per
+// stratum), weighted FairKM solves on the summary, and a second
+// streaming pass reports exact full-data fairness and utility for the
+// resulting centroids.
+//
+// Usage:
+//
+//	fairstream -in data.csv -features f1,f2 -sensitive s1,s2 -k 5
+//	           [-lambda L | -auto-lambda] [-m 64] [-block 128]
+//	           [-chunk 4096] [-max-groups 256] [-seed S] [-max-iter N]
+//	           [-tol T] [-parallel P] [-minmax] [-skip-eval]
+//	           [-centroids out.csv]
+//
+// With -minmax an extra leading pass computes per-column minima and
+// ranges so features can be scaled to [0,1] on the fly — three
+// sequential passes over the file, never more than one chunk in
+// memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fairstream: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the tool against the given arguments, writing the report
+// to out. Split from main for testability.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fairstream", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		in         = fs.String("in", "", "input CSV path (required; read up to three times, streaming)")
+		features   = fs.String("features", "", "comma-separated numeric feature columns (required)")
+		sensitive  = fs.String("sensitive", "", "comma-separated categorical sensitive columns (required; these stratify the coreset)")
+		k          = fs.Int("k", 5, "number of clusters")
+		lambda     = fs.Float64("lambda", 0, "fairness weight λ")
+		autoLambda = fs.Bool("auto-lambda", false, "use the paper's λ=(n/k)² heuristic (n = streamed rows)")
+		m          = fs.Int("m", 64, "per-stratum coreset size of each merge-and-reduce level")
+		block      = fs.Int("block", 0, "raw points buffered per stratum before compression (0 = 2m)")
+		chunk      = fs.Int("chunk", 0, "CSV rows decoded per chunk (0 = 4096)")
+		maxGroups  = fs.Int("max-groups", 0, "cap on realized sensitive-value combinations (0 = 256)")
+		seed       = fs.Int64("seed", 1, "random seed (coreset sampling and solve)")
+		maxIter    = fs.Int("max-iter", 30, "maximum round-robin iterations of the summary solve")
+		tol        = fs.Float64("tol", 0, "stop when the objective improves by less than this (0 = zero-moves convergence)")
+		parallel   = fs.Int("parallel", 0, "sweep workers for the summary solve: 0 sequential, -1 GOMAXPROCS, n workers")
+		minmax     = fs.Bool("minmax", false, "min-max scale features to [0,1] via an extra leading pass")
+		skipEval   = fs.Bool("skip-eval", false, "skip the second full-data metrics pass")
+		centsOut   = fs.String("centroids", "", "write the solved centroids to this CSV")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *features == "" || *sensitive == "" {
+		fs.Usage()
+		return fmt.Errorf("-in, -features and -sensitive are required")
+	}
+	spec := dataset.CSVSpec{
+		Features:             splitList(*features),
+		CategoricalSensitive: splitList(*sensitive),
+	}
+
+	var scaleMins, scaleRanges []float64
+	open := func() (pipeline.Source, *os.File, error) {
+		f, err := os.Open(*in)
+		if err != nil {
+			return nil, nil, err
+		}
+		src, err := dataset.NewCSVStream(f, spec, *chunk)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if scaleMins != nil {
+			return &scaledSource{src: src, mins: scaleMins, ranges: scaleRanges}, f, nil
+		}
+		return src, f, nil
+	}
+
+	// Optional pass 0: min-max statistics.
+	if *minmax {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		src, err := dataset.NewCSVStream(f, spec, *chunk)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		scaleMins, scaleRanges, err = scanMinMax(src)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "min-max pass: scaled %d feature columns\n", len(scaleMins))
+	}
+
+	// Pass 1: summarize and solve.
+	src, f, err := open()
+	if err != nil {
+		return err
+	}
+	res, err := pipeline.FitStream(src, pipeline.Config{
+		K:           *k,
+		Lambda:      *lambda,
+		AutoLambda:  *autoLambda,
+		CoresetSize: *m,
+		BlockSize:   *block,
+		MaxGroups:   *maxGroups,
+		Seed:        *seed,
+		MaxIter:     *maxIter,
+		Tol:         *tol,
+		Parallelism: *parallel,
+	})
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "stream: n=%d rows in, %d summary rows out (%.1f× compression), %d strata\n",
+		res.N, res.Summary.N(), float64(res.N)/float64(res.Summary.N()), res.Groups)
+	fmt.Fprintf(out, "solve:  k=%d lambda=%.4g iterations=%d converged=%v\n",
+		*k, res.Lambda, res.Solve.Iterations, res.Solve.Converged)
+	fmt.Fprintf(out, "  summary objective=%.4f (K-Means term %.4f + λ·fairness term %.6g)\n",
+		res.Solve.Objective, res.Solve.KMeansTerm, res.Solve.FairnessTerm)
+	fmt.Fprintf(out, "  cluster masses: %s\n", formatMasses(res.Solve.Masses))
+
+	if *centsOut != "" {
+		if err := writeCentroids(*centsOut, spec.Features, res.Solve.Centroids); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote centroids to %s\n", *centsOut)
+	}
+
+	if *skipEval {
+		return nil
+	}
+
+	// Pass 2: exact full-data metrics for the deployed centroids.
+	src2, f2, err := open()
+	if err != nil {
+		return err
+	}
+	ev, err := pipeline.Evaluate(src2, res.Solve.Centroids, res.Lambda)
+	f2.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nfull data (nearest-centroid deployment, n=%d):\n", ev.N)
+	fmt.Fprintf(out, "  objective=%.4f (K-Means term %.4f + λ·fairness term %.6g)\n",
+		ev.Value.Objective, ev.Value.KMeansTerm, ev.Value.FairnessTerm)
+	fmt.Fprintf(out, "  cluster sizes: %v\n", ev.Sizes)
+	for _, rep := range ev.Fairness {
+		fmt.Fprintf(out, "  %-20s AE=%.4f AW=%.4f ME=%.4f MW=%.4f\n",
+			rep.Attribute, rep.AE, rep.AW, rep.ME, rep.MW)
+	}
+	return nil
+}
+
+// scanMinMax streams the source once, accumulating per-column minima
+// and ranges.
+func scanMinMax(src pipeline.Source) (mins, ranges []float64, err error) {
+	var maxs []float64
+	for {
+		chunk, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if mins == nil {
+			mins = make([]float64, chunk.Dim())
+			maxs = make([]float64, chunk.Dim())
+			for j := range mins {
+				mins[j] = chunk.Features[0][j]
+				maxs[j] = chunk.Features[0][j]
+			}
+		}
+		for _, row := range chunk.Features {
+			for j, v := range row {
+				if v < mins[j] {
+					mins[j] = v
+				}
+				if v > maxs[j] {
+					maxs[j] = v
+				}
+			}
+		}
+	}
+	if mins == nil {
+		return nil, nil, fmt.Errorf("empty input")
+	}
+	ranges = make([]float64, len(mins))
+	for j := range ranges {
+		ranges[j] = maxs[j] - mins[j]
+	}
+	return mins, ranges, nil
+}
+
+// scaledSource applies the min-max transform to every chunk in flight.
+type scaledSource struct {
+	src    pipeline.Source
+	mins   []float64
+	ranges []float64
+}
+
+func (s *scaledSource) Next() (*dataset.Dataset, error) {
+	chunk, err := s.src.Next()
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range chunk.Features {
+		for j, v := range row {
+			if s.ranges[j] > 0 {
+				row[j] = (v - s.mins[j]) / s.ranges[j]
+			} else {
+				row[j] = 0
+			}
+		}
+	}
+	return chunk, nil
+}
+
+func formatMasses(masses []float64) string {
+	parts := make([]string, len(masses))
+	for i, m := range masses {
+		parts[i] = strconv.FormatFloat(m, 'f', 1, 64)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func writeCentroids(path string, names []string, centroids [][]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	header := append([]string{"cluster"}, names...)
+	if _, err := fmt.Fprintln(f, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for c, cen := range centroids {
+		rec := make([]string, 0, len(cen)+1)
+		rec = append(rec, strconv.Itoa(c))
+		for _, v := range cen {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if _, err := fmt.Fprintln(f, strings.Join(rec, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

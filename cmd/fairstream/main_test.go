@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// writeTestCSV creates a clusterable CSV with two sensitive columns,
+// big enough that the coreset stream actually compresses.
+func writeTestCSV(t *testing.T, rows int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	var b strings.Builder
+	b.WriteString("x,y,grp,reg\n")
+	rng := stats.NewRNG(5)
+	for i := 0; i < rows; i++ {
+		blob := float64(i%3) * 8
+		g := "a"
+		if i%4 == 0 {
+			g = "b"
+		}
+		reg := []string{"n", "s", "e"}[i%3]
+		fmt.Fprintf(&b, "%.4f,%.4f,%s,%s\n",
+			rng.Gaussian(blob, 0.6), rng.Gaussian(100+blob, 6), g, reg)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFairstreamEndToEnd(t *testing.T) {
+	csv := writeTestCSV(t, 1200)
+	centsOut := filepath.Join(t.TempDir(), "cents.csv")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-in", csv, "-features", "x,y", "-sensitive", "grp,reg",
+		"-k", "3", "-auto-lambda", "-m", "24", "-chunk", "100",
+		"-minmax", "-centroids", centsOut,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"min-max pass", "stream:", "compression", "solve:",
+		"full data", "cluster sizes", "grp", "reg", "mean",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(centsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 4 { // header + 3 centroids
+		t.Errorf("centroid file has %d lines, want 4:\n%s", lines, data)
+	}
+	if !strings.HasPrefix(string(data), "cluster,x,y") {
+		t.Errorf("centroid header wrong:\n%s", data)
+	}
+}
+
+func TestFairstreamSkipEval(t *testing.T) {
+	csv := writeTestCSV(t, 400)
+	var buf bytes.Buffer
+	err := run([]string{
+		"-in", csv, "-features", "x,y", "-sensitive", "grp",
+		"-k", "2", "-lambda", "50", "-m", "16", "-skip-eval",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	if strings.Contains(buf.String(), "full data") {
+		t.Errorf("-skip-eval still ran the second pass:\n%s", buf.String())
+	}
+}
+
+func TestFairstreamFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-features", "x"}, &buf); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", "nope.csv", "-features", "x", "-sensitive", "g"}, &buf); err == nil {
+		t.Error("nonexistent file accepted")
+	}
+}

@@ -18,6 +18,21 @@
 // distribution over every sensitive attribute approximating the
 // dataset's). AutoLambda applies the paper's λ=(n/k)² heuristic.
 //
+// # Weighted points and streaming
+//
+// RunWeighted solves FairKM over weighted rows (row i stands for w_i
+// points); unit weights reproduce Run bit-for-bit. FitStream feeds a
+// chunked row source through a fair merge-and-reduce coreset and
+// solves weighted FairKM on the O(m·log n) summary, so unbounded
+// inputs cluster on fixed memory:
+//
+//	src, err := fairclust.NewCSVStream(f, spec, 4096)
+//	res, err := fairclust.FitStream(src, fairclust.StreamConfig{K: 5, AutoLambda: true})
+//	// res.Solve.Centroids deploys via res.Solve.Predict; re-stream
+//	// through fairclust.EvaluateStream for exact full-data metrics.
+//
+// See cmd/fairstream for the end-to-end CLI.
+//
 // # Package map
 //
 //   - internal/engine — the shared descent engine: initializers, sweep
@@ -25,9 +40,13 @@
 //     convergence policies (zero-moves, Tol, MaxIter, wall-clock
 //     budget) and the per-iteration Observer hook
 //   - internal/core — the FairKM objective on the engine (re-exported
-//     here)
+//     here), over unit-weight or weighted rows
+//   - internal/coreset — fair (group-stratified) lightweight coresets
+//     and the streaming merge-and-reduce summary
+//   - internal/pipeline — the summarize-then-solve pipeline gluing
+//     coreset, weighted solver and second-pass metrics together
 //   - internal/kmeans — classical K-Means on the engine (the S-blind
-//     baseline)
+//     baseline), with a weighted variant for coresets
 //   - internal/zgya — the ZGYA fair-clustering baseline [Ziko et al.
 //     2019] on the engine
 //   - internal/fairlet, internal/bera — further baselines from the
@@ -50,6 +69,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/kmeans"
 	"repro/internal/metrics"
+	"repro/internal/pipeline"
 )
 
 // Dataset is a clustering input: numeric non-sensitive features plus
@@ -115,6 +135,65 @@ func WriteCSV(w io.Writer, ds *Dataset) error {
 // Run executes FairKM on the dataset.
 func Run(ds *Dataset, cfg Config) (*Result, error) {
 	return core.Run(ds, cfg)
+}
+
+// RunWeighted executes FairKM over weighted rows: row i stands for
+// weights[i] original points, so a coreset summary solves at summary
+// cost while approximating the full data's objective. Unit weights
+// reproduce Run bit-for-bit.
+func RunWeighted(ds *Dataset, weights []float64, cfg Config) (*Result, error) {
+	return core.RunWeighted(ds, weights, cfg)
+}
+
+// WeightedObjective evaluates the weighted FairKM objective for an
+// arbitrary assignment from scratch (weights == nil means unit
+// weights, matching Objective).
+func WeightedObjective(ds *Dataset, weights []float64, assign []int, k int, lambda float64) (core.ObjectiveValue, error) {
+	return core.EvaluateObjectiveWeighted(ds, weights, assign, k, lambda, nil)
+}
+
+// StreamSource yields successive chunks of a row stream; CSVStream and
+// SliceSource implement it.
+type StreamSource = pipeline.Source
+
+// StreamConfig parameterizes FitStream.
+type StreamConfig = pipeline.Config
+
+// StreamResult is a completed summarize-then-solve run.
+type StreamResult = pipeline.Result
+
+// StreamEvaluation carries exact full-data metrics for a set of
+// centroids, computed by EvaluateStream in one fixed-memory pass.
+type StreamEvaluation = pipeline.Evaluation
+
+// CSVStream reads a headed CSV source in bounded chunks; it implements
+// StreamSource.
+type CSVStream = dataset.CSVStream
+
+// NewCSVStream opens a chunked CSV reader (chunkSize <= 0 means 4096).
+func NewCSVStream(r io.Reader, spec CSVSpec, chunkSize int) (*CSVStream, error) {
+	return dataset.NewCSVStream(r, spec, chunkSize)
+}
+
+// NewSliceSource adapts an in-memory Dataset to StreamSource, yielding
+// fixed-size chunks.
+func NewSliceSource(ds *Dataset, chunk int) StreamSource {
+	return pipeline.NewSliceSource(ds, chunk)
+}
+
+// FitStream consumes the source to completion through a fair
+// merge-and-reduce coreset (one stratum per combination of categorical
+// sensitive values, O(m·log n) rows per stratum) and solves weighted
+// FairKM on the summary. Memory is independent of the stream length.
+func FitStream(src StreamSource, cfg StreamConfig) (*StreamResult, error) {
+	return pipeline.FitStream(src, cfg)
+}
+
+// EvaluateStream re-streams the source, assigns every row to its
+// nearest centroid, and returns the exact full-data objective and
+// fairness measures — the pipeline's second pass.
+func EvaluateStream(src StreamSource, centroids [][]float64, lambda float64) (*StreamEvaluation, error) {
+	return pipeline.Evaluate(src, centroids, lambda)
 }
 
 // DefaultLambda returns the paper's λ = (n/k)² heuristic (Section 5.4).

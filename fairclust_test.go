@@ -68,6 +68,75 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPublicWeightedAndStreaming drives the weighted solver and the
+// summarize-then-solve pipeline through the public facade only.
+func TestPublicWeightedAndStreaming(t *testing.T) {
+	ds := buildDataset(t)
+
+	// Weighted solve: unit weights must reproduce the plain solver.
+	ones := make([]float64, ds.N())
+	for i := range ones {
+		ones[i] = 1
+	}
+	ref, err := fairclust.Run(ds, fairclust.Config{K: 3, AutoLambda: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wres, err := fairclust.RunWeighted(ds, ones, fairclust.Config{K: 3, AutoLambda: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Assign {
+		if wres.Assign[i] != ref.Assign[i] {
+			t.Fatalf("unit-weight assign[%d] differs", i)
+		}
+	}
+	if math.Float64bits(wres.Objective) != math.Float64bits(ref.Objective) {
+		t.Errorf("unit-weight objective %v vs %v", wres.Objective, ref.Objective)
+	}
+	if _, err := fairclust.WeightedObjective(ds, ones, ref.Assign, 3, ref.Lambda); err != nil {
+		t.Fatal(err)
+	}
+
+	// Streaming: CSV out, chunked CSV back in, summarize, solve,
+	// second-pass evaluate.
+	var buf bytes.Buffer
+	if err := fairclust.WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	spec := fairclust.CSVSpec{Features: []string{"f1", "f2"}, CategoricalSensitive: []string{"g"}}
+	src, err := fairclust.NewCSVStream(bytes.NewReader(buf.Bytes()), spec, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := fairclust.FitStream(src, fairclust.StreamConfig{K: 3, AutoLambda: true, CoresetSize: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.N != ds.N() {
+		t.Fatalf("streamed %d rows, want %d", sres.N, ds.N())
+	}
+	src2, err := fairclust.NewCSVStream(bytes.NewReader(buf.Bytes()), spec, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := fairclust.EvaluateStream(src2, sres.Solve.Centroids, sres.Lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.N != ds.N() {
+		t.Fatalf("evaluated %d rows, want %d", ev.N, ds.N())
+	}
+	if len(ev.Fairness) == 0 || ev.Fairness[len(ev.Fairness)-1].Attribute != "mean" {
+		t.Fatalf("missing fairness reports: %+v", ev.Fairness)
+	}
+	// Two well-separated blobs: the streamed solve must still find a
+	// sane clustering (objective in the same decade as the full solve).
+	if ev.Value.Objective > 10*ref.Objective+1 {
+		t.Errorf("streamed objective %v far above full solve %v", ev.Value.Objective, ref.Objective)
+	}
+}
+
 func TestPublicCSVRoundTrip(t *testing.T) {
 	ds := buildDataset(t)
 	var buf bytes.Buffer

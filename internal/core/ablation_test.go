@@ -35,7 +35,7 @@ func TestDeltaMatchesNaiveUnderAblationKnobs(t *testing.T) {
 		for i := range assign {
 			assign[i] = rng.Intn(k)
 		}
-		st := newState(ds, &cfg, cfg.Lambda, append([]int(nil), assign...))
+		st := newState(ds, &cfg, cfg.Lambda, append([]int(nil), assign...), nil)
 
 		baseFair, err := FairnessDeviationWith(ds, assign, k, cfg)
 		if err != nil {

@@ -108,6 +108,12 @@ type Config struct {
 	// start from comparable configurations); the paper's Algorithm 1
 	// random partition is kmeans.RandomPartition.
 	Init kmeans.InitMethod
+	// InitAssign, when non-nil, overrides Init with an explicit initial
+	// assignment (length n, clusters in [0, K)); the Seed is then not
+	// consumed for initialization. Used for warm starts — e.g. refining
+	// a streaming summary solve on fresh data — and by parity tests
+	// that need both of two runs to start from the same partition.
+	InitAssign []int
 	// Weights optionally assigns per-attribute fairness weights w_S
 	// (Eq. 23), keyed by sensitive attribute name. Attributes absent
 	// from the map get weight 1. Negative weights are an error.
@@ -190,10 +196,16 @@ type Result struct {
 	// Assign maps each row to its cluster in [0, K).
 	Assign []int
 	// Centroids are cluster means over the feature space; empty
-	// clusters have zero vectors.
+	// clusters have zero vectors. For weighted runs these are weighted
+	// means.
 	Centroids [][]float64
-	// Sizes are per-cluster cardinalities.
+	// Sizes are per-cluster row cardinalities (summary rows, for
+	// weighted runs).
 	Sizes []int
+	// Masses are per-cluster total weights — how many original points
+	// each cluster represents. Nil for unweighted runs (where it would
+	// equal Sizes).
+	Masses []float64
 	// KMeansTerm, FairnessTerm and Objective decompose the final
 	// objective value; Objective = KMeansTerm + λ·FairnessTerm.
 	KMeansTerm   float64
@@ -262,6 +274,16 @@ func validate(ds *dataset.Dataset, cfg *Config) error {
 	}
 	if cfg.Tol < 0 {
 		return fmt.Errorf("fairkm: negative tolerance %v", cfg.Tol)
+	}
+	if cfg.InitAssign != nil {
+		if len(cfg.InitAssign) != n {
+			return fmt.Errorf("fairkm: InitAssign has %d entries, want %d", len(cfg.InitAssign), n)
+		}
+		for i, c := range cfg.InitAssign {
+			if c < 0 || c >= cfg.K {
+				return fmt.Errorf("fairkm: InitAssign[%d] = %d outside [0,%d)", i, c, cfg.K)
+			}
+		}
 	}
 	for name, w := range cfg.Weights {
 		if w < 0 {

@@ -77,7 +77,7 @@ func TestDeltaMatchesNaiveObjective(t *testing.T) {
 		for i := range assign {
 			assign[i] = rng.Intn(k)
 		}
-		st := newState(ds, &cfg, lambda, append([]int(nil), assign...))
+		st := newState(ds, &cfg, lambda, append([]int(nil), assign...), nil)
 
 		base, err := EvaluateObjective(ds, assign, k, lambda, nil)
 		if err != nil {

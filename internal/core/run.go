@@ -18,9 +18,24 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	if err := validate(ds, &cfg); err != nil {
 		return nil, err
 	}
+	return runWith(ds, cfg, nil)
+}
+
+// runWith is the shared driver behind Run and RunWeighted: rowW == nil
+// is the paper's raw-point solve, otherwise every statistic is
+// rowW-weighted (see state). cfg must already be validated.
+func runWith(ds *dataset.Dataset, cfg Config, rowW []float64) (*Result, error) {
 	lambda := cfg.Lambda
 	if cfg.AutoLambda {
-		lambda = DefaultLambda(ds.N(), cfg.K)
+		if rowW == nil {
+			lambda = DefaultLambda(ds.N(), cfg.K)
+		} else {
+			// The λ=(n/K)² heuristic with n the represented population:
+			// a summary standing for W original points should solve at
+			// the λ the full data would have used.
+			r := stats.Sum(rowW) / float64(cfg.K)
+			lambda = r * r
+		}
 	}
 	maxIter := cfg.MaxIter
 	if maxIter <= 0 {
@@ -30,8 +45,13 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	assign := engine.InitAssignment(ds.Features, cfg.K, cfg.Init, stats.NewRNG(cfg.Seed))
-	st := newState(ds, &cfg, lambda, assign)
+	var assign []int
+	if cfg.InitAssign != nil {
+		assign = append([]int(nil), cfg.InitAssign...)
+	} else {
+		assign = engine.InitAssignmentWeighted(ds.Features, rowW, cfg.K, cfg.Init, stats.NewRNG(cfg.Seed))
+	}
+	st := newState(ds, &cfg, lambda, assign, rowW)
 
 	var sw engine.Sweeper
 	switch {
@@ -81,6 +101,9 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	res.Assign = st.assign
 	res.Centroids = st.centroids()
 	res.Sizes = append([]int(nil), st.counts...)
+	if rowW != nil {
+		res.Masses = append([]float64(nil), st.mass...)
+	}
 	res.KMeansTerm = st.sseTotal()
 	res.FairnessTerm = st.fairnessTotal()
 	res.Objective = res.KMeansTerm + lambda*res.FairnessTerm
@@ -184,12 +207,17 @@ func (st *state) bestMoveAgainst(i, from int, frozen [][]float64) int {
 		return best
 	}
 	x := st.ds.Features[i]
+	// The proxy K-Means delta must carry the row's mass like the exact
+	// kmeansIn/OutDelta does, or weighted rows would score the two
+	// objective terms on incompatible scales (w·1 under unit weights is
+	// an IEEE no-op, preserving the unweighted path bit-for-bit).
+	w := st.wOf(i)
 	dFrom := stats.SqDist(x, frozen[from])
 	for c := 0; c < st.k; c++ {
 		if c == from {
 			continue
 		}
-		dKM := stats.SqDist(x, frozen[c]) - dFrom
+		dKM := w * (stats.SqDist(x, frozen[c]) - dFrom)
 		dFair := dDevOut + (st.deviationWithDelta(c, i, +1) - st.devCache[c])
 		delta := dKM + st.lambda*dFair
 		if delta < bestDelta {

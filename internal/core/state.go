@@ -41,6 +41,26 @@ import (
 // The pre-aggregate per-value kernel is kept as the *Naive methods; the
 // unexported Config.naiveKernel knob routes scoring through it so parity
 // tests and benchmarks can compare the two end to end.
+//
+// # Weighted points
+//
+// Every sufficient statistic is a weighted mass: row i carries weight
+// rowW[i] (rowW == nil means unit weights), cluster "size" is the mass
+// Σ_{i∈c} w_i, the cc value counts, numeric sums, feature sums and the
+// SSE term all accumulate w_i-scaled contributions, and the Eq. 7
+// fractions compare weighted cluster masses against weighted dataset
+// masses. This is what lets a coreset row standing for w original
+// points (internal/coreset) reproduce the objective those w points
+// would have contributed — the summarize-then-solve pipeline's
+// substrate. The unweighted solver is exactly the w ≡ 1 special case,
+// and every weighted expression is arranged so that multiplying by a
+// unit weight is an IEEE-754 no-op: the unit-weight trajectory is
+// bit-identical to the historical unweighted kernel (pinned by the
+// goldencase suite and TestWeightedUnitParity).
+//
+// counts keeps the plain row cardinality alongside mass: emptiness and
+// singleton guards are structural (row-count) questions, while all
+// arithmetic uses mass.
 type state struct {
 	ds      *dataset.Dataset
 	k       int
@@ -53,8 +73,12 @@ type state struct {
 	domNorm  bool    // divide by |Values(S)| (Eq. 4), paper default true
 	naive    bool    // score with the per-value reference kernel
 
+	rowW      []float64 // per-row weights; nil means unit weights
+	totalMass float64   // Σ rowW (float64(n) when rowW == nil)
+
 	assign []int
-	counts []int
+	counts []int     // per-cluster row counts (structural guards only)
+	mass   []float64 // per-cluster weighted masses (all arithmetic)
 	sums   [][]float64
 	ssqs   []float64
 	xsq    []float64 // xsq[i] = ‖Features[i]‖², computed once per run
@@ -76,8 +100,8 @@ type state struct {
 	// domain normalization).
 	catScale []float64
 
-	catCounts [][][]int   // [attr][cluster][value], attr indexed as ds.Sensitive
-	numSums   [][]float64 // [attr][cluster]
+	catCounts [][][]float64 // [attr][cluster][value] masses, attr indexed as ds.Sensitive
+	numSums   [][]float64   // [attr][cluster]
 
 	catSq    [][]float64 // [attr][cluster] Σ_v mult·cc²
 	catCross [][]float64 // [attr][cluster] Σ_v mult·cc·frX
@@ -90,7 +114,10 @@ type state struct {
 	batchProtos [][]float64
 }
 
-func newState(ds *dataset.Dataset, cfg *Config, lambda float64, assign []int) *state {
+// newState builds the sufficient statistics for assign. rowW carries
+// per-row weights; nil means unit weights (the paper's raw-point
+// setting, bit-identical to the historical unweighted kernel).
+func newState(ds *dataset.Dataset, cfg *Config, lambda float64, assign []int, rowW []float64) *state {
 	n := ds.N()
 	st := &state{
 		ds:       ds,
@@ -98,6 +125,7 @@ func newState(ds *dataset.Dataset, cfg *Config, lambda float64, assign []int) *s
 		lambda:   lambda,
 		n:        n,
 		dim:      ds.Dim(),
+		rowW:     rowW,
 		assign:   assign,
 		exponent: cfg.ClusterWeightExponent,
 		domNorm:  !cfg.NoDomainNormalization,
@@ -105,6 +133,11 @@ func newState(ds *dataset.Dataset, cfg *Config, lambda float64, assign []int) *s
 	}
 	if st.exponent == 0 {
 		st.exponent = 2
+	}
+	if rowW == nil {
+		st.totalMass = float64(n)
+	} else {
+		st.totalMass = stats.Sum(rowW)
 	}
 	st.weights = make([]float64, len(ds.Sensitive))
 	for i, s := range ds.Sensitive {
@@ -117,6 +150,7 @@ func newState(ds *dataset.Dataset, cfg *Config, lambda float64, assign []int) *s
 		st.weights[i] = w
 	}
 	st.counts = make([]int, st.k)
+	st.mass = make([]float64, st.k)
 	st.sums = make([][]float64, st.k)
 	for c := range st.sums {
 		st.sums[c] = make([]float64, st.dim)
@@ -130,7 +164,7 @@ func newState(ds *dataset.Dataset, cfg *Config, lambda float64, assign []int) *s
 	st.meanX = make([]float64, len(ds.Sensitive))
 	st.frMult = make([][]float64, len(ds.Sensitive))
 	st.catScale = make([]float64, len(ds.Sensitive))
-	st.catCounts = make([][][]int, len(ds.Sensitive))
+	st.catCounts = make([][][]float64, len(ds.Sensitive))
 	st.numSums = make([][]float64, len(ds.Sensitive))
 	st.catSq = make([][]float64, len(ds.Sensitive))
 	st.catCross = make([][]float64, len(ds.Sensitive))
@@ -139,15 +173,19 @@ func newState(ds *dataset.Dataset, cfg *Config, lambda float64, assign []int) *s
 		switch s.Kind {
 		case dataset.Categorical:
 			st.catAttrs = append(st.catAttrs, ai)
-			st.frX[ai] = ds.Fractions(s)
+			if rowW == nil {
+				st.frX[ai] = ds.Fractions(s)
+			} else {
+				st.frX[ai] = weightedFractions(s, rowW, st.totalMass)
+			}
 			st.frMult[ai] = skewMultipliers(st.frX[ai], cfg.SkewCompensation)
 			st.catScale[ai] = st.weights[ai]
 			if st.domNorm {
 				st.catScale[ai] /= float64(len(s.Values))
 			}
-			cc := make([][]int, st.k)
+			cc := make([][]float64, st.k)
 			for c := range cc {
-				cc[c] = make([]int, len(s.Values))
+				cc[c] = make([]float64, len(s.Values))
 			}
 			st.catCounts[ai] = cc
 			st.catSq[ai] = make([]float64, st.k)
@@ -159,7 +197,11 @@ func newState(ds *dataset.Dataset, cfg *Config, lambda float64, assign []int) *s
 			st.catConst[ai] = cnst
 		case dataset.Numeric:
 			st.numAttrs = append(st.numAttrs, ai)
-			st.meanX[ai] = stats.Mean(s.Reals)
+			if rowW == nil {
+				st.meanX[ai] = stats.Mean(s.Reals)
+			} else {
+				st.meanX[ai] = weightedMean(s.Reals, rowW, st.totalMass)
+			}
 			st.numSums[ai] = make([]float64, st.k)
 		}
 	}
@@ -173,44 +215,58 @@ func newState(ds *dataset.Dataset, cfg *Config, lambda float64, assign []int) *s
 	return st
 }
 
-// accumulate adds row i's contribution to cluster c's statistics
-// (assignment bookkeeping only; devCache is managed by callers).
+// wOf returns row i's weight (1 under unit weights).
+func (st *state) wOf(i int) float64 {
+	if st.rowW == nil {
+		return 1
+	}
+	return st.rowW[i]
+}
+
+// accumulate adds row i's mass-w contribution to cluster c's statistics
+// (assignment bookkeeping only; devCache is managed by callers). The
+// quadratic aggregates absorb (cc+w)² − cc² = w·(2·cc + w).
 func (st *state) accumulate(i, c int) {
 	x := st.ds.Features[i]
+	w := st.wOf(i)
 	st.counts[c]++
-	stats.AddTo(st.sums[c], x)
-	st.ssqs[c] += st.xsq[i]
+	st.mass[c] += w
+	stats.AddScaledTo(st.sums[c], x, w)
+	st.ssqs[c] += w * st.xsq[i]
 	for _, ai := range st.catAttrs {
 		code := st.ds.Sensitive[ai].Codes[i]
 		cc := st.catCounts[ai][c]
 		old := cc[code]
-		cc[code] = old + 1
+		cc[code] = old + w
 		mult := st.frMult[ai][code]
-		st.catSq[ai][c] += mult * float64(2*old+1)
-		st.catCross[ai][c] += mult * st.frX[ai][code]
+		st.catSq[ai][c] += mult * (w * (2*old + w))
+		st.catCross[ai][c] += mult * w * st.frX[ai][code]
 	}
 	for _, ai := range st.numAttrs {
-		st.numSums[ai][c] += st.ds.Sensitive[ai].Reals[i]
+		st.numSums[ai][c] += w * st.ds.Sensitive[ai].Reals[i]
 	}
 }
 
-// remove subtracts row i's contribution from cluster c's statistics.
+// remove subtracts row i's mass-w contribution from cluster c's
+// statistics: cc² − (cc−w)² = w·(2·cc − w).
 func (st *state) remove(i, c int) {
 	x := st.ds.Features[i]
+	w := st.wOf(i)
 	st.counts[c]--
-	stats.SubFrom(st.sums[c], x)
-	st.ssqs[c] -= st.xsq[i]
+	st.mass[c] -= w
+	stats.AddScaledTo(st.sums[c], x, -w)
+	st.ssqs[c] -= w * st.xsq[i]
 	for _, ai := range st.catAttrs {
 		code := st.ds.Sensitive[ai].Codes[i]
 		cc := st.catCounts[ai][c]
 		old := cc[code]
-		cc[code] = old - 1
+		cc[code] = old - w
 		mult := st.frMult[ai][code]
-		st.catSq[ai][c] -= mult * float64(2*old-1)
-		st.catCross[ai][c] -= mult * st.frX[ai][code]
+		st.catSq[ai][c] -= mult * (w * (2*old - w))
+		st.catCross[ai][c] -= mult * w * st.frX[ai][code]
 	}
 	for _, ai := range st.numAttrs {
-		st.numSums[ai][c] -= st.ds.Sensitive[ai].Reals[i]
+		st.numSums[ai][c] -= w * st.ds.Sensitive[ai].Reals[i]
 	}
 }
 
@@ -225,13 +281,12 @@ func (st *state) move(i, from, to int) {
 }
 
 // sseCluster returns the K-Means SSE contribution of cluster c from its
-// sufficient statistics: Σ‖x‖² − ‖Σx‖²/|c|.
+// sufficient statistics: Σw‖x‖² − ‖Σwx‖²/mass.
 func (st *state) sseCluster(c int) float64 {
-	m := st.counts[c]
-	if m == 0 {
+	if st.counts[c] == 0 {
 		return 0
 	}
-	s := st.ssqs[c] - stats.Dot(st.sums[c], st.sums[c])/float64(m)
+	s := st.ssqs[c] - stats.Dot(st.sums[c], st.sums[c])/st.mass[c]
 	if s < 0 {
 		s = 0 // floating-point cancellation guard
 	}
@@ -258,11 +313,10 @@ func (st *state) clusterDeviation(c int) float64 {
 	if st.naive {
 		return st.clusterDeviationNaive(c)
 	}
-	m := st.counts[c]
-	if m == 0 {
+	if st.counts[c] == 0 {
 		return 0
 	}
-	inv := 1.0 / float64(m)
+	inv := 1.0 / st.mass[c]
 	nd := 0.0
 	for _, ai := range st.catAttrs {
 		sum := inv*inv*st.catSq[ai][c] - 2*inv*st.catCross[ai][c] + st.catConst[ai]
@@ -275,18 +329,17 @@ func (st *state) clusterDeviation(c int) float64 {
 		d := st.numSums[ai][c]*inv - st.meanX[ai]
 		nd += st.weights[ai] * d * d
 	}
-	return st.clusterWeight(m) * nd
+	return st.clusterWeight(st.mass[c]) * nd
 }
 
 // clusterDeviationNaive is the per-value reference form of
 // clusterDeviation — a direct transcription of Eqs. 3–7 that rescans
 // every value of every categorical attribute. O(Σ_S |Values(S)|).
 func (st *state) clusterDeviationNaive(c int) float64 {
-	m := st.counts[c]
-	if m == 0 {
+	if st.counts[c] == 0 {
 		return 0
 	}
-	inv := 1.0 / float64(m)
+	inv := 1.0 / st.mass[c]
 	nd := 0.0
 	for _, ai := range st.catAttrs {
 		frX := st.frX[ai]
@@ -294,7 +347,7 @@ func (st *state) clusterDeviationNaive(c int) float64 {
 		cc := st.catCounts[ai][c]
 		sum := 0.0
 		for v := range frX {
-			d := float64(cc[v])*inv - frX[v]
+			d := cc[v]*inv - frX[v]
 			sum += mult[v] * d * d
 		}
 		if st.domNorm {
@@ -306,12 +359,13 @@ func (st *state) clusterDeviationNaive(c int) float64 {
 		d := st.numSums[ai][c]*inv - st.meanX[ai]
 		nd += st.weights[ai] * d * d
 	}
-	return st.clusterWeight(m) * nd
+	return st.clusterWeight(st.mass[c]) * nd
 }
 
-// clusterWeight returns (|C|/|X|)^e, with the common e=2 fast-pathed.
-func (st *state) clusterWeight(m int) float64 {
-	frac := float64(m) / float64(st.n)
+// clusterWeight returns (mass_C/mass_X)^e, with the common e=2
+// fast-pathed. Under unit weights this is the paper's (|C|/|X|)^e.
+func (st *state) clusterWeight(m float64) float64 {
+	frac := m / st.totalMass
 	if st.exponent == 2 {
 		return frac * frac
 	}
@@ -330,26 +384,27 @@ func (st *state) fairnessTotal() float64 {
 
 // deviationWithDelta computes what cluster c's fairness contribution
 // would become if row i were added (sign=+1) or removed (sign=-1),
-// without mutating state. Only cc[code] shifts by sign, so the
+// without mutating state. Only cc[code] shifts by sign·w, so the
 // aggregates adjust in O(1) per attribute:
 //
-//	catSq'    = catSq + mult[code]·(2·sign·cc[code] + 1)
-//	catCross' = catCross + sign·mult[code]·Fr_X(code)
+//	catSq'    = catSq + mult[code]·(sign·w·(2·cc[code] + sign·w))
+//	catCross' = catCross + mult[code]·sign·w·Fr_X(code)
 func (st *state) deviationWithDelta(c, i, sign int) float64 {
 	if st.naive {
 		return st.deviationWithDeltaNaive(c, i, sign)
 	}
-	m := st.counts[c] + sign
-	if m == 0 {
+	if st.counts[c]+sign == 0 {
 		return 0
 	}
-	inv := 1.0 / float64(m)
+	sw := float64(sign) * st.wOf(i)
+	m := st.mass[c] + sw
+	inv := 1.0 / m
 	nd := 0.0
 	for _, ai := range st.catAttrs {
 		code := st.ds.Sensitive[ai].Codes[i]
 		mult := st.frMult[ai][code]
-		sq := st.catSq[ai][c] + mult*float64(2*sign*st.catCounts[ai][c][code]+1)
-		cross := st.catCross[ai][c] + float64(sign)*mult*st.frX[ai][code]
+		sq := st.catSq[ai][c] + mult*(sw*(2*st.catCounts[ai][c][code]+sw))
+		cross := st.catCross[ai][c] + mult*sw*st.frX[ai][code]
 		sum := inv*inv*sq - 2*inv*cross + st.catConst[ai]
 		if sum < 0 {
 			sum = 0 // floating-point cancellation guard
@@ -357,7 +412,7 @@ func (st *state) deviationWithDelta(c, i, sign int) float64 {
 		nd += st.catScale[ai] * sum
 	}
 	for _, ai := range st.numAttrs {
-		val := st.numSums[ai][c] + float64(sign)*st.ds.Sensitive[ai].Reals[i]
+		val := st.numSums[ai][c] + sw*st.ds.Sensitive[ai].Reals[i]
 		d := val*inv - st.meanX[ai]
 		nd += st.weights[ai] * d * d
 	}
@@ -367,11 +422,12 @@ func (st *state) deviationWithDelta(c, i, sign int) float64 {
 // deviationWithDeltaNaive is the per-value reference form of
 // deviationWithDelta. O(Σ_S |Values(S)|).
 func (st *state) deviationWithDeltaNaive(c, i, sign int) float64 {
-	m := st.counts[c] + sign
-	if m == 0 {
+	if st.counts[c]+sign == 0 {
 		return 0
 	}
-	inv := 1.0 / float64(m)
+	sw := float64(sign) * st.wOf(i)
+	m := st.mass[c] + sw
+	inv := 1.0 / m
 	nd := 0.0
 	for _, ai := range st.catAttrs {
 		frX := st.frX[ai]
@@ -380,9 +436,9 @@ func (st *state) deviationWithDeltaNaive(c, i, sign int) float64 {
 		code := st.ds.Sensitive[ai].Codes[i]
 		sum := 0.0
 		for v := range frX {
-			cnt := float64(cc[v])
+			cnt := cc[v]
 			if v == code {
-				cnt += float64(sign)
+				cnt += sw
 			}
 			d := cnt*inv - frX[v]
 			sum += mult[v] * d * d
@@ -393,7 +449,7 @@ func (st *state) deviationWithDeltaNaive(c, i, sign int) float64 {
 		nd += st.weights[ai] * sum
 	}
 	for _, ai := range st.numAttrs {
-		val := st.numSums[ai][c] + float64(sign)*st.ds.Sensitive[ai].Reals[i]
+		val := st.numSums[ai][c] + sw*st.ds.Sensitive[ai].Reals[i]
 		d := val*inv - st.meanX[ai]
 		nd += st.weights[ai] * d * d
 	}
@@ -401,29 +457,32 @@ func (st *state) deviationWithDeltaNaive(c, i, sign int) float64 {
 }
 
 // kmeansOutDelta returns the change in the K-Means term from removing
-// row i from its cluster c (Eq. 12 in closed sufficient-statistic form:
-// −m/(m−1)·‖x−μ‖², 0 when the cluster is a singleton).
+// row i (mass w) from its cluster c (Eq. 12 in closed sufficient-
+// statistic form: −m·w/(m−w)·‖x−μ‖², 0 when the cluster is a
+// singleton row).
 func (st *state) kmeansOutDelta(i, c int) float64 {
-	m := st.counts[c]
-	if m <= 1 {
+	if st.counts[c] <= 1 {
 		return 0
 	}
+	m := st.mass[c]
+	w := st.wOf(i)
 	x := st.ds.Features[i]
 	d2 := sqDistToMean(x, st.sums[c], m)
-	return -float64(m) / float64(m-1) * d2
+	return -m * w / (m - w) * d2
 }
 
 // kmeansInDelta returns the change in the K-Means term from adding row
-// i to cluster c (Eq. 14 in closed form: +m/(m+1)·‖x−μ‖², 0 for an
-// empty cluster).
+// i (mass w) to cluster c (Eq. 14 in closed form: +m·w/(m+w)·‖x−μ‖²,
+// 0 for an empty cluster).
 func (st *state) kmeansInDelta(i, c int) float64 {
-	m := st.counts[c]
-	if m == 0 {
+	if st.counts[c] == 0 {
 		return 0
 	}
+	m := st.mass[c]
+	w := st.wOf(i)
 	x := st.ds.Features[i]
 	d2 := sqDistToMean(x, st.sums[c], m)
-	return float64(m) / float64(m+1) * d2
+	return m * w / (m + w) * d2
 }
 
 // moveDelta returns the exact objective change δ(O) of moving row i
@@ -436,8 +495,8 @@ func (st *state) moveDelta(i, from, to int) float64 {
 }
 
 // sqDistToMean returns ‖x − sum/m‖² without materializing the mean.
-func sqDistToMean(x, sum []float64, m int) float64 {
-	inv := 1.0 / float64(m)
+func sqDistToMean(x, sum []float64, m float64) float64 {
+	inv := 1.0 / m
 	s := 0.0
 	for j := range x {
 		d := x[j] - sum[j]*inv
@@ -446,13 +505,13 @@ func sqDistToMean(x, sum []float64, m int) float64 {
 	return s
 }
 
-// centroids materializes the cluster prototypes.
+// centroids materializes the cluster prototypes (weighted means).
 func (st *state) centroids() [][]float64 {
 	out := make([][]float64, st.k)
 	for c := 0; c < st.k; c++ {
 		out[c] = make([]float64, st.dim)
 		if st.counts[c] > 0 {
-			inv := 1.0 / float64(st.counts[c])
+			inv := 1.0 / st.mass[c]
 			for j := 0; j < st.dim; j++ {
 				out[c][j] = st.sums[c][j] * inv
 			}
@@ -461,23 +520,46 @@ func (st *state) centroids() [][]float64 {
 	return out
 }
 
+// weightedFractions is ds.Fractions under per-row masses: Fr_X(v) =
+// Σ_{i: code_i = v} w_i / Σ w.
+func weightedFractions(s *dataset.SensitiveAttr, rowW []float64, totalMass float64) []float64 {
+	fr := make([]float64, len(s.Values))
+	for i, c := range s.Codes {
+		fr[c] += rowW[i]
+	}
+	for i := range fr {
+		fr[i] /= totalMass
+	}
+	return fr
+}
+
+// weightedMean is stats.Mean under per-row masses.
+func weightedMean(xs, rowW []float64, totalMass float64) float64 {
+	s := 0.0
+	for i, x := range xs {
+		s += rowW[i] * x
+	}
+	return s / totalMass
+}
+
 // newFrozen allocates a snapshot buffer shaped like st, for reuse
 // across freezeInto calls.
 func (st *state) newFrozen() *state {
 	fz := &state{}
 	fz.counts = make([]int, st.k)
+	fz.mass = make([]float64, st.k)
 	fz.sums = make([][]float64, st.k)
 	for c := range fz.sums {
 		fz.sums[c] = make([]float64, st.dim)
 	}
-	fz.catCounts = make([][][]int, len(st.catCounts))
+	fz.catCounts = make([][][]float64, len(st.catCounts))
 	fz.catSq = make([][]float64, len(st.catSq))
 	fz.catCross = make([][]float64, len(st.catCross))
 	fz.numSums = make([][]float64, len(st.numSums))
 	for _, ai := range st.catAttrs {
-		cc := make([][]int, st.k)
+		cc := make([][]float64, st.k)
 		for c := range cc {
-			cc[c] = make([]int, len(st.catCounts[ai][c]))
+			cc[c] = make([]float64, len(st.catCounts[ai][c]))
 		}
 		fz.catCounts[ai] = cc
 		fz.catSq[ai] = make([]float64, st.k)
@@ -504,6 +586,8 @@ func (st *state) freezeInto(fz *state) {
 	fz.exponent = st.exponent
 	fz.domNorm = st.domNorm
 	fz.naive = st.naive
+	fz.rowW = st.rowW
+	fz.totalMass = st.totalMass
 	fz.catAttrs = st.catAttrs
 	fz.numAttrs = st.numAttrs
 	fz.frX = st.frX
@@ -514,6 +598,7 @@ func (st *state) freezeInto(fz *state) {
 	fz.xsq = st.xsq
 
 	copy(fz.counts, st.counts)
+	copy(fz.mass, st.mass)
 	for c := range st.sums {
 		copy(fz.sums[c], st.sums[c])
 	}

@@ -40,7 +40,7 @@ func benchState(b *testing.B, ds *dataset.Dataset, naive bool) *state {
 	cfg := Config{K: benchK, AutoLambda: true, Seed: 5, naiveKernel: naive}
 	lambda := DefaultLambda(ds.N(), cfg.K)
 	assign := engine.InitAssignment(ds.Features, cfg.K, cfg.Init, stats.NewRNG(cfg.Seed))
-	return newState(ds, &cfg, lambda, assign)
+	return newState(ds, &cfg, lambda, assign, nil)
 }
 
 // BenchmarkSweep measures one full coordinate-descent pass (the FairKM

@@ -71,6 +71,49 @@ func TestLightweightDegenerate(t *testing.T) {
 	}
 }
 
+// TestLightweightWeightedDegenerateWeights: an all-zero (or invalid)
+// weight vector used to slip through to the 1/totalW division and
+// return NaN means and weights; it must be a loud error instead.
+func TestLightweightWeightedDegenerateWeights(t *testing.T) {
+	ds := clusteredDataset(t, 40)
+	zero := make([]float64, 40)
+	if _, err := LightweightWeighted(ds.Features, nil, zero, 10, stats.NewRNG(1)); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	bad := make([]float64, 40)
+	for i := range bad {
+		bad[i] = 1
+	}
+	bad[7] = math.NaN()
+	if _, err := LightweightWeighted(ds.Features, nil, bad, 10, stats.NewRNG(1)); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	bad[7] = math.Inf(1)
+	if _, err := LightweightWeighted(ds.Features, nil, bad, 10, stats.NewRNG(1)); err == nil {
+		t.Error("Inf weight accepted")
+	}
+	bad[7] = -1
+	if _, err := LightweightWeighted(ds.Features, nil, bad, 10, stats.NewRNG(1)); err == nil {
+		t.Error("negative weight accepted")
+	}
+	// Individual zero weights among positive ones are fine: the point
+	// just can't be sampled by the uniform half of q.
+	ok := make([]float64, 40)
+	for i := range ok {
+		ok[i] = 1
+	}
+	ok[3] = 0
+	w, err := LightweightWeighted(ds.Features, nil, ok, 10, stats.NewRNG(1))
+	if err != nil {
+		t.Fatalf("zero single weight rejected: %v", err)
+	}
+	for pos, i := range w.Indices {
+		if i == 3 && w.Weights[pos] != 0 {
+			t.Errorf("zero-weight point sampled with weight %v", w.Weights[pos])
+		}
+	}
+}
+
 // TestCoresetApproximatesKMeansCost: the weighted k-means cost of a
 // solution computed on the coreset must be close to the full-data cost
 // of the same solution.

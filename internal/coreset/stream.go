@@ -139,6 +139,11 @@ func (s *Stream) Count() int { return s.count }
 // groups plus any unflushed buffer points (at unit weight), with each
 // group's total weight rescaled to exactly match its observed count.
 // It returns parallel slices of features, weights, and group codes.
+//
+// Every returned feature row is a fresh copy: the retained levels (and
+// the live buffer) stay private to the stream, so callers may mutate
+// the summary — normalize it, feed it to an in-place transform — and
+// then keep streaming without corrupting later summaries.
 func (s *Stream) Summary() (features [][]float64, weights []float64, groups []int) {
 	codes := make([]int, 0, len(s.groups))
 	for code := range s.groups {
@@ -153,13 +158,13 @@ func (s *Stream) Summary() (features [][]float64, weights []float64, groups []in
 				continue
 			}
 			for pos := range ls.features {
-				features = append(features, ls.features[pos])
+				features = append(features, stats.Clone(ls.features[pos]))
 				weights = append(weights, ls.weights[pos])
 				groups = append(groups, code)
 			}
 		}
 		for _, x := range g.buffer {
-			features = append(features, x)
+			features = append(features, stats.Clone(x))
 			weights = append(weights, 1)
 			groups = append(groups, code)
 		}

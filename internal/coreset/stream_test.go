@@ -107,6 +107,63 @@ func TestStreamValidation(t *testing.T) {
 	}
 }
 
+// TestStreamSummaryNoAliasing: Summary must return copies. The
+// historical implementation handed out the stream's retained level rows
+// (and live buffer rows) by reference, so a caller mutating the summary
+// — e.g. normalizing it before a solve — silently corrupted every later
+// summary and reduce step.
+func TestStreamSummaryNoAliasing(t *testing.T) {
+	st, err := NewStream(10, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(9)
+	// Enough points to have both retained levels and a partial buffer.
+	for i := 0; i < 110; i++ {
+		if err := st.Add([]float64{rng.Gaussian(0, 1), rng.Gaussian(0, 1)}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f1, w1, g1 := st.Summary()
+	// Snapshot, then vandalize the returned rows.
+	saved := make([][]float64, len(f1))
+	for i, row := range f1 {
+		saved[i] = append([]float64(nil), row...)
+		for j := range row {
+			row[j] = math.NaN()
+		}
+	}
+	// A second summary of the untouched stream must be unaffected.
+	f2, w2, g2 := st.Summary()
+	if len(f2) != len(f1) || len(w2) != len(w1) || len(g2) != len(g1) {
+		t.Fatalf("summary shape changed: %d vs %d rows", len(f2), len(f1))
+	}
+	for i := range f2 {
+		for j := range f2[i] {
+			if f2[i][j] != saved[i][j] {
+				t.Fatalf("row %d corrupted by caller mutation: %v vs %v", i, f2[i], saved[i])
+			}
+		}
+	}
+	// Streaming onward after the mutation must stay NaN-free.
+	for i := 0; i < 200; i++ {
+		if err := st.Add([]float64{rng.Gaussian(0, 1), rng.Gaussian(0, 1)}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f3, w3, _ := st.Summary()
+	for i := range f3 {
+		for j := range f3[i] {
+			if math.IsNaN(f3[i][j]) {
+				t.Fatalf("retained row %d picked up caller NaN", i)
+			}
+		}
+		if math.IsNaN(w3[i]) {
+			t.Fatalf("weight %d is NaN", i)
+		}
+	}
+}
+
 func TestStreamSmallResidue(t *testing.T) {
 	// Fewer points than one block: summary is exactly the buffer.
 	st, _ := NewStream(5, 10, 1)

@@ -1,0 +1,186 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSVStream reads a headed CSV source in bounded chunks, so arbitrarily
+// large files can be summarized (internal/coreset.Stream) or scanned
+// (second-pass metrics) without ever materializing more than chunkSize
+// rows. It is the ingestion stage of the summarize-then-solve pipeline
+// behind cmd/fairstream.
+//
+// Unlike ReadCSV — which sees all rows before encoding — a stream
+// discovers categorical domains incrementally: codes are assigned in
+// order of first appearance and are stable across chunks (the same
+// string always maps to the same code), with each chunk's Values slice
+// a copy of the domain as known at that point. Consumers that need
+// cross-chunk consistency should therefore key on codes (stable) or
+// value strings, not on domain cardinality, which can still grow.
+// Declared domains (CSVSpec columns listed in a builder with fixed
+// domains) are unnecessary here: the pipeline re-keys by value string.
+type CSVStream struct {
+	cr    *csv.Reader
+	spec  CSVSpec
+	chunk int
+
+	fIdx, cIdx, nIdx []int
+	domains          []*DomainIndex
+
+	line int
+	done bool
+}
+
+// DomainIndex accumulates one categorical domain incrementally: Code
+// assigns stable integer codes in order of first appearance, the
+// invariant every streaming consumer (CSVStream chunks, the pipeline
+// summarizer) keys on.
+type DomainIndex struct {
+	values []string
+	index  map[string]int
+}
+
+// NewDomainIndex returns an empty domain.
+func NewDomainIndex() *DomainIndex {
+	return &DomainIndex{index: map[string]int{}}
+}
+
+// Code returns v's stable code, assigning the next one on first sight.
+func (d *DomainIndex) Code(v string) int {
+	if c, ok := d.index[v]; ok {
+		return c
+	}
+	c := len(d.values)
+	d.values = append(d.values, v)
+	d.index[v] = c
+	return c
+}
+
+// Values returns the domain in code order. The slice is the index's
+// live backing store — callers that retain or mutate it must copy.
+func (d *DomainIndex) Values() []string { return d.values }
+
+// DefaultChunkSize is the CSVStream chunk size when the caller passes
+// chunkSize <= 0.
+const DefaultChunkSize = 4096
+
+// NewCSVStream opens a chunked reader over a headed CSV source. It
+// reads and validates the header immediately, so column errors surface
+// before any chunk is requested.
+func NewCSVStream(r io.Reader, spec CSVSpec, chunkSize int) (*CSVStream, error) {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	col := make(map[string]int, len(header))
+	for i, h := range header {
+		col[strings.TrimSpace(h)] = i
+	}
+	locate := func(names []string) ([]int, error) {
+		idx := make([]int, len(names))
+		for i, name := range names {
+			j, ok := col[name]
+			if !ok {
+				return nil, fmt.Errorf("dataset: CSV is missing column %q", name)
+			}
+			idx[i] = j
+		}
+		return idx, nil
+	}
+	s := &CSVStream{cr: cr, spec: spec, chunk: chunkSize, line: 1}
+	if s.fIdx, err = locate(spec.Features); err != nil {
+		return nil, err
+	}
+	if s.cIdx, err = locate(spec.CategoricalSensitive); err != nil {
+		return nil, err
+	}
+	if s.nIdx, err = locate(spec.NumericSensitive); err != nil {
+		return nil, err
+	}
+	s.domains = make([]*DomainIndex, len(spec.CategoricalSensitive))
+	for i := range s.domains {
+		s.domains[i] = NewDomainIndex()
+	}
+	return s, nil
+}
+
+// Next returns the next chunk of up to chunkSize rows as a validated
+// Dataset, or (nil, io.EOF) once the source is exhausted. Chunks share
+// nothing with each other except the stable code assignment; feature
+// rows and sensitive columns are freshly allocated per chunk.
+func (s *CSVStream) Next() (*Dataset, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	features := make([][]float64, 0, s.chunk)
+	codes := make([][]int, len(s.cIdx))
+	reals := make([][]float64, len(s.nIdx))
+	for len(features) < s.chunk {
+		rec, err := s.cr.Read()
+		if err == io.EOF {
+			s.done = true
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", s.line+1, err)
+		}
+		s.line++
+		row := make([]float64, len(s.fIdx))
+		for i, j := range s.fIdx {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rec[j]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d column %q: %w", s.line, s.spec.Features[i], err)
+			}
+			row[i] = v
+		}
+		features = append(features, row)
+		for i, j := range s.cIdx {
+			codes[i] = append(codes[i], s.domains[i].Code(strings.TrimSpace(rec[j])))
+		}
+		for i, j := range s.nIdx {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rec[j]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d column %q: %w", s.line, s.spec.NumericSensitive[i], err)
+			}
+			reals[i] = append(reals[i], v)
+		}
+	}
+	if len(features) == 0 {
+		return nil, io.EOF
+	}
+	ds := &Dataset{
+		FeatureNames: s.spec.Features,
+		Features:     features,
+	}
+	for i, name := range s.spec.CategoricalSensitive {
+		ds.Sensitive = append(ds.Sensitive, &SensitiveAttr{
+			Name:   name,
+			Kind:   Categorical,
+			Values: append([]string(nil), s.domains[i].Values()...),
+			Codes:  codes[i],
+		})
+	}
+	for i, name := range s.spec.NumericSensitive {
+		ds.Sensitive = append(ds.Sensitive, &SensitiveAttr{
+			Name:  name,
+			Kind:  Numeric,
+			Reals: reals[i],
+		})
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// Rows returns how many data rows have been decoded so far.
+func (s *CSVStream) Rows() int { return s.line - 1 }

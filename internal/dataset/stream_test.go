@@ -1,0 +1,138 @@
+package dataset
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+const streamCSV = `x,y,g,age,junk
+1,2,a,30,zz
+3,4,b,40,zz
+5,6,a,50,zz
+7,8,c,60,zz
+9,10,b,70,zz
+`
+
+func streamSpec() CSVSpec {
+	return CSVSpec{
+		Features:             []string{"x", "y"},
+		CategoricalSensitive: []string{"g"},
+		NumericSensitive:     []string{"age"},
+	}
+}
+
+// TestCSVStreamChunksMatchReadCSV: concatenating the chunks must
+// reproduce ReadCSV's rows, with codes stable across chunk boundaries.
+func TestCSVStreamChunksMatchReadCSV(t *testing.T) {
+	full, err := ReadCSV(strings.NewReader(streamCSV), streamSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewCSVStream(strings.NewReader(streamCSV), streamSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows int
+	valueOf := map[int]string{} // code -> value, must stay stable
+	for {
+		chunk, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chunk.N() > 2 {
+			t.Fatalf("chunk has %d rows, want <= 2", chunk.N())
+		}
+		g := chunk.SensitiveByName("g")
+		age := chunk.SensitiveByName("age")
+		for i := 0; i < chunk.N(); i++ {
+			for j := range chunk.Features[i] {
+				if chunk.Features[i][j] != full.Features[rows][j] {
+					t.Fatalf("row %d feature %d: %v vs %v", rows, j, chunk.Features[i][j], full.Features[rows][j])
+				}
+			}
+			val := g.Values[g.Codes[i]]
+			fullG := full.SensitiveByName("g")
+			if want := fullG.Values[fullG.Codes[rows]]; val != want {
+				t.Fatalf("row %d categorical %q, want %q", rows, val, want)
+			}
+			if prev, ok := valueOf[g.Codes[i]]; ok && prev != val {
+				t.Fatalf("code %d mapped to %q then %q across chunks", g.Codes[i], prev, val)
+			}
+			valueOf[g.Codes[i]] = val
+			if age.Reals[i] != full.SensitiveByName("age").Reals[rows] {
+				t.Fatalf("row %d age mismatch", rows)
+			}
+			rows++
+		}
+	}
+	if rows != full.N() {
+		t.Fatalf("streamed %d rows, want %d", rows, full.N())
+	}
+	if st.Rows() != full.N() {
+		t.Errorf("Rows() = %d, want %d", st.Rows(), full.N())
+	}
+	// Exhausted stream keeps returning EOF.
+	if _, err := st.Next(); err != io.EOF {
+		t.Errorf("post-EOF Next: %v", err)
+	}
+}
+
+// TestCSVStreamDomainGrowth: a value first seen in a late chunk gets a
+// fresh code; earlier codes are untouched, and each chunk's Values
+// slice is an independent copy.
+func TestCSVStreamDomainGrowth(t *testing.T) {
+	st, err := NewCSVStream(strings.NewReader(streamCSV), streamSpec(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := st.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := c1.SensitiveByName("g")
+	if len(g1.Values) != 2 { // a, b seen in rows 1-3
+		t.Fatalf("first chunk domain %v, want [a b]", g1.Values)
+	}
+	c2, err := st.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := c2.SensitiveByName("g")
+	if len(g2.Values) != 3 { // c appears in chunk 2
+		t.Fatalf("second chunk domain %v, want 3 values", g2.Values)
+	}
+	if g2.Values[0] != g1.Values[0] || g2.Values[1] != g1.Values[1] {
+		t.Fatalf("domain prefix changed: %v vs %v", g2.Values, g1.Values)
+	}
+	// Mutating chunk 1's copy must not leak into the stream's domain.
+	g1.Values[0] = "mutated"
+	if g2.Values[0] == "mutated" {
+		t.Fatal("chunks share Values backing arrays")
+	}
+}
+
+func TestCSVStreamErrors(t *testing.T) {
+	if _, err := NewCSVStream(strings.NewReader(streamCSV), CSVSpec{Features: []string{"nope"}}, 2); err == nil {
+		t.Error("missing column accepted")
+	}
+	bad := "x,g\nnotanumber,a\n"
+	st, err := NewCSVStream(strings.NewReader(bad), CSVSpec{Features: []string{"x"}, CategoricalSensitive: []string{"g"}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Next(); err == nil {
+		t.Error("unparseable feature accepted")
+	}
+	// Empty body: immediate EOF.
+	st2, err := NewCSVStream(strings.NewReader("x,g\n"), CSVSpec{Features: []string{"x"}, CategoricalSensitive: []string{"g"}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Next(); err != io.EOF {
+		t.Errorf("empty stream Next: %v", err)
+	}
+}

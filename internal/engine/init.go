@@ -65,6 +65,37 @@ func InitAssignment(features [][]float64, k int, method InitMethod, rng *stats.R
 	return assign
 }
 
+// InitAssignmentWeighted is InitAssignment over weighted rows: the
+// k-means++ D² sampling scales each candidate's distance by its mass
+// (a row standing for w points is w times as likely to seed a
+// centroid), while RandomPoints and RandomPartition stay row-level.
+// weights == nil delegates to InitAssignment; unit weights consume the
+// RNG stream identically to InitAssignment, so the two are
+// bit-identical in that case — the property the weighted solvers'
+// unit-parity contract rests on.
+func InitAssignmentWeighted(features [][]float64, weights []float64, k int, method InitMethod, rng *stats.RNG) []int {
+	if weights == nil {
+		return InitAssignment(features, k, method, rng)
+	}
+	n := len(features)
+	assign := make([]int, n)
+	switch method {
+	case KMeansPlusPlus:
+		centroids := PlusPlusCentroidsWeighted(features, weights, k, rng)
+		nearestInto(assign, features, centroids)
+	case RandomPoints:
+		pts := rng.SampleWithoutReplacement(n, k)
+		centroids := make([][]float64, k)
+		for c, p := range pts {
+			centroids[c] = features[p]
+		}
+		nearestInto(assign, features, centroids)
+	default: // RandomPartition — Algorithm 1 step 1
+		RandomPartitionAssign(rng, assign, k)
+	}
+	return assign
+}
+
 // nearestInto assigns every row to its nearest centroid (squared
 // Euclidean distance, lowest cluster index on ties).
 func nearestInto(assign []int, features, centroids [][]float64) {
@@ -102,6 +133,40 @@ func RandomPartitionAssign(rng *stats.RNG, assign []int, k int) {
 			}
 		}
 	}
+}
+
+// PlusPlusCentroidsWeighted is PlusPlusCentroids with mass-scaled D²
+// sampling: candidate probabilities are w_i·d(x_i)². The first centroid
+// is drawn uniformly over rows — exactly as in the unweighted routine,
+// so unit weights replay its RNG stream bit-for-bit (w·d² with w = 1
+// is an IEEE no-op); for genuinely weighted rows the subsequent D²
+// draws carry all the mass sensitivity that matters.
+func PlusPlusCentroidsWeighted(features [][]float64, weights []float64, k int, rng *stats.RNG) [][]float64 {
+	n := len(features)
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centroids = append(centroids, stats.Clone(features[first]))
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = weights[i] * stats.SqDist(features[i], centroids[0])
+	}
+	for len(centroids) < k {
+		total := stats.Sum(d2)
+		var next int
+		if total <= 0 {
+			next = rng.Intn(n)
+		} else {
+			next = rng.Categorical(d2)
+		}
+		c := stats.Clone(features[next])
+		centroids = append(centroids, c)
+		for i := range d2 {
+			if d := weights[i] * stats.SqDist(features[i], c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
 }
 
 // PlusPlusCentroids returns k centroids chosen by the k-means++

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStreamStudySmall runs the streaming study at reduced synthetic
+// scale (the full n=10⁵ point belongs to cmd/experiments and
+// BenchmarkStream) and sanity-checks the comparison it reports.
+func TestStreamStudySmall(t *testing.T) {
+	saved := StreamStudySizes
+	StreamStudySizes = []int{4000}
+	defer func() { StreamStudySizes = saved }()
+
+	study, err := RunStreamStudy(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Points) != 2 {
+		t.Fatalf("%d points, want 2", len(study.Points))
+	}
+	for _, p := range study.Points {
+		if p.SummaryRows <= 0 || p.SummaryRows >= p.N {
+			t.Errorf("%s: summary %d rows of %d — no compression", p.Name, p.SummaryRows, p.N)
+		}
+		if p.Ratio <= 0 {
+			t.Errorf("%s: ratio %v", p.Name, p.Ratio)
+		}
+		// The acceptance bar for Adult; the synthetic mixture is held
+		// to a looser sanity bound here because of its reduced scale.
+		if p.Name == "adult-6500" && p.Ratio > 1.05 {
+			t.Errorf("%s: summary-solve objective %.1f%% above full solve", p.Name, 100*(p.Ratio-1))
+		}
+		if p.Ratio > 1.5 {
+			t.Errorf("%s: ratio %v way off", p.Name, p.Ratio)
+		}
+	}
+	out := study.Render()
+	for _, want := range []string{"adult-6500", "synth-4000", "ratio", "stream ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

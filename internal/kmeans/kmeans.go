@@ -55,6 +55,12 @@ type Config struct {
 	Seed int64
 	// Init selects the initialization method.
 	Init InitMethod
+	// InitCentroids, when non-nil, overrides Init with explicit initial
+	// centroids (length K); the Seed is then not consumed. Used for
+	// warm starts (e.g. refining a streaming solve) and by the
+	// weighted/duplicated parity tests, which need both runs to start
+	// from the same configuration.
+	InitCentroids [][]float64
 	// Tol stops iteration when the objective improves by less than Tol
 	// between iterations. Zero — the default — means exact convergence
 	// (no change in assignments), the same policy FairKM and ZGYA
@@ -125,18 +131,10 @@ func (l *lloyd) Delta(i, from, to int) float64 {
 // policy compares between iterations.
 func (l *lloyd) Value() float64 { return SSE(l.features, l.assign, l.frozen) }
 
-// nearest mirrors the historical assignAll rule: all K centroids are
-// candidates (including zero-vector centroids of empty clusters), ties
-// keep the lowest cluster index.
+// nearest applies the shared nearestCentroid rule against the frozen
+// centroids.
 func (l *lloyd) nearest(i int) int {
-	x := l.features[i]
-	best, bestD := 0, math.Inf(1)
-	for c, cen := range l.frozen {
-		if d := stats.SqDist(x, cen); d < bestD {
-			best, bestD = c, d
-		}
-	}
-	return best
+	return nearestCentroid(l.features[i], l.frozen)
 }
 
 // NewSnapshot: the frozen-centroid view IS the snapshot; Freeze
@@ -167,6 +165,9 @@ func Run(features [][]float64, cfg Config) (*Result, error) {
 	if cfg.K < 1 || cfg.K > n {
 		return nil, fmt.Errorf("kmeans: K=%d out of range [1,%d]", cfg.K, n)
 	}
+	if err := validateInitCentroids(&cfg, dim); err != nil {
+		return nil, err
+	}
 	maxIter := cfg.MaxIter
 	if maxIter <= 0 {
 		maxIter = DefaultMaxIter
@@ -176,11 +177,10 @@ func Run(features [][]float64, cfg Config) (*Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	rng := stats.NewRNG(cfg.Seed)
 	obj := &lloyd{
 		features: features,
 		k:        cfg.K,
-		assign:   engine.InitAssignment(features, cfg.K, cfg.Init, rng),
+		assign:   initialAssign(features, nil, &cfg),
 	}
 
 	er := engine.Solve(obj, engine.NewLloydSweep(obj, workers), engine.Config{
@@ -205,6 +205,34 @@ func Run(features [][]float64, cfg Config) (*Result, error) {
 // D²-sampling procedure (shared engine implementation).
 func PlusPlusCentroids(features [][]float64, k int, rng *stats.RNG) [][]float64 {
 	return engine.PlusPlusCentroids(features, k, rng)
+}
+
+// validateInitCentroids checks the InitCentroids override shape.
+func validateInitCentroids(cfg *Config, dim int) error {
+	if cfg.InitCentroids == nil {
+		return nil
+	}
+	if len(cfg.InitCentroids) != cfg.K {
+		return fmt.Errorf("kmeans: %d initial centroids for K=%d", len(cfg.InitCentroids), cfg.K)
+	}
+	for c, cen := range cfg.InitCentroids {
+		if len(cen) != dim {
+			return fmt.Errorf("kmeans: initial centroid %d has %d features, want %d", c, len(cen), dim)
+		}
+	}
+	return nil
+}
+
+// initialAssign produces the starting partition for Run (weights nil)
+// and RunWeighted: nearest-centroid against the InitCentroids override
+// when present, otherwise the engine's (weighted) initializer.
+func initialAssign(features [][]float64, weights []float64, cfg *Config) []int {
+	if cfg.InitCentroids != nil {
+		assign := make([]int, len(features))
+		assignAll(features, cfg.InitCentroids, assign)
+		return assign
+	}
+	return engine.InitAssignmentWeighted(features, weights, cfg.K, cfg.Init, stats.NewRNG(cfg.Seed))
 }
 
 // assignAll reassigns every point to its nearest centroid, returning how

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -13,6 +15,21 @@ import (
 // It is the substrate for coreset-based clustering (internal/coreset),
 // where each retained point stands for w_i original points. Weights
 // must be positive and finite.
+//
+// RunWeighted is the same engine-driven Lloyd iteration as Run — same
+// initializers (k-means++ D² sampling scaled by mass), same
+// convergence policies, same frozen-sweep parallelism — with weighted
+// centroid updates. Two parity contracts pin the semantics:
+//
+//   - unit weights reproduce Run bit-for-bit (assignments, iteration
+//     count and objective bits), because every w·x with w = 1 is an
+//     IEEE-754 no-op and the RNG stream is consumed identically;
+//   - integer weights with Config.InitCentroids fixed match running
+//     Run on the explicitly duplicated dataset from the same centroids
+//     (Lloyd's assign and update steps are oblivious to whether mass
+//     arrives as one weighted row or w duplicate rows).
+//
+// Both are enforced by weighted_test.go.
 func RunWeighted(features [][]float64, weights []float64, cfg Config) (*Result, error) {
 	n := len(features)
 	if n == 0 {
@@ -35,61 +52,106 @@ func RunWeighted(features [][]float64, weights []float64, cfg Config) (*Result, 
 	if cfg.K < 1 || cfg.K > n {
 		return nil, fmt.Errorf("kmeans: K=%d out of range [1,%d]", cfg.K, n)
 	}
+	if err := validateInitCentroids(&cfg, dim); err != nil {
+		return nil, err
+	}
 	maxIter := cfg.MaxIter
 	if maxIter <= 0 {
 		maxIter = DefaultMaxIter
 	}
-	rng := stats.NewRNG(cfg.Seed)
-
-	// Initialization: weighted k-means++ (D² values scaled by weight).
-	centroids := weightedPlusPlus(features, weights, cfg.K, rng)
-	assign := make([]int, n)
-	assignAll(features, centroids, assign)
-
-	res := &Result{Assign: assign}
-	for iter := 1; iter <= maxIter; iter++ {
-		res.Iterations = iter
-		centroids = weightedCentroids(features, weights, assign, cfg.K)
-		if assignAll(features, centroids, assign) == 0 {
-			res.Converged = true
-			break
-		}
+	workers := cfg.Parallelism
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	res.Centroids = weightedCentroids(features, weights, assign, cfg.K)
-	res.Sizes = Sizes(assign, cfg.K)
-	res.Objective = WeightedSSE(features, weights, assign, res.Centroids)
+
+	obj := &lloydWeighted{
+		features: features,
+		weights:  weights,
+		k:        cfg.K,
+		assign:   initialAssign(features, weights, &cfg),
+	}
+
+	er := engine.Solve(obj, engine.NewLloydSweep(obj, workers), engine.Config{
+		MaxIter:  maxIter,
+		Tol:      cfg.Tol,
+		Budget:   cfg.Budget,
+		Observer: cfg.Observer,
+	})
+
+	res := &Result{
+		Assign:     obj.assign,
+		Iterations: er.Iterations,
+		Converged:  er.Converged,
+	}
+	res.Centroids = weightedCentroids(features, weights, obj.assign, cfg.K)
+	res.Sizes = Sizes(obj.assign, cfg.K)
+	res.Objective = WeightedSSE(features, weights, obj.assign, res.Centroids)
 	return res, nil
 }
 
-// weightedPlusPlus is k-means++ with weight-scaled D² sampling.
-func weightedPlusPlus(features [][]float64, weights []float64, k int, rng *stats.RNG) [][]float64 {
-	n := len(features)
-	first := rng.Categorical(weights)
-	centroids := [][]float64{stats.Clone(features[first])}
-	d2 := make([]float64, n)
-	for i := range d2 {
-		d2[i] = weights[i] * stats.SqDist(features[i], centroids[0])
-	}
-	for len(centroids) < k {
-		var next int
-		if stats.Sum(d2) <= 0 {
-			next = rng.Intn(n)
-		} else {
-			next = rng.Categorical(d2)
+// lloydWeighted is the weighted K-Means objective for the descent
+// engine: like lloyd, but Freeze recomputes weighted-mean centroids and
+// Delta/Value carry each row's mass. Scoring (nearest frozen centroid)
+// is mass-independent — a weighted row goes wherever its w duplicates
+// would all go.
+type lloydWeighted struct {
+	features [][]float64
+	weights  []float64
+	k        int
+	assign   []int
+	frozen   [][]float64
+}
+
+func (l *lloydWeighted) N() int               { return len(l.features) }
+func (l *lloydWeighted) K() int               { return l.k }
+func (l *lloydWeighted) Current(i int) int    { return l.assign[i] }
+func (l *lloydWeighted) Move(i, from, to int) { l.assign[i] = to }
+func (l *lloydWeighted) BestMove(i, from int) int {
+	return nearestCentroid(l.features[i], l.frozen)
+}
+func (l *lloydWeighted) Delta(i, from, to int) float64 {
+	x := l.features[i]
+	return l.weights[i] * (stats.SqDist(x, l.frozen[to]) - stats.SqDist(x, l.frozen[from]))
+}
+
+// Value is the weighted SSE against the frozen centroids — the
+// quantity the Tol policy compares between iterations.
+func (l *lloydWeighted) Value() float64 {
+	return WeightedSSE(l.features, l.weights, l.assign, l.frozen)
+}
+
+// NewSnapshot: the frozen-centroid view IS the snapshot; Freeze
+// recomputes the weighted means from the live assignment.
+func (l *lloydWeighted) NewSnapshot() engine.Snapshot { return (*lloydWeightedSnap)(l) }
+
+type lloydWeightedSnap lloydWeighted
+
+func (s *lloydWeightedSnap) Freeze() {
+	s.frozen = weightedCentroids(s.features, s.weights, s.assign, s.k)
+}
+
+func (s *lloydWeightedSnap) BestMove(i, from int) int {
+	return nearestCentroid(s.features[i], s.frozen)
+}
+
+// nearestCentroid mirrors the historical assignAll rule shared by the
+// weighted and unweighted objectives: all K centroids are candidates
+// (including zero-vector centroids of empty clusters), ties keep the
+// lowest cluster index.
+func nearestCentroid(x []float64, centroids [][]float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cen := range centroids {
+		if d := stats.SqDist(x, cen); d < bestD {
+			best, bestD = c, d
 		}
-		c := stats.Clone(features[next])
-		centroids = append(centroids, c)
-		for i := range d2 {
-			if d := weights[i] * stats.SqDist(features[i], c); d < d2[i] {
-				d2[i] = d
-			}
-		}
 	}
-	return centroids
+	return best
 }
 
 // weightedCentroids computes per-cluster weighted means; empty clusters
-// get zero vectors.
+// get zero vectors. With unit weights it is bit-identical to
+// computeCentroids (w·v multiplications are exact and the mass
+// accumulates the same integer the row count would).
 func weightedCentroids(features [][]float64, weights []float64, assign []int, k int) [][]float64 {
 	dim := len(features[0])
 	sums := make([][]float64, k)

@@ -272,13 +272,28 @@ func clusterDistributions(s *dataset.SensitiveAttr, assign []int, k int) (sizes 
 func Fairness(ds *dataset.Dataset, s *dataset.SensitiveAttr, assign []int, k int) FairnessReport {
 	frX := ds.Fractions(s)
 	sizes, dists := clusterDistributions(s, assign, k)
-	rep := FairnessReport{Attribute: s.Name}
+	szf := make([]float64, k)
+	for c, sz := range sizes {
+		szf[c] = float64(sz)
+	}
+	return FairnessFromDistributions(s.Name, frX, szf, dists)
+}
+
+// FairnessFromDistributions computes the AE/AW/ME/MW report from
+// already-aggregated statistics: the dataset value distribution frX,
+// per-cluster sizes (row counts or masses; zero marks an empty cluster)
+// and per-cluster value distributions. It is the counts-based core of
+// Fairness, shared with the streaming second-pass evaluator
+// (internal/pipeline), which accumulates these aggregates in O(k·|V|)
+// memory without materializing the dataset.
+func FairnessFromDistributions(attr string, frX []float64, sizes []float64, dists [][]float64) FairnessReport {
+	rep := FairnessReport{Attribute: attr}
 	totalW := 0.0
-	for c := 0; c < k; c++ {
+	for c := range dists {
 		if sizes[c] == 0 {
 			continue
 		}
-		w := float64(sizes[c])
+		w := sizes[c]
 		ed := Euclidean(dists[c], frX)
 		wd := Wasserstein1(dists[c], frX)
 		rep.AE += w * ed

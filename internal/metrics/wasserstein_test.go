@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWasserstein1UnnormalizedEqualMass: the transport distance is
+// positively homogeneous, so equal-mass inputs that are not probability
+// vectors must report the scaled distance — the quantity the historical
+// truncated-CDF loop happened to get right only for Σp = Σq.
+func TestWasserstein1UnnormalizedEqualMass(t *testing.T) {
+	p := []float64{0.7, 0.3}
+	q := []float64{0.4, 0.6}
+	base := Wasserstein1(p, q)
+	for _, scale := range []float64{2, 10, 0.25} {
+		ps := []float64{p[0] * scale, p[1] * scale}
+		qs := []float64{q[0] * scale, q[1] * scale}
+		if got, want := Wasserstein1(ps, qs), scale*base; math.Abs(got-want) > 1e-12 {
+			t.Errorf("scale %v: W1 = %v, want %v", scale, got, want)
+		}
+	}
+	// Raw count vectors with equal totals are fine too.
+	if got := Wasserstein1([]float64{3, 1, 0}, []float64{0, 1, 3}); math.Abs(got-6) > 1e-12 {
+		t.Errorf("count-vector W1 = %v, want 6", got)
+	}
+}
+
+// TestWasserstein1MassMismatchPanics: inputs carrying different total
+// mass have no transport plan; the silent-underreport of the truncated
+// CDF sum must now be a loud failure.
+func TestWasserstein1MassMismatchPanics(t *testing.T) {
+	cases := [][2][]float64{
+		{{1, 0}, {0, 0.5}},
+		{{0.5, 0.5}, {0.5, 0.5 + 1e-6}},
+		{{2, 1}, {1, 1}},
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic for Σp=%v Σq=%v", i, c[0], c[1])
+				}
+			}()
+			Wasserstein1(c[0], c[1])
+		}()
+	}
+	// Drift within the 1e-9 tolerance must still be accepted.
+	if got := Wasserstein1([]float64{0.5, 0.5}, []float64{0.5, 0.5 + 1e-12}); math.Abs(got) > 1e-9 {
+		t.Errorf("within-tolerance drift: W1 = %v", got)
+	}
+}

@@ -17,6 +17,16 @@ import (
 // use; create one RNG per goroutine.
 type RNG struct {
 	r *rand.Rand
+	// zipf caches the cumulative Zipf weight table per (n, s): long-
+	// tailed generators draw from the same distribution thousands of
+	// times, and rebuilding the O(n) weight vector per draw made those
+	// loops quadratic.
+	zipf map[zipfKey]*Cumulative
+}
+
+type zipfKey struct {
+	n int
+	s float64
 }
 
 // NewRNG returns a deterministic RNG seeded with seed.
@@ -105,9 +115,74 @@ func (g *RNG) SampleWithoutReplacement(n, m int) []int {
 // Zipf returns a draw from a Zipf-like distribution over [0, n) with
 // exponent s >= 1. Used to model long-tailed categorical attributes such
 // as country of origin.
+//
+// The cumulative weight table is cached per (n, s) on the RNG and each
+// draw is a binary search, so a sequence of m draws costs O(n + m·log n)
+// instead of the O(n·m) of rebuilding ZipfWeights every call. Draws are
+// bit-identical to the historical Categorical(ZipfWeights(n, s)) path.
 func (g *RNG) Zipf(n int, s float64) int {
-	w := ZipfWeights(n, s)
-	return g.Categorical(w)
+	key := zipfKey{n: n, s: s}
+	cum := g.zipf[key]
+	if cum == nil {
+		cum = NewCumulative(ZipfWeights(n, s))
+		if g.zipf == nil {
+			g.zipf = map[zipfKey]*Cumulative{}
+		}
+		g.zipf[key] = cum
+	}
+	return cum.Sample(g)
+}
+
+// Cumulative is a prefix-sum table over a non-negative weight vector,
+// supporting O(log n) categorical draws. It replaces repeated
+// RNG.Categorical calls over the same weights (O(n) per draw): build
+// once, then Sample per draw. Samples are bit-identical to Categorical
+// on the same weights because the prefix sums accumulate in the same
+// left-to-right order Categorical scans.
+type Cumulative struct {
+	prefix []float64
+}
+
+// NewCumulative validates w and builds the prefix-sum table. It panics
+// on empty, negative or non-positive-total weights — the same contract
+// as Categorical, checked once instead of per draw.
+func NewCumulative(w []float64) *Cumulative {
+	if len(w) == 0 {
+		panic("stats: Cumulative with empty weights")
+	}
+	prefix := make([]float64, len(w))
+	acc := 0.0
+	for i, v := range w {
+		if v < 0 || math.IsNaN(v) {
+			panic("stats: Cumulative with negative weight")
+		}
+		acc += v
+		prefix[i] = acc
+	}
+	if !(acc > 0) || math.IsInf(acc, 0) {
+		panic("stats: Cumulative with non-positive total weight")
+	}
+	return &Cumulative{prefix: prefix}
+}
+
+// Total returns the summed weight.
+func (c *Cumulative) Total() float64 { return c.prefix[len(c.prefix)-1] }
+
+// Sample draws an index with probability proportional to its weight,
+// consuming exactly one Float64 from g (like Categorical).
+func (c *Cumulative) Sample(g *RNG) int {
+	u := g.r.Float64() * c.Total()
+	// Smallest i with prefix[i] > u — Categorical's `u < acc` rule.
+	lo, hi := 0, len(c.prefix)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.prefix[mid] > u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 // ZipfWeights returns the (unnormalized) Zipf weight vector 1/rank^s for

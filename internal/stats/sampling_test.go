@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"testing"
+)
+
+// TestCumulativeMatchesCategorical: Sample must reproduce Categorical's
+// draws bit-for-bit on the same RNG stream — the property that lets
+// coreset sampling swap the O(n) scan for a binary search without
+// disturbing any pinned output.
+func TestCumulativeMatchesCategorical(t *testing.T) {
+	weights := [][]float64{
+		{1},
+		{0.2, 0.8},
+		{0, 0, 5, 0},
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{1e-12, 1, 1e-12},
+	}
+	for wi, w := range weights {
+		a := NewRNG(int64(wi) + 7)
+		b := NewRNG(int64(wi) + 7)
+		cum := NewCumulative(w)
+		for draw := 0; draw < 500; draw++ {
+			want := a.Categorical(w)
+			got := cum.Sample(b)
+			if got != want {
+				t.Fatalf("weights %v draw %d: Sample=%d Categorical=%d", w, draw, got, want)
+			}
+		}
+	}
+}
+
+func TestCumulativeValidation(t *testing.T) {
+	for _, w := range [][]float64{nil, {}, {0, 0}, {1, -1}} {
+		w := w
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCumulative(%v) did not panic", w)
+				}
+			}()
+			NewCumulative(w)
+		}()
+	}
+}
+
+// TestZipfCached: the cached Zipf path must draw the same stream as the
+// historical rebuild-per-call path, and interleaving (n, s) pairs must
+// not cross-contaminate the caches.
+func TestZipfCached(t *testing.T) {
+	g := NewRNG(3)
+	ref := NewRNG(3)
+	for i := 0; i < 300; i++ {
+		n, s := 40, 1.1
+		if i%3 == 1 {
+			n, s = 7, 2.0
+		}
+		want := ref.Categorical(ZipfWeights(n, s))
+		got := g.Zipf(n, s)
+		if got != want {
+			t.Fatalf("draw %d (n=%d s=%v): Zipf=%d want %d", i, n, s, got, want)
+		}
+		if got < 0 || got >= n {
+			t.Fatalf("draw %d out of range: %d", i, got)
+		}
+	}
+}
+
+// BenchmarkZipf measures the long-tailed draw loop the Adult generator
+// leans on: n draws from a fixed (n, s) table.
+func BenchmarkZipf(b *testing.B) {
+	g := NewRNG(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Zipf(1000, 1.1)
+	}
+}
+
+// BenchmarkZipfUncached is the historical per-draw rebuild, kept as the
+// comparison baseline for BenchmarkZipf.
+func BenchmarkZipfUncached(b *testing.B) {
+	g := NewRNG(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Categorical(ZipfWeights(1000, 1.1))
+	}
+}
+
+// BenchmarkCumulativeSample isolates one prefix-table draw (binary
+// search) against one Categorical scan at the same size.
+func BenchmarkCumulativeSample(b *testing.B) {
+	w := ZipfWeights(4096, 1.2)
+	cum := NewCumulative(w)
+	g := NewRNG(1)
+	b.Run("cumulative", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cum.Sample(g)
+		}
+	})
+	b.Run("categorical", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.Categorical(w)
+		}
+	})
+}

@@ -75,6 +75,20 @@ func AddTo(dst, src []float64) {
 	}
 }
 
+// AddScaledTo adds c·src into dst element-wise. It panics on length
+// mismatch. With c = ±1 every element update is bit-identical to
+// AddTo/SubFrom (multiplication by one and sign flips are exact in
+// IEEE-754), which is what lets the weighted clustering kernels treat
+// unit weights as a transparent special case.
+func AddScaledTo(dst, src []float64, c float64) {
+	if len(dst) != len(src) {
+		panic("stats: AddScaledTo length mismatch")
+	}
+	for i := range dst {
+		dst[i] += c * src[i]
+	}
+}
+
 // SubFrom subtracts src from dst element-wise. It panics on length
 // mismatch.
 func SubFrom(dst, src []float64) {
