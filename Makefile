@@ -20,14 +20,18 @@ vet:
 # 5% of it on BenchmarkSweep/BenchmarkBestMove. BENCH_stream.json
 # records the summarize-then-solve pipeline against full-data FairKM
 # (wall-clock, summary size and objective ratio on Adult-6500 and a
-# synthetic n=10^5 stream).
+# synthetic n=10^5 stream). BENCH_serve.json records batch-assign
+# serving throughput across micro-batch sizes and worker counts
+# (BenchmarkServe, 4096 Adult-shaped rows per op at k=15).
 bench:
 	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkSweep|BenchmarkBestMove|BenchmarkRunAdult' -benchtime 1s -json > BENCH_engine.json
 	$(GO) test . -run '^$$' -bench 'BenchmarkStream' -benchtime 1x -count 3 -json > BENCH_stream.json
+	$(GO) test ./internal/serve -run '^$$' -bench 'BenchmarkServe' -benchtime 1s -json > BENCH_serve.json
 	$(GO) test ./internal/stats -run '^$$' -bench 'BenchmarkDot|BenchmarkSqDist|BenchmarkZipf' -benchtime 1s
 
 # bench-smoke just proves the benchmarks still compile and run (CI).
 bench-smoke:
 	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkSweep' -benchtime 1x
 	$(GO) test . -run '^$$' -bench 'BenchmarkStream/stream' -benchtime 1x
+	$(GO) test ./internal/serve -run '^$$' -bench 'BenchmarkServe/workers=1/batch=64' -benchtime 1x
 	$(GO) test ./internal/stats -run '^$$' -bench 'BenchmarkDot|BenchmarkSqDist|BenchmarkZipf' -benchtime 1x

@@ -13,21 +13,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/data/adult"
 	"repro/internal/data/kinematics"
 	"repro/internal/dataset"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("datagen: ")
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		log.Fatal(err)
-	}
-}
+func main() { cli.Main("datagen", run) }
 
 // run executes the tool against the given arguments, writing progress
 // to out. Split from main for testability.

@@ -72,3 +72,20 @@ func TestRunBadFlag(t *testing.T) {
 		t.Error("bogus flag accepted")
 	}
 }
+
+// TestValidationAudit pins the CLI failure contract for datagen.
+func TestValidationAudit(t *testing.T) {
+	cases := map[string][]string{
+		"unknown dataset": {"-dataset", "census2090"},
+		"unwritable out":  {"-dataset", "adult", "-rows", "50", "-o", "no/such/dir/out.csv"},
+		"unknown flag":    {"-zap"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(args, &buf); err == nil {
+				t.Errorf("run(%v) accepted a bad invocation", args)
+			}
+		})
+	}
+}

@@ -18,10 +18,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 )
 
@@ -78,13 +78,7 @@ var extensionExperiments = []runnable{
 	{"stream", func(o experiments.Options) (renderer, error) { return experiments.RunStreamStudy(o) }},
 }
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("experiments: ")
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		log.Fatal(err)
-	}
-}
+func main() { cli.Main("experiments", run) }
 
 // run executes the selected experiments, writing rendered results to
 // out (and to the -out file if given). Split from main for testability.
@@ -105,6 +99,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	if *reps < 1 {
+		return fmt.Errorf("-reps must be at least 1 (got %d)", *reps)
+	}
 	opts := experiments.DefaultOptions()
 	opts.Reps = *reps
 	opts.Seed = *seed
@@ -156,7 +153,7 @@ func selectExperiments(spec string) ([]runnable, error) {
 		name = strings.TrimSpace(name)
 		r, ok := known[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown experiment %q (known: all, table5..table8, fig1..fig7, baselines, scaling, numeric, ksweep, convergence, attrsweep)", name)
+			return nil, fmt.Errorf("unknown experiment %q (known: all, table5..table8, fig1..fig7, baselines, scaling, numeric, ksweep, convergence, attrsweep, stream)", name)
 		}
 		selected = append(selected, r)
 	}

@@ -66,3 +66,24 @@ func TestRunRejectsUnknown(t *testing.T) {
 		t.Error("bogus flag accepted")
 	}
 }
+
+// TestValidationAudit pins the CLI failure contract for experiments:
+// unknown study names and impossible parameters error cleanly.
+func TestValidationAudit(t *testing.T) {
+	cases := map[string][]string{
+		"unknown study":       {"-exp", "table99"},
+		"one bad in list":     {"-exp", "table5,nope"},
+		"empty study name":    {"-exp", "table5,,table6"},
+		"reps zero":           {"-exp", "table5", "-reps", "0"},
+		"unknown flag":        {"-what"},
+		"unwritable out file": {"-exp", "table5", "-reps", "1", "-out", "no/such/dir/out.txt"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(args, &buf); err == nil {
+				t.Errorf("run(%v) accepted a bad invocation", args)
+			}
+		})
+	}
+}

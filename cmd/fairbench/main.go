@@ -23,12 +23,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/bera"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
@@ -42,13 +42,7 @@ import (
 	"repro/internal/zgya"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("fairbench: ")
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		log.Fatal(err)
-	}
-}
+func main() { cli.Main("fairbench", run) }
 
 // run executes the comparison; split from main for testability.
 func run(args []string, out io.Writer) error {
@@ -72,6 +66,9 @@ func run(args []string, out io.Writer) error {
 	if *in == "" || *features == "" || *sensitive == "" {
 		fs.Usage()
 		return fmt.Errorf("-in, -features and -sensitive are required")
+	}
+	if *k < 1 {
+		return fmt.Errorf("-k must be at least 1 (got %d)", *k)
 	}
 
 	f, err := os.Open(*in)

@@ -75,3 +75,21 @@ func TestFairbenchValidation(t *testing.T) {
 		t.Error("unknown single-attr accepted")
 	}
 }
+
+// TestValidationAudit pins the CLI failure contract for fairbench.
+func TestValidationAudit(t *testing.T) {
+	cases := map[string][]string{
+		"missing -in":       {"-features", "x", "-sensitive", "g"},
+		"nonexistent input": {"-in", "definitely/not/here.csv", "-features", "x", "-sensitive", "g"},
+		"k zero":            {"-in", "x.csv", "-features", "x", "-sensitive", "g", "-k", "0"},
+		"unknown flag":      {"-in", "x.csv", "-features", "x", "-sensitive", "g", "-zap"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(args, &buf); err == nil {
+				t.Errorf("run(%v) accepted a bad invocation", args)
+			}
+		})
+	}
+}

@@ -6,7 +6,12 @@
 //	fairkm -in data.csv -features f1,f2 -sensitive s1,s2 -k 5
 //	       [-numeric-sensitive a1,a2] [-lambda L | -auto-lambda]
 //	       [-seed S] [-max-iter N] [-tol T] [-budget D] [-parallel P]
-//	       [-trace] [-assign out.csv] [-compare]
+//	       [-trace] [-assign out.csv] [-save model.json] [-compare]
+//
+// -save writes the trained model as a versioned artifact (centroids,
+// λ, categorical domains, min-max scaling, provenance) that
+// cmd/fairserved serves and fairclust.LoadModel reads back
+// bit-identically.
 //
 // With -compare it also runs S-blind K-Means on the same data and
 // prints both result columns side by side, quantifying what fairness
@@ -17,24 +22,19 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/kmeans"
 	"repro/internal/metrics"
+	"repro/internal/model"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("fairkm: ")
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		log.Fatal(err)
-	}
-}
+func main() { cli.Main("fairkm", run) }
 
 // run executes the tool against the given arguments, writing the report
 // to out. Split from main for testability.
@@ -57,6 +57,7 @@ func run(args []string, out io.Writer) error {
 		trace      = fs.Bool("trace", false, "print one line per iteration (moves, objective, elapsed)")
 		minmax     = fs.Bool("minmax", true, "min-max normalize features before clustering")
 		assignOut  = fs.String("assign", "", "write per-row cluster assignments to this CSV")
+		saveOut    = fs.String("save", "", "write the trained model artifact (centroids, λ, domains, scaling, provenance) to this path; serve it with fairserved")
 		compare    = fs.Bool("compare", false, "also run S-blind K-Means and print both")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -68,6 +69,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *sensitive == "" && *numSens == "" {
 		return fmt.Errorf("need at least one -sensitive or -numeric-sensitive column")
+	}
+	if *k < 1 {
+		return fmt.Errorf("-k must be at least 1 (got %d)", *k)
 	}
 
 	f, err := os.Open(*in)
@@ -83,8 +87,10 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var scaling *model.Scaling
 	if *minmax {
-		ds.MinMaxNormalize()
+		mins, ranges := ds.MinMaxNormalize()
+		scaling = &model.Scaling{Kind: "minmax", Mins: mins, Ranges: ranges}
 	}
 
 	cfg := core.Config{
@@ -124,6 +130,18 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "\nwrote assignments to %s\n", *assignOut)
+	}
+
+	if *saveOut != "" {
+		art, err := model.New(ds, nil, res, model.Provenance{Tool: "fairkm", Seed: *seed})
+		if err != nil {
+			return err
+		}
+		art.Scaling = scaling
+		if err := model.Save(*saveOut, art); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote model artifact to %s (serve with: fairserved -model %s)\n", *saveOut, *saveOut)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/model"
 	"repro/internal/stats"
 )
 
@@ -91,5 +92,60 @@ func TestSplitList(t *testing.T) {
 	}
 	if splitList("") != nil {
 		t.Error("empty list should be nil")
+	}
+}
+
+// TestValidationAudit pins the CLI failure contract: every bad
+// invocation returns a clear error from run (main converts it to exit
+// code 2) and never panics.
+func TestValidationAudit(t *testing.T) {
+	cases := map[string][]string{
+		"missing -in":       {"-features", "x", "-sensitive", "g"},
+		"missing -features": {"-in", "x.csv", "-sensitive", "g"},
+		"no sensitive":      {"-in", "x.csv", "-features", "x"},
+		"nonexistent input": {"-in", "definitely/not/here.csv", "-features", "x", "-sensitive", "g"},
+		"k zero":            {"-in", "x.csv", "-features", "x", "-sensitive", "g", "-k", "0"},
+		"k negative":        {"-in", "x.csv", "-features", "x", "-sensitive", "g", "-k", "-3"},
+		"unknown flag":      {"-in", "x.csv", "-features", "x", "-sensitive", "g", "-nope"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(args, &buf); err == nil {
+				t.Errorf("run(%v) accepted a bad invocation", args)
+			}
+		})
+	}
+}
+
+// TestRunSaveArtifact: -save writes a loadable artifact that carries
+// the scaling, λ and sensitive domains of the run.
+func TestRunSaveArtifact(t *testing.T) {
+	csv := writeTestCSV(t)
+	saveOut := filepath.Join(t.TempDir(), "km.model.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-in", csv, "-features", "x,y", "-sensitive", "grp",
+		"-numeric-sensitive", "age", "-k", "3", "-auto-lambda",
+		"-save", saveOut,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "wrote model artifact") {
+		t.Errorf("no artifact confirmation:\n%s", buf.String())
+	}
+	m, err := model.Load(saveOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != 3 || m.Provenance.Tool != "fairkm" || m.Provenance.Rows != 80 {
+		t.Errorf("artifact = k%d tool %q rows %d", m.K, m.Provenance.Tool, m.Provenance.Rows)
+	}
+	if m.Scaling == nil {
+		t.Error("artifact lost the default -minmax scaling")
+	}
+	if len(m.Sensitive) != 2 || m.Sensitive[0].Kind != model.KindCategorical || m.Sensitive[1].Kind != model.KindNumeric {
+		t.Errorf("artifact sensitive schema = %+v", m.Sensitive)
 	}
 }

@@ -1,0 +1,427 @@
+// Command fairserved serves fair-assignment traffic from saved model
+// artifacts: load one or more models trained by fairkm/fairstream
+// (-save), then answer nearest-centroid assignment queries over HTTP
+// while tracking per-model latency and fairness drift.
+//
+// Usage:
+//
+//	fairserved -model m.json [-model more.json ...] [-addr :8080]
+//	           [-batch 64] [-workers N] [-latency-window 1024]
+//
+// Endpoints (all JSON unless noted):
+//
+//	POST /v1/assign        single {"features":[...]} or batch
+//	                       {"rows":[{"features":[...],"sensitive":{...}},...]};
+//	                       optional "model" (default: first loaded) and
+//	                       "raw" (apply the artifact's feature scaling)
+//	GET  /v1/models        loaded models with provenance, serving stats
+//	                       and fairness drift reports
+//	POST /v1/models/reload {"model":"name","path":"optional new path"} —
+//	                       atomic hot-swap; in-flight requests finish on
+//	                       the old model
+//	GET  /healthz          liveness
+//	GET  /metrics          Prometheus text exposition
+//
+// SIGINT/SIGTERM shut the server down gracefully: the listener closes,
+// in-flight requests complete, worker pools drain.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+func main() { cli.Main("fairserved", run) }
+
+// run parses flags and serves until a termination signal. Split from
+// main for testability; serveCtx carries the cancelable body.
+func run(args []string, out io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serveCtx(ctx, args, out)
+}
+
+// modelList collects repeated -model flags as name=path or bare paths.
+type modelList []string
+
+func (m *modelList) String() string { return strings.Join(*m, ",") }
+
+func (m *modelList) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func serveCtx(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fairserved", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var models modelList
+	fs.Var(&models, "model", "model artifact to serve, as PATH or NAME=PATH (repeatable; first is the default model)")
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		batch     = fs.Int("batch", 0, "micro-batch size per worker task (0 = 64)")
+		workers   = fs.Int("workers", 0, "scoring workers per model (0 = GOMAXPROCS)")
+		latWindow = fs.Int("latency-window", 0, "requests per latency quantile window (0 = 1024)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(models) == 0 {
+		fs.Usage()
+		return fmt.Errorf("at least one -model is required")
+	}
+
+	reg := serve.NewRegistry(serve.Options{BatchSize: *batch, Workers: *workers, LatencyWindow: *latWindow})
+	defer reg.Close()
+	for _, spec := range models {
+		name, path := "", spec
+		if i := strings.IndexByte(spec, '='); i >= 0 {
+			name, path = spec[:i], spec[i+1:]
+		}
+		e, err := reg.Load(name, path)
+		if err != nil {
+			return err
+		}
+		m := e.Model()
+		fmt.Fprintf(out, "loaded %q from %s (k=%d dim=%d lambda=%.4g, trained by %s on %d rows)\n",
+			e.Name, path, m.K, m.Dim(), m.Lambda, m.Provenance.Tool, m.Provenance.Rows)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: newHandler(reg)}
+	fmt.Fprintf(out, "listening on http://%s (default model %q)\n", ln.Addr(), reg.Default())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(out, "shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return err
+		}
+		return nil
+	case err := <-errCh:
+		return err
+	}
+}
+
+// ---- HTTP API ----
+
+// assignRow is one query row.
+type assignRow struct {
+	Features []float64 `json:"features"`
+	// Sensitive optionally carries the row's sensitive values (by
+	// attribute name) for the drift tracker; it never influences the
+	// assignment.
+	Sensitive map[string]string `json:"sensitive,omitempty"`
+}
+
+// assignRequest is the /v1/assign body: either the single form
+// (features at top level) or the batch form (rows).
+type assignRequest struct {
+	Model string `json:"model,omitempty"`
+	// Raw asks the server to apply the artifact's feature scaling
+	// (min-max) to each row before assignment.
+	Raw bool `json:"raw,omitempty"`
+
+	Features  []float64         `json:"features,omitempty"`
+	Sensitive map[string]string `json:"sensitive,omitempty"`
+
+	Rows []assignRow `json:"rows,omitempty"`
+}
+
+type assignment struct {
+	Cluster int `json:"cluster"`
+	// Distance is the squared Euclidean distance to the winning
+	// centroid in the trained feature space.
+	Distance float64 `json:"distance"`
+}
+
+type assignResponse struct {
+	Model       string       `json:"model"`
+	Generation  int          `json:"generation"`
+	Assignments []assignment `json:"assignments"`
+}
+
+type modelInfo struct {
+	Name       string           `json:"name"`
+	Path       string           `json:"path,omitempty"`
+	Default    bool             `json:"default"`
+	Generation int              `json:"generation"`
+	LoadedAt   time.Time        `json:"loaded_at"`
+	K          int              `json:"k"`
+	Lambda     float64          `json:"lambda"`
+	Dim        int              `json:"dim"`
+	Features   []string         `json:"features,omitempty"`
+	Provenance model.Provenance `json:"provenance"`
+	Requests   uint64           `json:"requests"`
+	Rows       uint64           `json:"rows"`
+	P50Millis  float64          `json:"p50_ms"`
+	P99Millis  float64          `json:"p99_ms"`
+	Drift      []driftInfo      `json:"drift,omitempty"`
+}
+
+type driftInfo struct {
+	Attribute    string  `json:"attribute"`
+	ObservedRows uint64  `json:"observed_rows"`
+	MaxTV        float64 `json:"max_tv"`
+	TrainingAE   float64 `json:"training_ae"`
+	ObservedAE   float64 `json:"observed_ae"`
+	TrainingMW   float64 `json:"training_mw"`
+	ObservedMW   float64 `json:"observed_mw"`
+}
+
+type reloadRequest struct {
+	Model string `json:"model,omitempty"`
+	Path  string `json:"path,omitempty"`
+}
+
+// newHandler builds the fairserved HTTP API over a registry.
+func newHandler(reg *serve.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": len(reg.List())})
+	})
+	mux.HandleFunc("/v1/assign", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		handleAssign(reg, w, r)
+	})
+	mux.HandleFunc("/v1/models", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"default": reg.Default(),
+			"models":  modelInfos(reg),
+		})
+	})
+	mux.HandleFunc("/v1/models/reload", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req reloadRequest
+		if err := decodeJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		name := req.Model
+		if name == "" {
+			name = reg.Default()
+		}
+		e, err := reg.Reload(name, req.Path)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"model":      e.Name,
+			"path":       e.Path,
+			"generation": e.Generation,
+		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, reg)
+	})
+	return mux
+}
+
+func handleAssign(reg *serve.Registry, w http.ResponseWriter, r *http.Request) {
+	var req assignRequest
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	single := req.Features != nil
+	if single == (len(req.Rows) > 0) {
+		httpError(w, http.StatusBadRequest, "provide exactly one of \"features\" (single) or \"rows\" (batch)")
+		return
+	}
+	e, err := reg.Get(req.Model)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	a := e.Assigner()
+	m := e.Model()
+
+	rows := req.Rows
+	if single {
+		rows = []assignRow{{Features: req.Features, Sensitive: req.Sensitive}}
+	}
+	features := make([][]float64, len(rows))
+	var sensitive []map[string]string
+	for i, row := range rows {
+		x := row.Features
+		if req.Raw && m.Scaling != nil && len(x) == m.Dim() {
+			x = append([]float64(nil), x...)
+			m.Scaling.Apply(x)
+		}
+		features[i] = x
+		if row.Sensitive != nil {
+			if sensitive == nil {
+				sensitive = make([]map[string]string, len(rows))
+			}
+			sensitive[i] = row.Sensitive
+		}
+	}
+	clusters, dists, err := a.AssignBatch(features, sensitive)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := assignResponse{
+		Model:       e.Name,
+		Generation:  e.Generation,
+		Assignments: make([]assignment, len(clusters)),
+	}
+	for i, c := range clusters {
+		resp.Assignments[i] = assignment{Cluster: c, Distance: dists[i]}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func modelInfos(reg *serve.Registry) []modelInfo {
+	def := reg.Default()
+	var infos []modelInfo
+	for _, e := range reg.List() {
+		m := e.Model()
+		st := e.Assigner().Stats()
+		info := modelInfo{
+			Name:       e.Name,
+			Path:       e.Path,
+			Default:    e.Name == def,
+			Generation: e.Generation,
+			LoadedAt:   e.LoadedAt,
+			K:          m.K,
+			Lambda:     m.Lambda,
+			Dim:        m.Dim(),
+			Features:   m.FeatureNames,
+			Provenance: m.Provenance,
+			Requests:   st.Requests,
+			Rows:       st.Rows,
+			P50Millis:  float64(st.P50) / float64(time.Millisecond),
+			P99Millis:  float64(st.P99) / float64(time.Millisecond),
+		}
+		for _, d := range e.Assigner().Drift() {
+			info.Drift = append(info.Drift, driftInfo{
+				Attribute:    d.Attribute,
+				ObservedRows: d.ObservedRows,
+				MaxTV:        d.MaxTV,
+				TrainingAE:   d.Training.AE,
+				ObservedAE:   d.Observed.AE,
+				TrainingMW:   d.Training.MW,
+				ObservedMW:   d.Observed.MW,
+			})
+		}
+		infos = append(infos, info)
+	}
+	return infos
+}
+
+// writeMetrics renders the Prometheus text exposition format with the
+// standard library only. Each entry's stats and drift are snapshotted
+// exactly once per scrape: Drift() holds the tracker lock the
+// assignment path's observe() also takes, so scraping must not
+// recompute it per metric family.
+func writeMetrics(w io.Writer, reg *serve.Registry) {
+	entries := reg.List()
+	stats := make([]serve.Stats, len(entries))
+	drifts := make([][]serve.DriftReport, len(entries))
+	for i, e := range entries {
+		stats[i] = e.Assigner().Stats()
+		drifts[i] = e.Assigner().Drift()
+	}
+	fmt.Fprintf(w, "# HELP fairserved_requests_total Assignment requests served per model.\n")
+	fmt.Fprintf(w, "# TYPE fairserved_requests_total counter\n")
+	for i, e := range entries {
+		fmt.Fprintf(w, "fairserved_requests_total{model=%q} %d\n", e.Name, stats[i].Requests)
+	}
+	fmt.Fprintf(w, "# HELP fairserved_rows_total Feature vectors labelled per model.\n")
+	fmt.Fprintf(w, "# TYPE fairserved_rows_total counter\n")
+	for i, e := range entries {
+		fmt.Fprintf(w, "fairserved_rows_total{model=%q} %d\n", e.Name, stats[i].Rows)
+	}
+	fmt.Fprintf(w, "# HELP fairserved_request_latency_seconds Request latency quantiles over the recent window.\n")
+	fmt.Fprintf(w, "# TYPE fairserved_request_latency_seconds summary\n")
+	for i, e := range entries {
+		fmt.Fprintf(w, "fairserved_request_latency_seconds{model=%q,quantile=\"0.5\"} %g\n", e.Name, stats[i].P50.Seconds())
+		fmt.Fprintf(w, "fairserved_request_latency_seconds{model=%q,quantile=\"0.99\"} %g\n", e.Name, stats[i].P99.Seconds())
+	}
+	fmt.Fprintf(w, "# HELP fairserved_model_generation Hot-swap generation per model name.\n")
+	fmt.Fprintf(w, "# TYPE fairserved_model_generation gauge\n")
+	for _, e := range entries {
+		fmt.Fprintf(w, "fairserved_model_generation{model=%q} %d\n", e.Name, e.Generation)
+	}
+	fmt.Fprintf(w, "# HELP fairserved_drift_max_tv Max total-variation distance between observed and training cluster mixes.\n")
+	fmt.Fprintf(w, "# TYPE fairserved_drift_max_tv gauge\n")
+	for i, e := range entries {
+		for _, d := range drifts[i] {
+			fmt.Fprintf(w, "fairserved_drift_max_tv{model=%q,attribute=%q} %g\n", e.Name, d.Attribute, d.MaxTV)
+		}
+	}
+	fmt.Fprintf(w, "# HELP fairserved_drift_observed_rows Rows with sensitive values observed per attribute.\n")
+	fmt.Fprintf(w, "# TYPE fairserved_drift_observed_rows counter\n")
+	for i, e := range entries {
+		for _, d := range drifts[i] {
+			fmt.Fprintf(w, "fairserved_drift_observed_rows{model=%q,attribute=%q} %d\n", e.Name, d.Attribute, d.ObservedRows)
+		}
+	}
+}
+
+// decodeJSON strictly decodes one JSON body.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 32<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %s", cli.FirstLine(err))
+	}
+	if dec.More() {
+		return errors.New("bad request body: trailing data")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

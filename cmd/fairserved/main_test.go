@@ -1,0 +1,372 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/serve"
+	"repro/internal/testfix"
+)
+
+// saveFixtureModel trains a tiny FairKM model and saves its artifact,
+// returning the path and the in-memory model.
+func saveFixtureModel(t *testing.T, dir string, seed int64) (string, *model.Model) {
+	t.Helper()
+	ds := testfix.Synth(seed, 200, 3, 1, 0)
+	res, err := core.Run(ds, core.Config{K: 3, AutoLambda: true, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.New(ds, nil, res, model.Provenance{Tool: "test", Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("m%d.json", seed))
+	if err := model.Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	return path, m
+}
+
+// newTestServer loads one artifact into a registry-backed handler.
+func newTestServer(t *testing.T, path string) (*httptest.Server, *serve.Registry) {
+	t.Helper()
+	reg := serve.NewRegistry(serve.Options{Workers: 2, BatchSize: 16})
+	if _, err := reg.Load("prod", path); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newHandler(reg))
+	t.Cleanup(func() { ts.Close(); reg.Close() })
+	return ts, reg
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestAssignEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	path, m := saveFixtureModel(t, dir, 1)
+	ts, _ := newTestServer(t, path)
+
+	x := []float64{0.1, -0.4, 2.0}
+	want := m.Assign(x)
+
+	// Single form.
+	resp, data := postJSON(t, ts.URL+"/v1/assign", map[string]any{"features": x})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single assign: %d %s", resp.StatusCode, data)
+	}
+	var single assignResponse
+	if err := json.Unmarshal(data, &single); err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Assignments) != 1 || single.Assignments[0].Cluster != want {
+		t.Errorf("single assign = %+v, want cluster %d", single, want)
+	}
+	if single.Model != "prod" || single.Generation != 1 {
+		t.Errorf("response metadata = %q gen %d", single.Model, single.Generation)
+	}
+
+	// Batch form with sensitive values (drift fodder).
+	rows := []map[string]any{
+		{"features": []float64{0, 0, 0}, "sensitive": map[string]string{"cat0": "a"}},
+		{"features": x, "sensitive": map[string]string{"cat0": "b"}},
+		{"features": []float64{5, 5, 5}},
+	}
+	resp, data = postJSON(t, ts.URL+"/v1/assign", map[string]any{"rows": rows})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch assign: %d %s", resp.StatusCode, data)
+	}
+	var batch assignResponse
+	if err := json.Unmarshal(data, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Assignments) != 3 {
+		t.Fatalf("batch returned %d assignments", len(batch.Assignments))
+	}
+	if batch.Assignments[1].Cluster != want {
+		t.Errorf("batch row 1 got cluster %d, want %d", batch.Assignments[1].Cluster, want)
+	}
+
+	// Bad requests error cleanly.
+	for name, body := range map[string]any{
+		"both forms":    map[string]any{"features": x, "rows": rows},
+		"neither form":  map[string]any{},
+		"unknown model": map[string]any{"model": "nope", "features": x},
+		"bad dim":       map[string]any{"features": []float64{1}},
+		"unknown field": map[string]any{"features": x, "extra": 1},
+	} {
+		resp, data := postJSON(t, ts.URL+"/v1/assign", body)
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("%s: accepted: %s", name, data)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(data, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error body not JSON: %s", name, data)
+		}
+	}
+	if resp, _ := getBody(t, ts.URL+"/v1/assign"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/assign = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestModelsAndMetricsEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	path, m := saveFixtureModel(t, dir, 2)
+	ts, _ := newTestServer(t, path)
+
+	// Generate some traffic first.
+	attr := m.Sensitive[m.CategoricalAttrs()[0]].Name
+	for i := 0; i < 5; i++ {
+		postJSON(t, ts.URL+"/v1/assign", map[string]any{
+			"features":  []float64{float64(i), 0, 1},
+			"sensitive": map[string]string{attr: "a"},
+		})
+	}
+
+	resp, data := getBody(t, ts.URL+"/v1/models")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/models: %d", resp.StatusCode)
+	}
+	var list struct {
+		Default string      `json:"default"`
+		Models  []modelInfo `json:"models"`
+	}
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Default != "prod" || len(list.Models) != 1 {
+		t.Fatalf("models list = %s", data)
+	}
+	mi := list.Models[0]
+	if mi.Requests != 5 || mi.Rows != 5 || mi.K != m.K || !mi.Default {
+		t.Errorf("model info = %+v", mi)
+	}
+	if len(mi.Drift) == 0 || mi.Drift[0].ObservedRows != 5 {
+		t.Errorf("drift info = %+v", mi.Drift)
+	}
+
+	resp, data = getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	text := string(data)
+	for _, want := range []string{
+		`fairserved_requests_total{model="prod"} 5`,
+		`fairserved_rows_total{model="prod"} 5`,
+		`fairserved_request_latency_seconds{model="prod",quantile="0.99"}`,
+		`fairserved_model_generation{model="prod"} 1`,
+		`fairserved_drift_observed_rows{model="prod",attribute=`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	resp, data = getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), `"ok"`) {
+		t.Errorf("/healthz = %d %s", resp.StatusCode, data)
+	}
+}
+
+// TestReloadEndpoint hot-swaps the artifact file under the server and
+// checks traffic flips to the new model while the old one finishes.
+func TestReloadEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	path, m1 := saveFixtureModel(t, dir, 3)
+	ts, _ := newTestServer(t, path)
+
+	// A probe row the two models label differently would be ideal, but
+	// generation + lambda are model-identity enough for the endpoint
+	// test (determinism is covered in internal/serve).
+	pathB, m2 := saveFixtureModel(t, dir, 4)
+
+	resp, data := postJSON(t, ts.URL+"/v1/models/reload", map[string]any{"model": "prod", "path": pathB})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: %d %s", resp.StatusCode, data)
+	}
+	var rr map[string]any
+	if err := json.Unmarshal(data, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr["generation"].(float64) != 2 || rr["path"].(string) != pathB {
+		t.Errorf("reload response = %s", data)
+	}
+
+	resp, data = getBody(t, ts.URL+"/v1/models")
+	var list struct {
+		Models []modelInfo `json:"models"`
+	}
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	if got := list.Models[0].Provenance.Seed; got != m2.Provenance.Seed || got == m1.Provenance.Seed {
+		t.Errorf("after reload provenance seed = %v (old %v, new %v)", got, m1.Provenance.Seed, m2.Provenance.Seed)
+	}
+	if list.Models[0].Generation != 2 {
+		t.Errorf("after reload generation = %d, want 2", list.Models[0].Generation)
+	}
+
+	// Reload of an unknown model 404s/400s without damage.
+	resp, _ = postJSON(t, ts.URL+"/v1/models/reload", map[string]any{"model": "ghost"})
+	if resp.StatusCode == http.StatusOK {
+		t.Error("reload of unknown model succeeded")
+	}
+
+	// Reload with a broken artifact leaves the old model serving.
+	bad := filepath.Join(dir, "bad.json")
+	if err := writeFile(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/models/reload", map[string]any{"model": "prod", "path": bad})
+	if resp.StatusCode == http.StatusOK {
+		t.Error("reload of broken artifact succeeded")
+	}
+	resp, data = postJSON(t, ts.URL+"/v1/assign", map[string]any{"features": []float64{1, 2, 3}})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("assign after failed reload: %d %s", resp.StatusCode, data)
+	}
+}
+
+// TestServeCtxEndToEnd boots the real server on an ephemeral port,
+// exercises it over TCP, then cancels the context and expects a
+// graceful shutdown — the CI smoke path.
+func TestServeCtxEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := saveFixtureModel(t, dir, 5)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncLineWriter{addr: make(chan string, 1)}
+	done := make(chan error, 1)
+	go func() { done <- serveCtx(ctx, []string{"-model", "prod=" + path, "-addr", "127.0.0.1:0"}, out) }()
+
+	var base string
+	select {
+	case addr := <-out.addr:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("server exited early: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never reported its address")
+	}
+
+	if resp, data := getBody(t, base+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d %s", resp.StatusCode, data)
+	}
+	resp, data := postJSON(t, base+"/v1/assign", map[string]any{"features": []float64{0, 1, 2}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/assign = %d %s", resp.StatusCode, data)
+	}
+	if resp, data := getBody(t, base+"/metrics"); resp.StatusCode != http.StatusOK ||
+		!strings.Contains(string(data), "fairserved_requests_total") {
+		t.Fatalf("/metrics = %d %s", resp.StatusCode, data)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("no shutdown log:\n%s", out.String())
+	}
+}
+
+func TestServedValidationAudit(t *testing.T) {
+	cases := map[string][]string{
+		"no models":        {},
+		"missing artifact": {"-model", "no/such/model.json"},
+		"unknown flag":     {"-zap"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			var buf bytes.Buffer
+			if err := serveCtx(ctx, args, &buf); err == nil {
+				t.Errorf("serveCtx(%v) accepted a bad invocation", args)
+			}
+		})
+	}
+}
+
+// syncLineWriter buffers server output and signals the listen address.
+type syncLineWriter struct {
+	mu   sync.Mutex
+	buf  bytes.Buffer
+	addr chan string
+	sent bool
+}
+
+func (w *syncLineWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if !w.sent {
+		if s := w.buf.String(); strings.Contains(s, "listening on http://") {
+			rest := s[strings.Index(s, "listening on http://")+len("listening on http://"):]
+			if i := strings.IndexAny(rest, " \n"); i > 0 {
+				w.addr <- rest[:i]
+				w.sent = true
+			}
+		}
+	}
+	return len(p), nil
+}
+
+func (w *syncLineWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

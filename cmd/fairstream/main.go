@@ -12,7 +12,7 @@
 //	           [-lambda L | -auto-lambda] [-m 64] [-block 128]
 //	           [-chunk 4096] [-max-groups 256] [-seed S] [-max-iter N]
 //	           [-tol T] [-parallel P] [-minmax] [-skip-eval]
-//	           [-centroids out.csv]
+//	           [-save model.json]
 //
 // With -minmax an extra leading pass computes per-column minima and
 // ranges so features can be scaled to [0,1] on the fly — three
@@ -24,22 +24,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"strconv"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/dataset"
+	"repro/internal/model"
 	"repro/internal/pipeline"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("fairstream: ")
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		log.Fatal(err)
-	}
-}
+func main() { cli.Main("fairstream", run) }
 
 // run executes the tool against the given arguments, writing the report
 // to out. Split from main for testability.
@@ -63,7 +58,8 @@ func run(args []string, out io.Writer) error {
 		parallel   = fs.Int("parallel", 0, "sweep workers for the summary solve: 0 sequential, -1 GOMAXPROCS, n workers")
 		minmax     = fs.Bool("minmax", false, "min-max scale features to [0,1] via an extra leading pass")
 		skipEval   = fs.Bool("skip-eval", false, "skip the second full-data metrics pass")
-		centsOut   = fs.String("centroids", "", "write the solved centroids to this CSV")
+		saveOut    = fs.String("save", "", "write the trained model artifact (centroids, λ, domains, scaling, provenance) to this path; serve it with fairserved")
+		centsOut   = fs.String("centroids", "", "deprecated alias for -save (the CSV export lost the categorical domains and λ; the artifact keeps them)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +67,9 @@ func run(args []string, out io.Writer) error {
 	if *in == "" || *features == "" || *sensitive == "" {
 		fs.Usage()
 		return fmt.Errorf("-in, -features and -sensitive are required")
+	}
+	if *k < 1 {
+		return fmt.Errorf("-k must be at least 1 (got %d)", *k)
 	}
 	spec := dataset.CSVSpec{
 		Features:             splitList(*features),
@@ -143,10 +142,25 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "  cluster masses: %s\n", formatMasses(res.Solve.Masses))
 
 	if *centsOut != "" {
-		if err := writeCentroids(*centsOut, spec.Features, res.Solve.Centroids); err != nil {
+		fmt.Fprintf(out, "warning: -centroids is a deprecated alias for -save; the artifact replaces the lossy centroid CSV\n")
+		if *saveOut == "" {
+			*saveOut = *centsOut
+		}
+	}
+	if *saveOut != "" {
+		art, err := model.New(res.Summary, res.SummaryWeights, res.Solve, model.Provenance{
+			Tool: "fairstream", Seed: *seed, Rows: res.N,
+		})
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "wrote centroids to %s\n", *centsOut)
+		if scaleMins != nil {
+			art.Scaling = &model.Scaling{Kind: "minmax", Mins: scaleMins, Ranges: scaleRanges}
+		}
+		if err := model.Save(*saveOut, art); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote model artifact to %s (serve with: fairserved -model %s)\n", *saveOut, *saveOut)
 	}
 
 	if *skipEval {
@@ -256,27 +270,4 @@ func splitList(s string) []string {
 		parts[i] = strings.TrimSpace(parts[i])
 	}
 	return parts
-}
-
-func writeCentroids(path string, names []string, centroids [][]float64) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	header := append([]string{"cluster"}, names...)
-	if _, err := fmt.Fprintln(f, strings.Join(header, ",")); err != nil {
-		return err
-	}
-	for c, cen := range centroids {
-		rec := make([]string, 0, len(cen)+1)
-		rec = append(rec, strconv.Itoa(c))
-		for _, v := range cen {
-			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
-		}
-		if _, err := fmt.Fprintln(f, strings.Join(rec, ",")); err != nil {
-			return err
-		}
-	}
-	return nil
 }

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/model"
 	"repro/internal/stats"
 )
 
@@ -37,12 +39,12 @@ func writeTestCSV(t *testing.T, rows int) string {
 
 func TestFairstreamEndToEnd(t *testing.T) {
 	csv := writeTestCSV(t, 1200)
-	centsOut := filepath.Join(t.TempDir(), "cents.csv")
+	saveOut := filepath.Join(t.TempDir(), "stream.model.json")
 	var buf bytes.Buffer
 	err := run([]string{
 		"-in", csv, "-features", "x,y", "-sensitive", "grp,reg",
 		"-k", "3", "-auto-lambda", "-m", "24", "-chunk", "100",
-		"-minmax", "-centroids", centsOut,
+		"-minmax", "-save", saveOut,
 	}, &buf)
 	if err != nil {
 		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
@@ -51,20 +53,59 @@ func TestFairstreamEndToEnd(t *testing.T) {
 	for _, want := range []string{
 		"min-max pass", "stream:", "compression", "solve:",
 		"full data", "cluster sizes", "grp", "reg", "mean",
+		"wrote model artifact",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
-	data, err := os.ReadFile(centsOut)
+	m, err := model.Load(saveOut)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if lines := strings.Count(string(data), "\n"); lines != 4 { // header + 3 centroids
-		t.Errorf("centroid file has %d lines, want 4:\n%s", lines, data)
+	if m.K != 3 || m.Dim() != 2 || m.Provenance.Tool != "fairstream" {
+		t.Errorf("artifact = k%d dim%d tool %q", m.K, m.Dim(), m.Provenance.Tool)
 	}
-	if !strings.HasPrefix(string(data), "cluster,x,y") {
-		t.Errorf("centroid header wrong:\n%s", data)
+	if m.Provenance.Rows != 1200 {
+		t.Errorf("artifact stands for %d rows, want 1200 (the streamed count, not the summary size)", m.Provenance.Rows)
+	}
+	if m.Lambda <= 0 {
+		t.Errorf("artifact lost lambda: %v", m.Lambda)
+	}
+	if m.Scaling == nil || m.Scaling.Kind != "minmax" {
+		t.Error("artifact lost the min-max scaling parameters")
+	}
+	var names []string
+	for _, s := range m.Sensitive {
+		names = append(names, s.Name)
+		if len(s.Values) == 0 {
+			t.Errorf("attribute %q lost its domain", s.Name)
+		}
+	}
+	if !reflect.DeepEqual(names, []string{"grp", "reg"}) {
+		t.Errorf("artifact sensitive attributes = %v", names)
+	}
+}
+
+// TestFairstreamCentroidsAlias: the legacy -centroids flag now emits
+// the artifact (with a deprecation warning), not the lossy CSV.
+func TestFairstreamCentroidsAlias(t *testing.T) {
+	csv := writeTestCSV(t, 400)
+	aliasOut := filepath.Join(t.TempDir(), "alias.model.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-in", csv, "-features", "x,y", "-sensitive", "grp",
+		"-k", "2", "-lambda", "50", "-m", "16", "-skip-eval",
+		"-centroids", aliasOut,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "deprecated") {
+		t.Error("no deprecation warning for -centroids")
+	}
+	if _, err := model.Load(aliasOut); err != nil {
+		t.Errorf("-centroids did not write a loadable artifact: %v", err)
 	}
 }
 
@@ -90,5 +131,24 @@ func TestFairstreamFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-in", "nope.csv", "-features", "x", "-sensitive", "g"}, &buf); err == nil {
 		t.Error("nonexistent file accepted")
+	}
+}
+
+// TestValidationAudit pins the CLI failure contract for fairstream.
+func TestValidationAudit(t *testing.T) {
+	cases := map[string][]string{
+		"missing -in":       {"-features", "x", "-sensitive", "g"},
+		"nonexistent input": {"-in", "definitely/not/here.csv", "-features", "x", "-sensitive", "g"},
+		"k zero":            {"-in", "x.csv", "-features", "x", "-sensitive", "g", "-k", "0"},
+		"k negative":        {"-in", "x.csv", "-features", "x", "-sensitive", "g", "-k", "-1"},
+		"unknown flag":      {"-in", "x.csv", "-features", "x", "-sensitive", "g", "-zap"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(args, &buf); err == nil {
+				t.Errorf("run(%v) accepted a bad invocation", args)
+			}
+		})
 	}
 }

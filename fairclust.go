@@ -33,6 +33,22 @@
 //
 // See cmd/fairstream for the end-to-end CLI.
 //
+// # Model artifacts and serving
+//
+// A trained clustering persists as a versioned artifact that loads
+// back bit-identically and serves concurrent assignment traffic:
+//
+//	m, err := fairclust.NewModel(ds, nil, res, fairclust.ModelProvenance{Tool: "myapp"})
+//	err = fairclust.SaveModel("prod.model.json", m)
+//	// ... later, in the serving process ...
+//	m, err = fairclust.LoadModel("prod.model.json")
+//	a, err := fairclust.NewAssigner(m, fairclust.AssignerOptions{})
+//	clusters, dists, err := a.AssignBatch(rows, nil)
+//
+// Results are deterministic for every worker count and batch size.
+// cmd/fairserved exposes the same stack over HTTP with atomic
+// hot-swap, latency quantiles and fairness-drift reports.
+//
 // # Package map
 //
 //   - internal/engine — the shared descent engine: initializers, sweep
@@ -45,6 +61,10 @@
 //     and the streaming merge-and-reduce summary
 //   - internal/pipeline — the summarize-then-solve pipeline gluing
 //     coreset, weighted solver and second-pass metrics together
+//   - internal/model — the persistent model artifact (deterministic
+//     JSON codec, Save/Load, domain snapshots, provenance)
+//   - internal/serve — the serving subsystem: micro-batching assigner
+//     pool, hot-swap registry, latency and fairness-drift tracking
 //   - internal/kmeans — classical K-Means on the engine (the S-blind
 //     baseline), with a weighted variant for coresets
 //   - internal/zgya — the ZGYA fair-clustering baseline [Ziko et al.
@@ -69,7 +89,9 @@ import (
 	"repro/internal/engine"
 	"repro/internal/kmeans"
 	"repro/internal/metrics"
+	"repro/internal/model"
 	"repro/internal/pipeline"
+	"repro/internal/serve"
 )
 
 // Dataset is a clustering input: numeric non-sensitive features plus
@@ -195,6 +217,90 @@ func FitStream(src StreamSource, cfg StreamConfig) (*StreamResult, error) {
 func EvaluateStream(src StreamSource, centroids [][]float64, lambda float64) (*StreamEvaluation, error) {
 	return pipeline.Evaluate(src, centroids, lambda)
 }
+
+// EvaluateStreamModel is EvaluateStream for a loaded model artifact: it
+// scores the model's centroids at its trained λ, applying the
+// artifact's feature scaling (if any) to every chunk first — so the raw
+// training file can be re-evaluated against a saved model directly.
+func EvaluateStreamModel(src StreamSource, m *Model) (*StreamEvaluation, error) {
+	if m.Scaling != nil {
+		src = &scaledStream{src: src, scaling: m.Scaling}
+	}
+	return pipeline.Evaluate(src, m.Centroids, m.Lambda)
+}
+
+// scaledStream applies a model's feature scaling to every chunk in
+// flight. Rows are copied before scaling: sources may alias caller
+// memory (SliceSource chunks share the underlying Dataset's rows), and
+// evaluation must never mutate the caller's data.
+type scaledStream struct {
+	src     StreamSource
+	scaling *model.Scaling
+}
+
+func (s *scaledStream) Next() (*Dataset, error) {
+	chunk, err := s.src.Next()
+	if err != nil {
+		return nil, err
+	}
+	scaled := *chunk
+	scaled.Features = make([][]float64, len(chunk.Features))
+	for i, row := range chunk.Features {
+		r := append([]float64(nil), row...)
+		s.scaling.Apply(r)
+		scaled.Features[i] = r
+	}
+	return &scaled, nil
+}
+
+// Model is a persistent, self-describing trained-clustering artifact:
+// centroids, λ, per-cluster sensitive-value distributions, domain
+// snapshots, optional feature scaling and provenance. Save it after
+// training, serve it with NewAssigner or cmd/fairserved.
+type Model = model.Model
+
+// ModelProvenance records where a model artifact came from.
+type ModelProvenance = model.Provenance
+
+// ModelScaling records a feature transform (min-max) applied before
+// training, carried by the artifact so serving can map raw inputs into
+// the trained space.
+type ModelScaling = model.Scaling
+
+// Assigner answers single and batch nearest-centroid queries for one
+// model through a micro-batching worker pool, tracking latency and
+// fairness drift. Results are deterministic for every pool
+// configuration.
+type Assigner = serve.Assigner
+
+// AssignerOptions configures the Assigner's worker pool.
+type AssignerOptions = serve.Options
+
+// ModelRegistry is a named set of served models with atomic hot-swap.
+type ModelRegistry = serve.Registry
+
+// NewModel builds a model artifact from a completed solve: the dataset
+// (or weighted summary) it ran on, per-row weights (nil for unit
+// weights) and the result.
+func NewModel(ds *Dataset, weights []float64, res *Result, prov ModelProvenance) (*Model, error) {
+	return model.New(ds, weights, res, prov)
+}
+
+// SaveModel writes a model artifact to path atomically.
+func SaveModel(path string, m *Model) error { return model.Save(path, m) }
+
+// LoadModel reads and validates the model artifact at path. A loaded
+// model reproduces the saved model's assignments bit-for-bit.
+func LoadModel(path string) (*Model, error) { return model.Load(path) }
+
+// NewAssigner starts a serving assigner for a model.
+func NewAssigner(m *Model, opts AssignerOptions) (*Assigner, error) {
+	return serve.NewAssigner(m, opts)
+}
+
+// NewModelRegistry returns an empty serving registry; opts configure
+// every Assigner it constructs.
+func NewModelRegistry(opts AssignerOptions) *ModelRegistry { return serve.NewRegistry(opts) }
 
 // DefaultLambda returns the paper's λ = (n/k)² heuristic (Section 5.4).
 func DefaultLambda(n, k int) float64 { return core.DefaultLambda(n, k) }

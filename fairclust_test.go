@@ -3,6 +3,7 @@ package fairclust_test
 import (
 	"bytes"
 	"math"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -229,5 +230,97 @@ func TestFairProjectionFacade(t *testing.T) {
 	}
 	if red.Dim() != 1 {
 		t.Errorf("FairPCA dim = %d", red.Dim())
+	}
+}
+
+// TestPublicModelServing drives the full deployment lifecycle through
+// the public API: train → NewModel → SaveModel → LoadModel →
+// NewAssigner → batch assign, plus EvaluateStreamModel against the
+// equivalent EvaluateStream call.
+func TestPublicModelServing(t *testing.T) {
+	ds := buildDataset(t)
+	res, err := fairclust.Run(ds, fairclust.Config{K: 2, AutoLambda: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := fairclust.NewModel(ds, nil, res, fairclust.ModelProvenance{Tool: "test", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "public.model.json")
+	if err := fairclust.SaveModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := fairclust.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := fairclust.NewAssigner(loaded, fairclust.AssignerOptions{Workers: 2, BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	got, _, err := a.AssignBatch(ds.Features, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range ds.Features {
+		if want := res.Predict(x); got[i] != want {
+			t.Fatalf("row %d: served cluster %d, Predict says %d", i, got[i], want)
+		}
+	}
+
+	// EvaluateStreamModel ≡ EvaluateStream(centroids, λ) when the model
+	// carries no scaling.
+	ev1, err := fairclust.EvaluateStreamModel(fairclust.NewSliceSource(ds, 16), loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := fairclust.EvaluateStream(fairclust.NewSliceSource(ds, 16), res.Centroids, res.Lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ev1.Value.Objective-ev2.Value.Objective) > 1e-12 {
+		t.Errorf("EvaluateStreamModel objective %v != EvaluateStream %v", ev1.Value.Objective, ev2.Value.Objective)
+	}
+
+	// With scaling attached, EvaluateStreamModel must scale raw chunks
+	// itself: evaluating the RAW dataset against a model trained on
+	// normalized features reproduces the normalized-space evaluation.
+	raw := buildDataset(t)
+	norm := buildDataset(t)
+	mins, ranges := norm.MinMaxNormalize()
+	resN, err := fairclust.Run(norm, fairclust.Config{K: 2, AutoLambda: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mN, err := fairclust.NewModel(norm, nil, resN, fairclust.ModelProvenance{Tool: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mN.Scaling = &fairclust.ModelScaling{Kind: "minmax", Mins: mins, Ranges: ranges}
+	evRaw, err := fairclust.EvaluateStreamModel(fairclust.NewSliceSource(raw, 16), mN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evNorm, err := fairclust.EvaluateStream(fairclust.NewSliceSource(norm, 16), resN.Centroids, resN.Lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(evRaw.Value.Objective-evNorm.Value.Objective) > 1e-9 {
+		t.Errorf("scaled evaluation objective %v != normalized-space %v", evRaw.Value.Objective, evNorm.Value.Objective)
+	}
+
+	// Evaluation must not mutate the caller's data: SliceSource chunks
+	// alias the Dataset's rows, so a second pass over the same raw
+	// dataset has to reproduce the first (a regression here means the
+	// scaling was applied in place, double-scaling on reuse).
+	evRaw2, err := fairclust.EvaluateStreamModel(fairclust.NewSliceSource(raw, 16), mN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evRaw2.Value.Objective != evRaw.Value.Objective {
+		t.Errorf("second evaluation of the same dataset changed: %v -> %v (caller data mutated)", evRaw.Value.Objective, evRaw2.Value.Objective)
 	}
 }

@@ -1,0 +1,42 @@
+// Package cli is the shared entrypoint shim for every command in
+// cmd/*: it runs a testable run(args, out) function and converts its
+// error into the repository-wide CLI failure contract — a clear
+// one-line message on stderr and exit code 2, never a panic and never
+// a bare exit 1 (so scripts can distinguish "bad invocation or input"
+// from a crash).
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ExitUsage is the exit code for every CLI failure: invalid flags,
+// unreadable inputs, impossible parameters. (0 remains success; any
+// other code would indicate a crash, which the one-line contract
+// forbids.)
+const ExitUsage = 2
+
+// Main runs a command body and applies the failure contract. The body
+// gets os.Args[1:] and os.Stdout; on error, the first line of the
+// error is printed as "name: message" to stderr and the process exits
+// with ExitUsage.
+func Main(name string, run func(args []string, out io.Writer) error) {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", name, FirstLine(err))
+		os.Exit(ExitUsage)
+	}
+}
+
+// FirstLine reduces an error to its first non-empty line, keeping the
+// one-line contract even for wrapped multi-line errors.
+func FirstLine(err error) string {
+	for _, line := range strings.Split(err.Error(), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			return line
+		}
+	}
+	return "unknown error"
+}

@@ -49,6 +49,35 @@ func NewDomainIndex() *DomainIndex {
 	return &DomainIndex{index: map[string]int{}}
 }
 
+// NewDomainIndexFrom rebuilds a domain from a snapshot of its values in
+// code order — the inverse of Values. A loaded model artifact uses this
+// to resume stable code assignment where training left off: known
+// values keep their training codes, unseen serving-time values are
+// appended. Duplicate values in the snapshot are an error (codes would
+// be ambiguous).
+func NewDomainIndexFrom(values []string) (*DomainIndex, error) {
+	d := &DomainIndex{
+		values: append([]string(nil), values...),
+		index:  make(map[string]int, len(values)),
+	}
+	for c, v := range d.values {
+		if _, ok := d.index[v]; ok {
+			return nil, fmt.Errorf("dataset: duplicate domain value %q", v)
+		}
+		d.index[v] = c
+	}
+	return d, nil
+}
+
+// Len returns the current domain cardinality.
+func (d *DomainIndex) Len() int { return len(d.values) }
+
+// Lookup returns v's code without assigning one, and whether it exists.
+func (d *DomainIndex) Lookup(v string) (int, bool) {
+	c, ok := d.index[v]
+	return c, ok
+}
+
 // Code returns v's stable code, assigning the next one on first sight.
 func (d *DomainIndex) Code(v string) int {
 	if c, ok := d.index[v]; ok {

@@ -136,3 +136,129 @@ func TestCSVStreamErrors(t *testing.T) {
 		t.Errorf("empty stream Next: %v", err)
 	}
 }
+
+// TestCSVStreamEdgeCases covers the degenerate inputs a long-running
+// ingester actually meets: ragged rows, empty files, header-only files
+// and a chunk boundary landing exactly on EOF.
+func TestCSVStreamEdgeCases(t *testing.T) {
+	t.Run("empty file", func(t *testing.T) {
+		if _, err := NewCSVStream(strings.NewReader(""), streamSpec(), 2); err == nil {
+			t.Error("empty file produced a stream (no header to validate)")
+		}
+	})
+
+	t.Run("header only", func(t *testing.T) {
+		st, err := NewCSVStream(strings.NewReader("x,y,g,age,junk\n"), streamSpec(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chunk, err := st.Next(); err != io.EOF {
+			t.Errorf("Next on a header-only file = (%v, %v), want (nil, io.EOF)", chunk, err)
+		}
+		if chunk, err := st.Next(); err != io.EOF {
+			t.Errorf("second Next = (%v, %v), want (nil, io.EOF)", chunk, err)
+		}
+		if st.Rows() != 0 {
+			t.Errorf("Rows() = %d for a header-only file", st.Rows())
+		}
+	})
+
+	t.Run("ragged short row", func(t *testing.T) {
+		src := "x,y,g,age,junk\n1,2,a,30,zz\n3,4\n5,6,a,50,zz\n"
+		st, err := NewCSVStream(strings.NewReader(src), streamSpec(), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Next(); err == nil || err == io.EOF {
+			t.Errorf("ragged short row gave err=%v, want a field-count error", err)
+		}
+	})
+
+	t.Run("ragged long row", func(t *testing.T) {
+		src := "x,y,g,age,junk\n1,2,a,30,zz,EXTRA\n"
+		st, err := NewCSVStream(strings.NewReader(src), streamSpec(), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Next(); err == nil || err == io.EOF {
+			t.Errorf("ragged long row gave err=%v, want a field-count error", err)
+		}
+	})
+
+	t.Run("chunk boundary exactly on EOF", func(t *testing.T) {
+		// 4 data rows, chunk size 2: two full chunks, then a clean EOF
+		// from a third Next that reads nothing.
+		src := "x,y,g,age,junk\n" +
+			"1,2,a,30,zz\n" + "3,4,b,40,zz\n" + "5,6,a,50,zz\n" + "7,8,c,60,zz\n"
+		st, err := NewCSVStream(strings.NewReader(src), streamSpec(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sizes []int
+		for {
+			chunk, err := st.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes = append(sizes, chunk.N())
+		}
+		if len(sizes) != 2 || sizes[0] != 2 || sizes[1] != 2 {
+			t.Errorf("chunk sizes = %v, want [2 2]", sizes)
+		}
+		if st.Rows() != 4 {
+			t.Errorf("Rows() = %d, want 4", st.Rows())
+		}
+		// And the stream stays terminated.
+		if _, err := st.Next(); err != io.EOF {
+			t.Errorf("Next after EOF = %v, want io.EOF", err)
+		}
+	})
+
+	t.Run("missing trailing newline on boundary", func(t *testing.T) {
+		src := "x,y,g,age,junk\n1,2,a,30,zz\n3,4,b,40,zz"
+		st, err := NewCSVStream(strings.NewReader(src), streamSpec(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunk, err := st.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chunk.N() != 2 {
+			t.Errorf("chunk has %d rows, want 2", chunk.N())
+		}
+		if _, err := st.Next(); err != io.EOF {
+			t.Errorf("Next after unterminated final row = %v, want io.EOF", err)
+		}
+	})
+}
+
+// TestDomainIndexFrom covers the snapshot-rebuild path model artifacts
+// rely on.
+func TestDomainIndexFrom(t *testing.T) {
+	dom, err := NewDomainIndexFrom([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dom.Len() != 3 {
+		t.Errorf("Len = %d, want 3", dom.Len())
+	}
+	if c, ok := dom.Lookup("b"); !ok || c != 1 {
+		t.Errorf("Lookup(b) = (%d,%v), want (1,true)", c, ok)
+	}
+	if _, ok := dom.Lookup("z"); ok {
+		t.Error("Lookup(z) found an absent value")
+	}
+	if c := dom.Code("z"); c != 3 {
+		t.Errorf("Code(z) = %d, want 3 (appended)", c)
+	}
+	if c := dom.Code("a"); c != 0 {
+		t.Errorf("Code(a) = %d, want 0 (stable)", c)
+	}
+	if _, err := NewDomainIndexFrom([]string{"a", "b", "a"}); err == nil {
+		t.Error("duplicate snapshot values accepted")
+	}
+}

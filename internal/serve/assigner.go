@@ -1,0 +1,251 @@
+// Package serve is the fair-assignment serving subsystem: it loads
+// model artifacts (internal/model) and answers nearest-centroid
+// assignment queries under concurrent traffic.
+//
+// The package has three pieces:
+//
+//   - Assigner: answers single and batch queries for one immutable
+//     model through a micro-batching worker pool, and accumulates
+//     per-model serving statistics (request/row counters, latency
+//     quantiles, fairness drift).
+//   - Registry: a named set of Assigners with atomic hot-swap — a
+//     reload under traffic lets in-flight requests finish on the model
+//     they started with while new requests see the new one.
+//   - Stats/DriftReport: snapshots for the /metrics and /v1/models
+//     endpoints of cmd/fairserved.
+//
+// # Determinism
+//
+// Assignment is nearest-centroid per row (the only deployment rule the
+// FairKM objective admits for unseen points — see core.Result.Predict),
+// so rows are independent and the worker pool only changes *where* a
+// row is scored, never *what* it scores against: results are identical
+// for every worker count and batch size, and identical to a sequential
+// scan. The micro-batch writes land in caller-allocated slots indexed
+// by row position, so batch order is preserved. This contract is pinned
+// by TestAssignerDeterministic (every worker×batch combination, under
+// -race).
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// DefaultBatchSize is the micro-batch size when Options.BatchSize <= 0:
+// how many rows one worker scores per task. Small enough to spread a
+// big batch over the pool, large enough that channel traffic is
+// amortized over many distance evaluations.
+const DefaultBatchSize = 64
+
+// Options parameterizes an Assigner.
+type Options struct {
+	// BatchSize is the micro-batch size (rows per worker task); <= 0
+	// means DefaultBatchSize.
+	BatchSize int
+	// Workers is the scoring pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// LatencyWindow is how many recent request latencies the p50/p99
+	// estimates are computed over; <= 0 means 1024.
+	LatencyWindow int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.LatencyWindow <= 0 {
+		o.LatencyWindow = 1024
+	}
+	return o
+}
+
+// task is one micro-batch: score rows[i] and write the winning cluster
+// (and squared distance) into the caller's result slots.
+type task struct {
+	rows  [][]float64
+	out   []int
+	dists []float64 // may be nil
+	wg    *sync.WaitGroup
+}
+
+// Assigner serves one immutable model. All methods are safe for
+// concurrent use; the model is never mutated after construction.
+type Assigner struct {
+	m    *model.Model
+	opts Options
+
+	tasks chan task
+
+	// closeMu serializes request entry against Close, so the pool is
+	// only torn down once every admitted request has drained. Requests
+	// admitted before Close finish normally; requests arriving after
+	// are scored inline on the caller's goroutine (same results, no
+	// pool).
+	closeMu  sync.RWMutex
+	closed   bool
+	inflight sync.WaitGroup
+
+	stats *tracker
+}
+
+// NewAssigner validates the model and starts the scoring pool.
+func NewAssigner(m *model.Model, opts Options) (*Assigner, error) {
+	if m == nil {
+		return nil, fmt.Errorf("serve: nil model")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	a := &Assigner{
+		m:     m,
+		opts:  opts,
+		tasks: make(chan task),
+		stats: newTracker(m, opts.LatencyWindow),
+	}
+	for w := 0; w < opts.Workers; w++ {
+		go a.worker()
+	}
+	return a, nil
+}
+
+// Model returns the immutable model being served.
+func (a *Assigner) Model() *model.Model { return a.m }
+
+// Options returns the (defaulted) pool configuration.
+func (a *Assigner) Options() Options { return a.opts }
+
+func (a *Assigner) worker() {
+	for t := range a.tasks {
+		a.score(t.rows, t.out, t.dists)
+		t.wg.Done()
+	}
+}
+
+// score labels rows sequentially into the caller's slots.
+func (a *Assigner) score(rows [][]float64, out []int, dists []float64) {
+	for i, x := range rows {
+		c, d := a.m.AssignDist(x)
+		out[i] = c
+		if dists != nil {
+			dists[i] = d
+		}
+	}
+}
+
+// enter admits a request into the pool, or reports that the pool is
+// closed and the request must score inline.
+func (a *Assigner) enter() bool {
+	a.closeMu.RLock()
+	defer a.closeMu.RUnlock()
+	if a.closed {
+		return false
+	}
+	a.inflight.Add(1)
+	return true
+}
+
+// Close drains in-flight requests and stops the worker pool. Requests
+// that raced past a registry swap and still hold this Assigner keep
+// working — they score inline — so hot-swap never truncates traffic.
+func (a *Assigner) Close() {
+	a.closeMu.Lock()
+	if a.closed {
+		a.closeMu.Unlock()
+		return
+	}
+	a.closed = true
+	a.closeMu.Unlock()
+	a.inflight.Wait()
+	close(a.tasks)
+}
+
+// Assign labels one feature vector (already in the model's trained
+// space if the artifact carries Scaling — see AssignRaw). The
+// sensitive values, when non-nil, feed the drift tracker; they are keyed
+// by attribute name and never influence the assignment itself.
+func (a *Assigner) Assign(x []float64, sensitive map[string]string) (cluster int, dist float64, err error) {
+	if len(x) != a.m.Dim() {
+		return 0, 0, fmt.Errorf("serve: query has %d features, model %q expects %d", len(x), a.m.Name, a.m.Dim())
+	}
+	start := time.Now()
+	cluster, dist = a.m.AssignDist(x)
+	a.stats.record(1, time.Since(start))
+	if sensitive != nil {
+		a.stats.observe(cluster, sensitive)
+	}
+	return cluster, dist, nil
+}
+
+// AssignBatch labels rows[i] into result slot i, spreading micro-batches
+// of Options.BatchSize rows over the worker pool. sensitive, when
+// non-nil, must have one entry per row (nil entries allowed) and feeds
+// the drift tracker. Results are deterministic and identical for every
+// pool configuration.
+func (a *Assigner) AssignBatch(rows [][]float64, sensitive []map[string]string) ([]int, []float64, error) {
+	dim := a.m.Dim()
+	for i, x := range rows {
+		if len(x) != dim {
+			return nil, nil, fmt.Errorf("serve: row %d has %d features, model %q expects %d", i, len(x), a.m.Name, dim)
+		}
+	}
+	if sensitive != nil && len(sensitive) != len(rows) {
+		return nil, nil, fmt.Errorf("serve: %d sensitive records for %d rows", len(sensitive), len(rows))
+	}
+	start := time.Now()
+	out := make([]int, len(rows))
+	dists := make([]float64, len(rows))
+
+	batch := a.opts.BatchSize
+	if len(rows) <= batch || a.opts.Workers <= 1 || !a.enter() {
+		// Small batches, single-worker pools and closed (swapped-out)
+		// assigners score inline: identical results, no pool round trip.
+		a.score(rows, out, dists)
+	} else {
+		var wg sync.WaitGroup
+		for lo := 0; lo < len(rows); lo += batch {
+			hi := lo + batch
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			wg.Add(1)
+			a.tasks <- task{rows: rows[lo:hi], out: out[lo:hi], dists: dists[lo:hi], wg: &wg}
+		}
+		wg.Wait()
+		a.inflight.Done()
+	}
+
+	a.stats.record(len(rows), time.Since(start))
+	for i, sv := range sensitive {
+		if sv != nil {
+			a.stats.observe(out[i], sv)
+		}
+	}
+	return out, dists, nil
+}
+
+// AssignRaw is Assign for a vector in raw input space: the artifact's
+// Scaling (if any) is applied to a copy first.
+func (a *Assigner) AssignRaw(x []float64, sensitive map[string]string) (int, float64, error) {
+	if a.m.Scaling != nil && len(x) == a.m.Dim() {
+		scaled := append([]float64(nil), x...)
+		a.m.Scaling.Apply(scaled)
+		x = scaled
+	}
+	return a.Assign(x, sensitive)
+}
+
+// Stats snapshots the serving counters.
+func (a *Assigner) Stats() Stats { return a.stats.snapshot() }
+
+// Drift reports observed-vs-training fairness per categorical
+// attribute.
+func (a *Assigner) Drift() []DriftReport { return a.stats.drift() }

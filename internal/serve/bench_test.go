@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/testfix"
+)
+
+// BenchmarkServe measures batch-assign throughput through the
+// micro-batching worker pool across batch sizes and worker counts, on
+// an Adult-shaped model (k=15, min-max scaled features). `make bench`
+// records the event stream to BENCH_serve.json; rows/op is fixed at
+// 4096 so ns/op across variants compare directly (lower = faster).
+func BenchmarkServe(b *testing.B) {
+	ds := testfix.Adult(1, 4096)
+	m := trainModel(b, ds, 15, 1)
+	rows := ds.Features
+
+	for _, workers := range []int{1, 2, 4} {
+		for _, batch := range []int{16, 64, 256, 1024} {
+			b.Run(fmt.Sprintf("workers=%d/batch=%d", workers, batch), func(b *testing.B) {
+				a, err := NewAssigner(m, Options{Workers: workers, BatchSize: batch})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer a.Close()
+				b.SetBytes(int64(len(rows)))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := a.AssignBatch(rows, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+
+	// Single-query path: the per-request floor the batch variants
+	// amortize.
+	b.Run("single", func(b *testing.B) {
+		a, err := NewAssigner(m, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer a.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := a.Assign(rows[i%len(rows)], nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+// Stats is a point-in-time snapshot of one Assigner's serving counters.
+type Stats struct {
+	// Requests counts Assign/AssignBatch calls; Rows counts labelled
+	// feature vectors (a batch of 100 is 1 request, 100 rows).
+	Requests uint64
+	Rows     uint64
+	// P50 and P99 are request latency quantiles over the most recent
+	// LatencyWindow requests (zero until the first request).
+	P50 time.Duration
+	P99 time.Duration
+}
+
+// tracker accumulates counters, a latency ring and the drift state for
+// one Assigner.
+type tracker struct {
+	model *model.Model
+
+	requests atomic.Uint64
+	rows     atomic.Uint64
+
+	latMu  sync.Mutex
+	ring   []time.Duration
+	pos    int
+	filled bool
+
+	driftMu sync.Mutex
+	attrs   []*driftAttr
+}
+
+// driftAttr accumulates the observed sensitive-value mix per cluster
+// for one categorical attribute, against the model's training state.
+type driftAttr struct {
+	ai     int // index into model.Sensitive
+	name   string
+	dom    *dataset.DomainIndex // training snapshot + unseen serving values
+	counts [][]float64          // [cluster][value], value slices grow with dom
+	seen   uint64               // observed rows carrying this attribute
+	// training is the fairness report of the model's per-cluster
+	// training distributions, computed once here: it never changes
+	// after load (values first seen while serving have training
+	// frequency 0 everywhere, which leaves the report's distances
+	// untouched), so per-scrape recomputation would only serialize the
+	// observe hot path for nothing.
+	training metrics.FairnessReport
+}
+
+func newTracker(m *model.Model, window int) *tracker {
+	t := &tracker{ring: make([]time.Duration, window)}
+	for _, ai := range m.CategoricalAttrs() {
+		dom, err := m.DomainIndex(ai)
+		if err != nil {
+			continue // Validate already rejects broken domains
+		}
+		s := m.Sensitive[ai]
+		trainSizes := make([]float64, m.K)
+		trainDists := make([][]float64, m.K)
+		for c := 0; c < m.K; c++ {
+			trainSizes[c] = m.Clusters[c].Mass
+			trainDists[c] = m.Clusters[c].Distributions[ai]
+		}
+		da := &driftAttr{
+			ai:       ai,
+			name:     s.Name,
+			dom:      dom,
+			counts:   make([][]float64, m.K),
+			training: metrics.FairnessFromDistributions(s.Name, s.TrainFractions, trainSizes, trainDists),
+		}
+		for c := range da.counts {
+			da.counts[c] = make([]float64, dom.Len())
+		}
+		t.attrs = append(t.attrs, da)
+	}
+	t.model = m
+	return t
+}
+
+func (t *tracker) record(rows int, d time.Duration) {
+	t.requests.Add(1)
+	t.rows.Add(uint64(rows))
+	t.latMu.Lock()
+	t.ring[t.pos] = d
+	t.pos++
+	if t.pos == len(t.ring) {
+		t.pos = 0
+		t.filled = true
+	}
+	t.latMu.Unlock()
+}
+
+// observe records one labelled row's sensitive values (keyed by
+// attribute name; attributes absent from the map are skipped).
+func (t *tracker) observe(cluster int, sensitive map[string]string) {
+	t.driftMu.Lock()
+	defer t.driftMu.Unlock()
+	for _, da := range t.attrs {
+		v, ok := sensitive[da.name]
+		if !ok {
+			continue
+		}
+		code := da.dom.Code(v)
+		cc := da.counts[cluster]
+		for code >= len(cc) {
+			cc = append(cc, 0)
+		}
+		cc[code]++
+		da.counts[cluster] = cc
+		da.seen++
+	}
+}
+
+func (t *tracker) snapshot() Stats {
+	s := Stats{Requests: t.requests.Load(), Rows: t.rows.Load()}
+	t.latMu.Lock()
+	n := t.pos
+	if t.filled {
+		n = len(t.ring)
+	}
+	lats := append([]time.Duration(nil), t.ring[:n]...)
+	t.latMu.Unlock()
+	if len(lats) == 0 {
+		return s
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	s.P50 = quantile(lats, 0.50)
+	s.P99 = quantile(lats, 0.99)
+	return s
+}
+
+// quantile returns the nearest-rank q-quantile of a sorted sample.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// DriftReport compares the sensitive-value mix observed in serving
+// traffic against the model's training distributions, per categorical
+// attribute.
+type DriftReport struct {
+	// Attribute names the sensitive attribute.
+	Attribute string
+	// ObservedRows is how many labelled rows carried this attribute.
+	ObservedRows uint64
+	// Training is the fairness report of the model's per-cluster
+	// training distributions against its training Fr_X; Observed is the
+	// same measure over serving traffic. Divergence between the two is
+	// drift: the fair clustering was balanced for the training mix, not
+	// the one now arriving.
+	Training metrics.FairnessReport
+	Observed metrics.FairnessReport
+	// MaxTV is the largest total-variation distance between any
+	// cluster's observed mix and its training distribution (clusters
+	// with no observed rows are skipped). 0 = traffic matches training,
+	// 1 = completely disjoint.
+	MaxTV float64
+}
+
+// drift materializes the current drift reports. Attributes with no
+// observations yet report only the training side.
+func (t *tracker) drift() []DriftReport {
+	t.driftMu.Lock()
+	defer t.driftMu.Unlock()
+	m := t.model
+	var reps []DriftReport
+	for _, da := range t.attrs {
+		s := m.Sensitive[da.ai]
+		rep := DriftReport{
+			Attribute:    s.Name,
+			ObservedRows: da.seen,
+			Training:     da.training,
+		}
+		if da.seen > 0 {
+			nvals := da.dom.Len()
+			// Training frX and distributions padded with zeros for values
+			// first seen while serving (their training frequency is 0 by
+			// definition).
+			frX := make([]float64, nvals)
+			copy(frX, s.TrainFractions)
+			trainDists := make([][]float64, m.K)
+			for c := range trainDists {
+				td := make([]float64, nvals)
+				copy(td, m.Clusters[c].Distributions[da.ai])
+				trainDists[c] = td
+			}
+			obsSizes := make([]float64, m.K)
+			obsDists := make([][]float64, m.K)
+			for c := range obsDists {
+				od := make([]float64, nvals)
+				total := 0.0
+				for v, cnt := range da.counts[c] {
+					od[v] = cnt
+					total += cnt
+				}
+				obsSizes[c] = total
+				if total > 0 {
+					for v := range od {
+						od[v] /= total
+					}
+					tv := 0.0
+					for v := range od {
+						d := od[v] - trainDists[c][v]
+						if d < 0 {
+							d = -d
+						}
+						tv += d
+					}
+					tv /= 2
+					if tv > rep.MaxTV {
+						rep.MaxTV = tv
+					}
+				}
+				obsDists[c] = od
+			}
+			rep.Observed = metrics.FairnessFromDistributions(s.Name, frX, obsSizes, obsDists)
+		}
+		reps = append(reps, rep)
+	}
+	return reps
+}
