@@ -1,6 +1,7 @@
 package fairclust
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/bera"
@@ -281,6 +282,60 @@ func BenchmarkStream(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkShard measures sharded summarize-then-solve scaling on the
+// same corpora as BenchmarkStream: for each shard count S the chunked
+// source deals round-robin into S summarizers ingesting on one worker
+// each, and the merged union solves. `make bench` records the sweep in
+// BENCH_shard.json; sub-benchmark metrics carry the union size and the
+// merged-solve objective relative to the S=1 pipeline, which must stay
+// flat — sharding buys wall-clock, not objective.
+func BenchmarkShard(b *testing.B) {
+	adultDS, err := adult.Generate(adult.Config{Seed: 1, Rows: 6500, SkipParity: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	adultDS.MinMaxNormalize()
+	adultStrat, err := adultDS.WithSensitive("gender", "race")
+	if err != nil {
+		b.Fatal(err)
+	}
+	synth := testfix.Synth(101, 100000, 6, 2, 0)
+
+	cases := []struct {
+		name  string
+		ds    *dataset.Dataset
+		k     int
+		chunk int
+	}{
+		{"adult6500", adultStrat, 7, 500},
+		{"synth100k", synth, 8, 2048},
+	}
+	for _, c := range cases {
+		c := c
+		var s1Obj float64
+		for _, shards := range []int{1, 2, 4, 8} {
+			shards := shards
+			b.Run(fmt.Sprintf("shards=%d/%s", shards, c.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := pipeline.FitStreamSharded(pipeline.NewSliceSource(c.ds, c.chunk), pipeline.ShardedConfig{
+						Config: pipeline.Config{K: c.k, AutoLambda: true, CoresetSize: 160, Seed: 1},
+						Shards: shards,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.Summary.N()), "summary-rows")
+					if shards == 1 {
+						s1Obj = res.Solve.Objective
+					} else if s1Obj > 0 {
+						b.ReportMetric(res.Solve.Objective/s1Obj, "obj-vs-s1")
+					}
+				}
+			})
+		}
 	}
 }
 

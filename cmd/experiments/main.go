@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table5..table8|fig1..fig7|baselines|scaling|numeric|stream]
+//	experiments [-exp all|table5..table8|fig1..fig7|baselines|scaling|numeric|stream|shardsweep]
 //	            [-reps N] [-seed S] [-adult-rows N] [-parallel P]
 //	            [-budget D] [-trace] [-out FILE]
 //
@@ -76,6 +76,7 @@ var extensionExperiments = []runnable{
 	{"convergence", func(o experiments.Options) (renderer, error) { return experiments.RunConvergence(o) }},
 	{"attrsweep", func(o experiments.Options) (renderer, error) { return experiments.RunAttrSweep(o) }},
 	{"stream", func(o experiments.Options) (renderer, error) { return experiments.RunStreamStudy(o) }},
+	{"shardsweep", func(o experiments.Options) (renderer, error) { return experiments.RunShardStudy(o) }},
 }
 
 func main() { cli.Main("experiments", run) }
@@ -86,7 +87,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		exp       = fs.String("exp", "all", "experiment(s): all, table5..table8, fig1..fig7, baselines, scaling, numeric, ksweep, convergence, attrsweep, stream (comma-separated)")
+		exp       = fs.String("exp", "all", "experiment(s): all, table5..table8, fig1..fig7, baselines, scaling, numeric, ksweep, convergence, attrsweep, stream, shardsweep (comma-separated)")
 		reps      = fs.Int("reps", 10, "random restarts averaged per configuration (paper: 100)")
 		seed      = fs.Int64("seed", 1, "base random seed")
 		adultRows = fs.Int("adult-rows", 0, "reduced Adult generation size (0 = paper's 32561)")
@@ -153,7 +154,7 @@ func selectExperiments(spec string) ([]runnable, error) {
 		name = strings.TrimSpace(name)
 		r, ok := known[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown experiment %q (known: all, table5..table8, fig1..fig7, baselines, scaling, numeric, ksweep, convergence, attrsweep, stream)", name)
+			return nil, fmt.Errorf("unknown experiment %q (known: all, table5..table8, fig1..fig7, baselines, scaling, numeric, ksweep, convergence, attrsweep, stream, shardsweep)", name)
 		}
 		selected = append(selected, r)
 	}

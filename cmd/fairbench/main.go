@@ -146,7 +146,7 @@ func run(args []string, out io.Writer) error {
 
 	start = time.Now()
 	if ds.N() <= 2000 {
-		br, err := bera.Run(ds, bera.Config{K: *k, Seed: *seed})
+		br, err := bera.Run(ds, bera.Config{K: *k, Delta: bera.DefaultDelta, Seed: *seed})
 		report("Bera (all attrs)", "LP + rounding", assignOfB(br), err, start)
 	} else {
 		fmt.Fprintf(out, "%-22s skipped: n=%d above the LP size cutoff (2000)\n", "Bera (all attrs)", ds.N())

@@ -12,12 +12,21 @@
 //	           [-lambda L | -auto-lambda] [-m 64] [-block 128]
 //	           [-chunk 4096] [-max-groups 256] [-seed S] [-max-iter N]
 //	           [-tol T] [-parallel P] [-minmax] [-skip-eval]
+//	           [-shards S] [-shard-workers W] [-merge-budget B]
 //	           [-save model.json]
 //
 // With -minmax an extra leading pass computes per-column minima and
 // ranges so features can be scaled to [0,1] on the fly — three
 // sequential passes over the file, never more than one chunk in
 // memory.
+//
+// With -shards S > 1 the file is split on row boundaries into S byte
+// ranges (dataset.SplitCSV) that are summarized by S independent
+// coreset builders on -shard-workers goroutines, then merged and
+// solved — same fixed memory per shard, wall-clock bounded by the
+// slowest shard instead of one sequential reader. Results are
+// bit-identical for every -shard-workers value; -merge-budget caps the
+// merged summary with one extra reduce pass.
 package main
 
 import (
@@ -42,24 +51,27 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fairstream", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		in         = fs.String("in", "", "input CSV path (required; read up to three times, streaming)")
-		features   = fs.String("features", "", "comma-separated numeric feature columns (required)")
-		sensitive  = fs.String("sensitive", "", "comma-separated categorical sensitive columns (required; these stratify the coreset)")
-		k          = fs.Int("k", 5, "number of clusters")
-		lambda     = fs.Float64("lambda", 0, "fairness weight λ")
-		autoLambda = fs.Bool("auto-lambda", false, "use the paper's λ=(n/k)² heuristic (n = streamed rows)")
-		m          = fs.Int("m", 64, "per-stratum coreset size of each merge-and-reduce level")
-		block      = fs.Int("block", 0, "raw points buffered per stratum before compression (0 = 2m)")
-		chunk      = fs.Int("chunk", 0, "CSV rows decoded per chunk (0 = 4096)")
-		maxGroups  = fs.Int("max-groups", 0, "cap on realized sensitive-value combinations (0 = 256)")
-		seed       = fs.Int64("seed", 1, "random seed (coreset sampling and solve)")
-		maxIter    = fs.Int("max-iter", 30, "maximum round-robin iterations of the summary solve")
-		tol        = fs.Float64("tol", 0, "stop when the objective improves by less than this (0 = zero-moves convergence)")
-		parallel   = fs.Int("parallel", 0, "sweep workers for the summary solve: 0 sequential, -1 GOMAXPROCS, n workers")
-		minmax     = fs.Bool("minmax", false, "min-max scale features to [0,1] via an extra leading pass")
-		skipEval   = fs.Bool("skip-eval", false, "skip the second full-data metrics pass")
-		saveOut    = fs.String("save", "", "write the trained model artifact (centroids, λ, domains, scaling, provenance) to this path; serve it with fairserved")
-		centsOut   = fs.String("centroids", "", "deprecated alias for -save (the CSV export lost the categorical domains and λ; the artifact keeps them)")
+		in           = fs.String("in", "", "input CSV path (required; read up to three times, streaming)")
+		features     = fs.String("features", "", "comma-separated numeric feature columns (required)")
+		sensitive    = fs.String("sensitive", "", "comma-separated categorical sensitive columns (required; these stratify the coreset)")
+		k            = fs.Int("k", 5, "number of clusters")
+		lambda       = fs.Float64("lambda", 0, "fairness weight λ")
+		autoLambda   = fs.Bool("auto-lambda", false, "use the paper's λ=(n/k)² heuristic (n = streamed rows)")
+		m            = fs.Int("m", 64, "per-stratum coreset size of each merge-and-reduce level")
+		block        = fs.Int("block", 0, "raw points buffered per stratum before compression (0 = 2m)")
+		chunk        = fs.Int("chunk", 0, "CSV rows decoded per chunk (0 = 4096)")
+		maxGroups    = fs.Int("max-groups", 0, "cap on realized sensitive-value combinations (0 = 256)")
+		seed         = fs.Int64("seed", 1, "random seed (coreset sampling and solve)")
+		maxIter      = fs.Int("max-iter", 30, "maximum round-robin iterations of the summary solve")
+		tol          = fs.Float64("tol", 0, "stop when the objective improves by less than this (0 = zero-moves convergence)")
+		parallel     = fs.Int("parallel", 0, "sweep workers for the summary solve: 0 sequential, -1 GOMAXPROCS, n workers")
+		shards       = fs.Int("shards", 1, "split ingestion across this many independent summarizer shards (byte-range parallel file reads)")
+		shardWorkers = fs.Int("shard-workers", 0, "concurrent shard ingest workers: 0 one per shard, -1 GOMAXPROCS, n workers (results are identical for every value)")
+		mergeBudget  = fs.Int("merge-budget", 0, "cap the merged summary's row count; a larger union is reduced by one extra coreset pass (0 = never reduce)")
+		minmax       = fs.Bool("minmax", false, "min-max scale features to [0,1] via an extra leading pass")
+		skipEval     = fs.Bool("skip-eval", false, "skip the second full-data metrics pass")
+		saveOut      = fs.String("save", "", "write the trained model artifact (centroids, λ, domains, scaling, provenance) to this path; serve it with fairserved")
+		centsOut     = fs.String("centroids", "", "deprecated alias for -save (the CSV export lost the categorical domains and λ; the artifact keeps them)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +82,15 @@ func run(args []string, out io.Writer) error {
 	}
 	if *k < 1 {
 		return fmt.Errorf("-k must be at least 1 (got %d)", *k)
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1 (got %d)", *shards)
+	}
+	if *mergeBudget < 0 {
+		return fmt.Errorf("-merge-budget must be non-negative (got %d)", *mergeBudget)
+	}
+	if *shards == 1 && (*shardWorkers != 0 || *mergeBudget != 0) {
+		return fmt.Errorf("-shard-workers and -merge-budget only apply to sharded ingestion; pass -shards > 1")
 	}
 	spec := dataset.CSVSpec{
 		Features:             splitList(*features),
@@ -112,12 +133,9 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "min-max pass: scaled %d feature columns\n", len(scaleMins))
 	}
 
-	// Pass 1: summarize and solve.
-	src, f, err := open()
-	if err != nil {
-		return err
-	}
-	res, err := pipeline.FitStream(src, pipeline.Config{
+	// Pass 1: summarize and solve — sequentially, or across byte-range
+	// shards of the file when -shards asks for parallel ingestion.
+	pcfg := pipeline.Config{
 		K:           *k,
 		Lambda:      *lambda,
 		AutoLambda:  *autoLambda,
@@ -128,13 +146,62 @@ func run(args []string, out io.Writer) error {
 		MaxIter:     *maxIter,
 		Tol:         *tol,
 		Parallelism: *parallel,
-	})
-	f.Close()
-	if err != nil {
-		return err
+	}
+	var res *pipeline.Result
+	if *shards > 1 {
+		split, err := dataset.SplitCSV(*in, *shards)
+		if err != nil {
+			return err
+		}
+		srcs := make([]pipeline.Source, split.Shards())
+		closers := make([]io.Closer, 0, split.Shards())
+		closeAll := func() {
+			for _, c := range closers {
+				c.Close()
+			}
+		}
+		for i := range srcs {
+			stream, closer, err := split.Open(i, spec, *chunk)
+			if err != nil {
+				closeAll()
+				return err
+			}
+			closers = append(closers, closer)
+			if scaleMins != nil {
+				srcs[i] = &scaledSource{src: stream, mins: scaleMins, ranges: scaleRanges}
+			} else {
+				srcs[i] = stream
+			}
+		}
+		res, err = pipeline.FitSharded(srcs, pipeline.ShardedConfig{
+			Config:      pcfg,
+			Workers:     *shardWorkers,
+			MergeBudget: *mergeBudget,
+		})
+		closeAll()
+		if err != nil {
+			return err
+		}
+	} else {
+		src, f, err := open()
+		if err != nil {
+			return err
+		}
+		res, err = pipeline.FitStream(src, pcfg)
+		f.Close()
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(out, "stream: n=%d rows in, %d summary rows out (%.1f× compression), %d strata\n",
 		res.N, res.Summary.N(), float64(res.N)/float64(res.Summary.N()), res.Groups)
+	if res.Shards > 1 {
+		note := ""
+		if res.Reduced {
+			note = fmt.Sprintf(", union reduced to the %d-row budget", *mergeBudget)
+		}
+		fmt.Fprintf(out, "sharded: %d byte-range shards ingested in parallel%s\n", res.Shards, note)
+	}
 	fmt.Fprintf(out, "solve:  k=%d lambda=%.4g iterations=%d converged=%v\n",
 		*k, res.Lambda, res.Solve.Iterations, res.Solve.Converged)
 	fmt.Fprintf(out, "  summary objective=%.4f (K-Means term %.4f + λ·fairness term %.6g)\n",

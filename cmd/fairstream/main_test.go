@@ -109,6 +109,55 @@ func TestFairstreamCentroidsAlias(t *testing.T) {
 	}
 }
 
+// TestFairstreamSharded drives the byte-range sharded ingestion path:
+// the report shows the shard count, and the full output — summary,
+// solve and second-pass metrics — is identical for every worker count.
+func TestFairstreamSharded(t *testing.T) {
+	csv := writeTestCSV(t, 1200)
+	runSharded := func(workers string) string {
+		t.Helper()
+		var buf bytes.Buffer
+		err := run([]string{
+			"-in", csv, "-features", "x,y", "-sensitive", "grp,reg",
+			"-k", "3", "-auto-lambda", "-m", "24", "-chunk", "100",
+			"-shards", "3", "-shard-workers", workers,
+		}, &buf)
+		if err != nil {
+			t.Fatalf("run(workers=%s): %v\noutput:\n%s", workers, err, buf.String())
+		}
+		return buf.String()
+	}
+	out := runSharded("1")
+	for _, want := range []string{"n=1200", "sharded: 3 byte-range shards", "full data"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	for _, workers := range []string{"2", "3", "-1"} {
+		if got := runSharded(workers); got != out {
+			t.Errorf("-shard-workers %s changed the report:\n--- workers=1\n%s\n--- workers=%s\n%s", workers, out, workers, got)
+		}
+	}
+}
+
+// TestFairstreamShardedMergeBudget: an undersized budget triggers the
+// reduce pass and the report says so.
+func TestFairstreamShardedMergeBudget(t *testing.T) {
+	csv := writeTestCSV(t, 1200)
+	var buf bytes.Buffer
+	err := run([]string{
+		"-in", csv, "-features", "x,y", "-sensitive", "grp,reg",
+		"-k", "3", "-auto-lambda", "-m", "32", "-chunk", "100",
+		"-shards", "4", "-merge-budget", "60", "-skip-eval",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "union reduced to the 60-row budget") {
+		t.Errorf("no reduce note in:\n%s", buf.String())
+	}
+}
+
 func TestFairstreamSkipEval(t *testing.T) {
 	csv := writeTestCSV(t, 400)
 	var buf bytes.Buffer
@@ -137,11 +186,15 @@ func TestFairstreamFlagValidation(t *testing.T) {
 // TestValidationAudit pins the CLI failure contract for fairstream.
 func TestValidationAudit(t *testing.T) {
 	cases := map[string][]string{
-		"missing -in":       {"-features", "x", "-sensitive", "g"},
-		"nonexistent input": {"-in", "definitely/not/here.csv", "-features", "x", "-sensitive", "g"},
-		"k zero":            {"-in", "x.csv", "-features", "x", "-sensitive", "g", "-k", "0"},
-		"k negative":        {"-in", "x.csv", "-features", "x", "-sensitive", "g", "-k", "-1"},
-		"unknown flag":      {"-in", "x.csv", "-features", "x", "-sensitive", "g", "-zap"},
+		"missing -in":         {"-features", "x", "-sensitive", "g"},
+		"nonexistent input":   {"-in", "definitely/not/here.csv", "-features", "x", "-sensitive", "g"},
+		"k zero":              {"-in", "x.csv", "-features", "x", "-sensitive", "g", "-k", "0"},
+		"k negative":          {"-in", "x.csv", "-features", "x", "-sensitive", "g", "-k", "-1"},
+		"unknown flag":        {"-in", "x.csv", "-features", "x", "-sensitive", "g", "-zap"},
+		"shards zero":         {"-in", "x.csv", "-features", "x", "-sensitive", "g", "-shards", "0"},
+		"negative budget":     {"-in", "x.csv", "-features", "x", "-sensitive", "g", "-merge-budget", "-5"},
+		"budget sans shards":  {"-in", "x.csv", "-features", "x", "-sensitive", "g", "-merge-budget", "60"},
+		"workers sans shards": {"-in", "x.csv", "-features", "x", "-sensitive", "g", "-shard-workers", "2"},
 	}
 	for name, args := range cases {
 		t.Run(name, func(t *testing.T) {

@@ -31,6 +31,13 @@
 //	// res.Solve.Centroids deploys via res.Solve.Predict; re-stream
 //	// through fairclust.EvaluateStream for exact full-data metrics.
 //
+// For data-parallel ingestion, FitStreamSharded deals chunks round-
+// robin to S independent summarizers, and FitSharded runs one
+// summarizer per pre-split source — SplitCSV shards a CSV file on row
+// boundaries for true parallel reads. Per-shard coresets merge into one
+// weighted summary (a union of fair coresets is a fair coreset), and
+// results are bit-identical for every worker count.
+//
 // See cmd/fairstream for the end-to-end CLI.
 //
 // # Model artifacts and serving
@@ -60,7 +67,8 @@
 //   - internal/coreset — fair (group-stratified) lightweight coresets
 //     and the streaming merge-and-reduce summary
 //   - internal/pipeline — the summarize-then-solve pipeline gluing
-//     coreset, weighted solver and second-pass metrics together
+//     coreset, weighted solver and second-pass metrics together, with
+//     sharded data-parallel ingestion and a deterministic merge
 //   - internal/model — the persistent model artifact (deterministic
 //     JSON codec, Save/Load, domain snapshots, provenance)
 //   - internal/serve — the serving subsystem: micro-batching assigner
@@ -216,6 +224,38 @@ func FitStream(src StreamSource, cfg StreamConfig) (*StreamResult, error) {
 // fairness measures — the pipeline's second pass.
 func EvaluateStream(src StreamSource, centroids [][]float64, lambda float64) (*StreamEvaluation, error) {
 	return pipeline.Evaluate(src, centroids, lambda)
+}
+
+// ShardedStreamConfig parameterizes the sharded summarize-then-solve
+// entry points: the embedded StreamConfig drives each shard and the
+// final solve; Shards, Workers and MergeBudget control the fan-out.
+type ShardedStreamConfig = pipeline.ShardedConfig
+
+// CSVShards is a CSV file split on row boundaries into independently
+// readable byte ranges; build one with SplitCSV and Open each shard as
+// its own chunked StreamSource.
+type CSVShards = dataset.CSVShards
+
+// SplitCSV splits the headed CSV file at path into shards byte ranges
+// aligned to row boundaries, enabling parallel ingestion of one file.
+func SplitCSV(path string, shards int) (*CSVShards, error) {
+	return dataset.SplitCSV(path, shards)
+}
+
+// FitSharded runs one coreset summarizer per source in parallel,
+// merges the per-shard summaries (weighted union with cross-shard
+// domain reconciliation) and solves weighted FairKM on the result.
+// Results are bit-identical for every Workers value; a single source
+// at MergeBudget 0 reproduces FitStream bit-for-bit.
+func FitSharded(sources []StreamSource, cfg ShardedStreamConfig) (*StreamResult, error) {
+	return pipeline.FitSharded(sources, cfg)
+}
+
+// FitStreamSharded is FitSharded over one chunked source: chunks are
+// dealt round-robin to cfg.Shards summarizers ingesting on cfg.Workers
+// workers. Shards ≤ 1 delegates to FitStream.
+func FitStreamSharded(src StreamSource, cfg ShardedStreamConfig) (*StreamResult, error) {
+	return pipeline.FitStreamSharded(src, cfg)
 }
 
 // EvaluateStreamModel is EvaluateStream for a loaded model artifact: it

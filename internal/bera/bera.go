@@ -36,13 +36,20 @@ import (
 	"repro/internal/stats"
 )
 
+// DefaultDelta is the customary proportionality slack used when
+// Config.Delta is negative.
+const DefaultDelta = 0.2
+
 // Config parameterizes a run.
 type Config struct {
 	// K is the number of clusters.
 	K int
 	// Delta is the proportionality slack δ ∈ [0, 1): group g must make
-	// up between r_g·(1−δ) and r_g/(1−δ) of every cluster. Zero means
-	// the customary 0.2.
+	// up between r_g·(1−δ) and r_g/(1−δ) of every cluster. A negative
+	// value selects DefaultDelta; an explicit 0 is honoured and demands
+	// exact proportionality (α_g = β_g = r_g), a legitimate Bera et al.
+	// setting. (Zero used to mean "default", which made δ=0 itself
+	// unrequestable.)
 	Delta float64
 	// Seed drives the vanilla K-Means stage.
 	Seed int64
@@ -81,10 +88,10 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("bera: K=%d out of range [1,%d]", cfg.K, n)
 	}
 	delta := cfg.Delta
-	if delta == 0 {
-		delta = 0.2
+	if delta < 0 {
+		delta = DefaultDelta
 	}
-	if delta < 0 || delta >= 1 {
+	if delta >= 1 {
 		return nil, fmt.Errorf("bera: delta=%v outside [0,1)", delta)
 	}
 	// Group membership: one group per (categorical attribute, value).

@@ -101,6 +101,70 @@ func TestTightDeltaGetsTighter(t *testing.T) {
 	}
 }
 
+// TestDeltaSentinel: a negative Delta selects the customary default,
+// while an explicit 0 is honoured — δ=0 used to be silently rewritten
+// to 0.2, making exact proportionality unrequestable.
+func TestDeltaSentinel(t *testing.T) {
+	ds := skewedDataset(t, 20)
+	res, err := Run(ds, Config{K: 2, Delta: -1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delta != DefaultDelta {
+		t.Errorf("negative Delta resolved to %v, want the default %v", res.Delta, DefaultDelta)
+	}
+}
+
+// TestExactProportionality is the δ=0 regression: the bounds collapse
+// to α_g = β_g = r_g, so on a dataset where exact proportionality is
+// integrally feasible every cluster must carry the dataset mix with
+// zero violation — and Result.Delta must report 0, not 0.2.
+func TestExactProportionality(t *testing.T) {
+	// Two far blobs of 4 points, each exactly half "a" half "b":
+	// r_a = r_b = 1/2, and the only transport-optimal assignment that
+	// meets α=β=1/2 per cluster is blob = cluster.
+	b := dataset.NewBuilder("x", "y")
+	b.AddCategoricalSensitive("g")
+	for blob := 0; blob < 2; blob++ {
+		off := float64(blob) * 50
+		b.Row([]float64{off, 0}, []string{"a"}, nil)
+		b.Row([]float64{off, 1}, []string{"a"}, nil)
+		b.Row([]float64{off + 1, 0}, []string{"b"}, nil)
+		b.Row([]float64{off + 1, 1}, []string{"b"}, nil)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ds, Config{K: 2, Delta: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delta != 0 {
+		t.Fatalf("explicit δ=0 reported as %v", res.Delta)
+	}
+	if res.MaxViolation > 1e-9 {
+		t.Errorf("δ=0 bounds violated by %v; want exact proportionality", res.MaxViolation)
+	}
+	// Every cluster's group mix equals r_g = 1/2 exactly.
+	sizes := kmeans.Sizes(res.Assign, 2)
+	counts := make([]int, 2)
+	s := ds.Sensitive[0]
+	for i, c := range s.Codes {
+		if c == 0 {
+			counts[res.Assign[i]]++
+		}
+	}
+	for j := 0; j < 2; j++ {
+		if sizes[j] == 0 {
+			t.Fatalf("cluster %d empty", j)
+		}
+		if p := float64(counts[j]) / float64(sizes[j]); p != 0.5 {
+			t.Errorf("cluster %d group-a share %v, want exactly 0.5 (α=β=r_g)", j, p)
+		}
+	}
+}
+
 func TestErrors(t *testing.T) {
 	ds := skewedDataset(t, 20)
 	if _, err := Run(nil, Config{K: 2}); err == nil {
@@ -111,9 +175,6 @@ func TestErrors(t *testing.T) {
 	}
 	if _, err := Run(ds, Config{K: 2, Delta: 1.5}); err == nil {
 		t.Error("delta out of range accepted")
-	}
-	if _, err := Run(ds, Config{K: 2, Delta: -0.1}); err == nil {
-		t.Error("negative delta accepted")
 	}
 	// No categorical sensitive attributes.
 	b := dataset.NewBuilder("x")

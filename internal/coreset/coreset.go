@@ -197,6 +197,64 @@ func Fair(ds *dataset.Dataset, attr string, m, k int, seed int64) (*Weighted, er
 	return out, nil
 }
 
+// ReduceGroups re-samples a weighted, group-labelled point set down to
+// about budget points: one LightweightWeighted pass per group (groups
+// in order of first appearance, sizes proportional to group row counts,
+// at least one point each), with each group's total weight rescaled to
+// its exact input mass afterwards — group proportions survive, as in
+// Fair. It is the sharded pipeline's merge-reduce step: the union of
+// per-shard fair coresets is a fair coreset, and one more reduce keeps
+// it one while bounding the solve cost. The result holds at most
+// budget + #groups points. Indices index into features.
+func ReduceGroups(features [][]float64, weights []float64, groups []int, budget int, rng *stats.RNG) (*Weighted, error) {
+	n := len(features)
+	if n == 0 {
+		return nil, errors.New("coreset: empty point set")
+	}
+	if len(weights) != n || len(groups) != n {
+		return nil, fmt.Errorf("coreset: %d weights and %d groups for %d points", len(weights), len(groups), n)
+	}
+	if budget < 1 {
+		return nil, fmt.Errorf("coreset: budget=%d must be positive", budget)
+	}
+	var order []int
+	rowsOf := map[int][]int{}
+	for i, g := range groups {
+		if _, ok := rowsOf[g]; !ok {
+			order = append(order, g)
+		}
+		rowsOf[g] = append(rowsOf[g], i)
+	}
+	out := &Weighted{}
+	for _, g := range order {
+		rows := rowsOf[g]
+		m := budget * len(rows) / n
+		if m < 1 {
+			m = 1
+		}
+		gf := make([][]float64, len(rows))
+		gw := make([]float64, len(rows))
+		mass := 0.0
+		for pos, i := range rows {
+			gf[pos] = features[i]
+			gw[pos] = weights[i]
+			mass += weights[i]
+		}
+		cw, err := LightweightWeighted(gf, nil, gw, m, rng)
+		if err != nil {
+			return nil, err
+		}
+		// Exact group-mass rescale: proportions are what fairness
+		// measures; sampling noise in the total is pure harm.
+		scale := mass / cw.TotalWeight()
+		for pos, gi := range cw.Indices {
+			out.Indices = append(out.Indices, rows[gi])
+			out.Weights = append(out.Weights, cw.Weights[pos]*scale)
+		}
+	}
+	return out, nil
+}
+
 func max(a, b int) int {
 	if a > b {
 		return a

@@ -205,6 +205,87 @@ func TestWeightedKMeansOnCoresetApproximatesFull(t *testing.T) {
 	}
 }
 
+// TestReduceGroups: the merge-reduce step shrinks a weighted, group-
+// labelled union to ≈budget points, preserves every group's total mass
+// exactly, keeps at least one point per group, and is deterministic in
+// the RNG seed.
+func TestReduceGroups(t *testing.T) {
+	rng := stats.NewRNG(7)
+	const n = 900
+	features := make([][]float64, n)
+	weights := make([]float64, n)
+	groups := make([]int, n)
+	groupMass := map[int]float64{}
+	for i := range features {
+		g := i % 3
+		features[i] = []float64{rng.Gaussian(float64(g)*5, 1), rng.Gaussian(0, 1)}
+		weights[i] = 1 + rng.Float64()
+		groups[i] = g
+		groupMass[g] += weights[i]
+	}
+	const budget = 90
+	w, err := ReduceGroups(features, weights, groups, budget, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Indices) > budget+3 {
+		t.Errorf("reduced to %d points, budget %d (+3 groups)", len(w.Indices), budget)
+	}
+	gotMass := map[int]float64{}
+	seen := map[int]bool{}
+	for pos, i := range w.Indices {
+		gotMass[groups[i]] += w.Weights[pos]
+		seen[groups[i]] = true
+	}
+	for g, want := range groupMass {
+		if !seen[g] {
+			t.Errorf("group %d lost entirely", g)
+		}
+		if math.Abs(gotMass[g]-want) > 1e-9*want {
+			t.Errorf("group %d mass %v after reduce, want %v", g, gotMass[g], want)
+		}
+	}
+	// Deterministic replay.
+	w2, err := ReduceGroups(features, weights, groups, budget, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w2.Indices) != len(w.Indices) {
+		t.Fatalf("replay kept %d points, want %d", len(w2.Indices), len(w.Indices))
+	}
+	for pos := range w.Indices {
+		if w.Indices[pos] != w2.Indices[pos] || math.Float64bits(w.Weights[pos]) != math.Float64bits(w2.Weights[pos]) {
+			t.Fatalf("replay diverges at %d", pos)
+		}
+	}
+	// A tiny group still survives with ≥1 point.
+	groups[0] = 99
+	w3, err := ReduceGroups(features, weights, groups, budget, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := false
+	for _, i := range w3.Indices {
+		if i == 0 {
+			kept = true
+		}
+	}
+	if !kept {
+		t.Error("singleton group dropped by the reduce")
+	}
+
+	// Validation.
+	if _, err := ReduceGroups(nil, nil, nil, 10, rng); err == nil {
+		t.Error("empty point set accepted")
+	}
+	if _, err := ReduceGroups(features, weights[:10], groups, 10, rng); err == nil {
+		t.Error("mismatched weights accepted")
+	}
+	if _, err := ReduceGroups(features, weights, groups, 0, rng); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
 func TestFairErrors(t *testing.T) {
 	ds := clusteredDataset(t, 50)
 	if _, err := Fair(nil, "g", 20, 2, 1); err == nil {

@@ -1,0 +1,182 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ByteRange is a half-open [Start, End) byte span of a file.
+type ByteRange struct {
+	Start, End int64
+}
+
+// Len returns the number of bytes in the range.
+func (r ByteRange) Len() int64 { return r.End - r.Start }
+
+// CSVShards describes a headed CSV file split on row boundaries into
+// independently readable byte ranges, so multiple goroutines (or
+// processes) can ingest disjoint parts of one file in parallel — the
+// sharded counterpart of a single CSVStream. Build one with SplitCSV,
+// then Open each shard as its own chunked stream.
+//
+// Every data row of the file belongs to exactly one range; ranges can
+// be empty when the file has fewer rows than shards. The header line is
+// replayed to every shard on Open, so each shard stream validates the
+// same columns independently.
+type CSVShards struct {
+	// Path is the file the ranges index into.
+	Path string
+	// Ranges are the per-shard data spans, in file order. Each starts
+	// at the beginning of a row (or equals its End when empty) and ends
+	// just past a row's newline (or at EOF for the last shard).
+	Ranges []ByteRange
+
+	header []byte // raw header line, including its newline when present
+}
+
+// splitScanBuf is the read granularity of the boundary scan.
+const splitScanBuf = 64 * 1024
+
+// SplitCSV splits the headed CSV file at path into shards byte ranges
+// aligned to row boundaries: each target boundary (an even byte split
+// of the data region) is advanced to just past the next newline, so no
+// row is ever torn across two shards and the union of the ranges is
+// exactly the set of data rows. Only the bytes around each boundary are
+// read — splitting a multi-gigabyte file costs O(shards) small reads.
+//
+// Rows must not contain embedded (quoted) newlines: boundaries are
+// found by scanning for '\n', and a newline inside a quoted field would
+// be mistaken for a row end (the same restriction as Hadoop-style text
+// splits). Files written by WriteCSV and the generators here satisfy
+// it. The header line itself is scanned quote-aware, so quoted header
+// names are fine.
+func SplitCSV(path string, shards int) (*CSVShards, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("dataset: shards=%d must be positive", shards)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: split: %w", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: split: %w", err)
+	}
+	size := info.Size()
+
+	header, err := readHeaderLine(f, size)
+	if err != nil {
+		return nil, err
+	}
+	dataStart := int64(len(header))
+
+	s := &CSVShards{Path: path, header: header}
+	dataLen := size - dataStart
+	prev := dataStart
+	for i := 1; i < shards; i++ {
+		target := dataStart + dataLen*int64(i)/int64(shards)
+		cut := target
+		if cut < prev {
+			cut = prev
+		}
+		cut, err = nextRowStart(f, cut, size)
+		if err != nil {
+			return nil, err
+		}
+		s.Ranges = append(s.Ranges, ByteRange{Start: prev, End: cut})
+		prev = cut
+	}
+	s.Ranges = append(s.Ranges, ByteRange{Start: prev, End: size})
+	return s, nil
+}
+
+// Shards returns the number of ranges.
+func (s *CSVShards) Shards() int { return len(s.Ranges) }
+
+// Open returns a chunked CSV stream over shard i — the header replayed
+// ahead of the shard's byte range — plus the underlying file handle,
+// which the caller must Close when the stream is drained. Each shard
+// stream has its own incremental domain state; the pipeline's merge
+// step reconciles codes across shards.
+func (s *CSVShards) Open(i int, spec CSVSpec, chunkSize int) (*CSVStream, io.Closer, error) {
+	if i < 0 || i >= len(s.Ranges) {
+		return nil, nil, fmt.Errorf("dataset: shard %d out of range [0,%d)", i, len(s.Ranges))
+	}
+	f, err := os.Open(s.Path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: split: %w", err)
+	}
+	r := s.Ranges[i]
+	header := s.header
+	if len(header) > 0 && header[len(header)-1] != '\n' {
+		// Header-only file with no trailing newline: give the CSV
+		// reader a terminated header so the (empty) section that
+		// follows starts a fresh record.
+		header = append(append([]byte(nil), header...), '\n')
+	}
+	src := io.MultiReader(bytes.NewReader(header), io.NewSectionReader(f, r.Start, r.Len()))
+	stream, err := NewCSVStream(src, spec, chunkSize)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return stream, f, nil
+}
+
+// readHeaderLine reads the header line (including its newline) from the
+// start of the file, honouring quoted fields so a quoted header name
+// containing '\n' does not truncate the header.
+func readHeaderLine(f io.ReaderAt, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("dataset: split: empty CSV")
+	}
+	var header []byte
+	buf := make([]byte, splitScanBuf)
+	inQuote := false
+	for off := int64(0); off < size; {
+		n, err := f.ReadAt(buf, off)
+		if n == 0 && err != nil && err != io.EOF {
+			return nil, fmt.Errorf("dataset: split: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			switch buf[i] {
+			case '"':
+				inQuote = !inQuote
+			case '\n':
+				if !inQuote {
+					return append(header, buf[:i+1]...), nil
+				}
+			}
+		}
+		header = append(header, buf[:n]...)
+		off += int64(n)
+		if err == io.EOF {
+			break
+		}
+	}
+	// No newline: the whole file is the header (no data rows).
+	return header, nil
+}
+
+// nextRowStart advances pos to the first byte after the next '\n' at or
+// beyond it, clamping to size when no newline follows.
+func nextRowStart(f io.ReaderAt, pos, size int64) (int64, error) {
+	buf := make([]byte, splitScanBuf)
+	for off := pos; off < size; {
+		n, err := f.ReadAt(buf, off)
+		if n == 0 && err != nil && err != io.EOF {
+			return 0, fmt.Errorf("dataset: split: %w", err)
+		}
+		if i := bytes.IndexByte(buf[:n], '\n'); i >= 0 {
+			return off + int64(i) + 1, nil
+		}
+		off += int64(n)
+		if err == io.EOF {
+			break
+		}
+	}
+	return size, nil
+}

@@ -110,9 +110,16 @@ func Run(ds *dataset.Dataset, attr string, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("fairlet: K=%d out of range [1,%d] (one cluster needs at least one fairlet)", cfg.K, len(minority))
 	}
 
-	fairlets, cost, err := decompose(ds.Features, minority, majority, t)
+	fairlets, flowCost, cost, err := decompose(ds.Features, minority, majority, t)
 	if err != nil {
 		return nil, err
+	}
+	// The solver's objective and the realized edge-distance sum are the
+	// same quantity computed two ways; a cost-model change that breaks
+	// this equality would silently decouple the optimization from the
+	// decomposition it emits.
+	if d := math.Abs(flowCost - cost); d > 1e-9*(1+cost) {
+		return nil, fmt.Errorf("fairlet: internal error: min-cost-flow objective %v differs from realized decomposition cost %v", flowCost, cost)
 	}
 
 	// Fairlet centers are medoids: the member minimizing total distance
@@ -149,8 +156,13 @@ func Run(ds *dataset.Dataset, attr string, cfg Config) (*Result, error) {
 }
 
 // decompose computes the minimum-cost (1,t)-fairlet decomposition via
-// min-cost flow with lower bounds.
-func decompose(features [][]float64, minority, majority []int, t int) ([][]int, float64, error) {
+// min-cost flow with lower bounds. It returns the fairlets, the flow
+// solver's own objective (the sum of costs on saturated minority→
+// majority edges — every auxiliary edge is cost 0, so this IS the
+// decomposition cost), and the realized cost re-summed from the
+// emitted fairlets' edge distances. The two must agree to float
+// round-off; TestDecomposeCostAgreement pins it.
+func decompose(features [][]float64, minority, majority []int, t int) ([][]int, float64, float64, error) {
 	nR, nB := len(minority), len(majority)
 	// Node layout: 0 = source, 1 = sink, 2.. minority, then majority,
 	// then super-source and super-sink for the lower-bound transform.
@@ -196,10 +208,10 @@ func decompose(features [][]float64, minority, majority []int, t int) ([][]int, 
 	}
 	flow, cost, err := g.MinCostFlow(superSrc, superSink, -1)
 	if err != nil {
-		return nil, 0, fmt.Errorf("fairlet: %w", err)
+		return nil, 0, 0, fmt.Errorf("fairlet: %w", err)
 	}
 	if flow != need {
-		return nil, 0, fmt.Errorf("fairlet: decomposition infeasible (matched %d of %d mandatory units)", flow, need)
+		return nil, 0, 0, fmt.Errorf("fairlet: decomposition infeasible (matched %d of %d mandatory units)", flow, need)
 	}
 
 	fairlets := make([][]int, nR)
@@ -216,11 +228,10 @@ func decompose(features [][]float64, minority, majority []int, t int) ([][]int, 
 	// Sanity: every fairlet must have at least one majority point.
 	for ri, members := range fairlets {
 		if len(members) < 2 {
-			return nil, 0, fmt.Errorf("fairlet: internal error: fairlet %d has no majority points", ri)
+			return nil, 0, 0, fmt.Errorf("fairlet: internal error: fairlet %d has no majority points", ri)
 		}
 	}
-	_ = cost
-	return fairlets, total, nil
+	return fairlets, cost, total, nil
 }
 
 // medoid returns the member with minimum summed distance to the others.

@@ -146,6 +146,53 @@ func TestDecompositionCostOptimalTinyCase(t *testing.T) {
 	}
 }
 
+// TestDecomposeCostAgreement pins the min-cost-flow objective against
+// the realized decomposition cost re-summed from the emitted fairlets'
+// edges: they are the same quantity computed two ways (every auxiliary
+// edge carries cost 0), and decompose used to discard the flow's cost
+// outright, so a cost-model change could silently diverge from the
+// decomposition it reports. Several (n, ratio, t) shapes keep the
+// merge tree honest.
+func TestDecomposeCostAgreement(t *testing.T) {
+	cases := []struct {
+		perBlob, ratio, t int
+	}{
+		{12, 2, 0},
+		{30, 3, 0},
+		{30, 3, 7},
+		{45, 4, 6},
+	}
+	for _, c := range cases {
+		ds := binaryDataset(t, c.perBlob, c.ratio)
+		s := ds.SensitiveByName("g")
+		var byValue [2][]int
+		for i, code := range s.Codes {
+			byValue[code] = append(byValue[code], i)
+		}
+		minority, majority := byValue[0], byValue[1]
+		if len(minority) > len(majority) {
+			minority, majority = majority, minority
+		}
+		tt := c.t
+		if tt == 0 {
+			tt = (len(majority) + len(minority) - 1) / len(minority)
+		}
+		fairlets, flowCost, realized, err := decompose(ds.Features, minority, majority, tt)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if len(fairlets) != len(minority) {
+			t.Fatalf("%+v: %d fairlets for %d minority points", c, len(fairlets), len(minority))
+		}
+		if d := flowCost - realized; d > 1e-9*(1+realized) || d < -1e-9*(1+realized) {
+			t.Errorf("%+v: flow objective %v vs realized decomposition cost %v (diff %v)", c, flowCost, realized, d)
+		}
+		if flowCost <= 0 {
+			t.Errorf("%+v: non-positive decomposition cost %v", c, flowCost)
+		}
+	}
+}
+
 func TestErrors(t *testing.T) {
 	ds := binaryDataset(t, 20, 3)
 	if _, err := Run(nil, "g", Config{K: 2}); err == nil {

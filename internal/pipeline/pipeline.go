@@ -16,6 +16,15 @@
 // Evaluate second pass then reports exact full-data fairness and
 // utility for the centroids the summary solve produced.
 //
+// Ingestion parallelizes by data sharding (FitSharded over pre-split
+// sources such as dataset.SplitCSV byte ranges, FitStreamSharded for
+// round-robin dealing of one chunked source): per-shard summaries are
+// fair coresets, and their union — after a shard-order domain merge
+// and an optional reduce pass — is again a fair coreset, so the solve
+// stage is unchanged. Results are bit-identical for every worker
+// count at a fixed shard count, and a single shard replays FitStream
+// exactly; see DESIGN.md "Sharded ingestion".
+//
 // cmd/fairstream exposes the pipeline over CSV files;
 // internal/experiments benchmarks it against full-data solves.
 package pipeline
@@ -96,6 +105,12 @@ type Result struct {
 	Groups int
 	// Lambda is the λ actually used.
 	Lambda float64
+	// Shards is how many parallel summarizers fed the solve (1 for
+	// FitStream; FitSharded/FitStreamSharded record their S here).
+	Shards int
+	// Reduced reports whether the sharded merge re-sampled the union
+	// down to ShardedConfig.MergeBudget before solving.
+	Reduced bool
 }
 
 // FitStream consumes the source to completion, maintaining a fair
@@ -308,6 +323,7 @@ func (s *Summarizer) Solve() (*Result, error) {
 		N:              s.n,
 		Groups:         len(s.groupCodes),
 		Lambda:         res.Lambda,
+		Shards:         1,
 	}, nil
 }
 

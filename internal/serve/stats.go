@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -139,9 +140,19 @@ func (t *tracker) snapshot() Stats {
 	return s
 }
 
-// quantile returns the nearest-rank q-quantile of a sorted sample.
+// quantile returns the nearest-rank q-quantile of a sorted sample:
+// the smallest element with at least ⌈q·n⌉ elements ≤ it. Flooring
+// an (n−1)-scaled index here (the old int(q·(n−1))) lands P99 of a
+// full 1000-sample window on rank 989 ≈ P98.9 and systematically
+// under-reports tail latency; ⌈q·n⌉−1 is the standard estimator.
 func quantile(sorted []time.Duration, q float64) time.Duration {
-	idx := int(q * float64(len(sorted)-1))
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
 	return sorted[idx]
 }
 

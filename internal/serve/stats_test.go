@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuantileNearestRank pins the nearest-rank estimator ⌈q·n⌉−1 on
+// known samples. The previous int(q·(n−1)) floor read ≈P98.8 for P99
+// over a full window, systematically under-reporting tail latency.
+func TestQuantileNearestRank(t *testing.T) {
+	ascending := func(n int) []time.Duration {
+		s := make([]time.Duration, n)
+		for i := range s {
+			s[i] = time.Duration(i+1) * time.Millisecond
+		}
+		return s
+	}
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+
+	cases := []struct {
+		name   string
+		sorted []time.Duration
+		q      float64
+		want   time.Duration
+	}{
+		{"single element P50", ascending(1), 0.50, ms(1)},
+		{"single element P99", ascending(1), 0.99, ms(1)},
+		{"two elements P50", ascending(2), 0.50, ms(1)},
+		{"two elements P99", ascending(2), 0.99, ms(2)},
+		{"P50 of 4 is rank 2", ascending(4), 0.50, ms(2)},
+		{"P50 of 5 is rank 3", ascending(5), 0.50, ms(3)},
+		{"P99 of 100 is rank 99", ascending(100), 0.99, ms(99)},
+		{"P99 of 200 is rank 198", ascending(200), 0.99, ms(198)},
+		// The motivating case: a full 1024-entry latency ring. The old
+		// floor picked rank 1012 (≈P98.8); nearest rank is ⌈0.99·1024⌉
+		// = 1014.
+		{"P99 of full 1024 ring", ascending(1024), 0.99, ms(1014)},
+		{"P100 is the max", ascending(7), 1.0, ms(7)},
+	}
+	for _, c := range cases {
+		if got := quantile(c.sorted, c.q); got != c.want {
+			t.Errorf("%s: quantile(n=%d, q=%v) = %v, want %v", c.name, len(c.sorted), c.q, got, c.want)
+		}
+	}
+}
+
+// TestSnapshotQuantiles drives the estimator through the tracker's
+// ring: with latencies 1..window ms recorded in order, the snapshot's
+// P50/P99 must be the nearest-rank elements, not the floored ones.
+func TestSnapshotQuantiles(t *testing.T) {
+	const window = 100
+	tr := &tracker{ring: make([]time.Duration, window)}
+	for i := 1; i <= window; i++ {
+		tr.record(1, time.Duration(i)*time.Millisecond)
+	}
+	s := tr.snapshot()
+	if want := 50 * time.Millisecond; s.P50 != want {
+		t.Errorf("P50 = %v, want %v", s.P50, want)
+	}
+	if want := 99 * time.Millisecond; s.P99 != want {
+		t.Errorf("P99 = %v, want %v", s.P99, want)
+	}
+	// Partially filled ring: quantiles over just the recorded prefix.
+	tr2 := &tracker{ring: make([]time.Duration, window)}
+	tr2.record(1, 5*time.Millisecond)
+	s2 := tr2.snapshot()
+	if s2.P50 != 5*time.Millisecond || s2.P99 != 5*time.Millisecond {
+		t.Errorf("single-sample P50/P99 = %v/%v, want 5ms/5ms", s2.P50, s2.P99)
+	}
+}
