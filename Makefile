@@ -26,11 +26,16 @@ vet:
 # BENCH_shard.json records sharded summarize-then-solve scaling
 # (BenchmarkShard, S ∈ {1,2,4,8} on Adult-6500 + synth-1e5; obj-vs-s1
 # must stay ≈1 — sharding buys wall-clock, not objective).
+# BENCH_load.json records the open-loop rows/s-at-SLO trajectory
+# (BenchmarkLoad, offered rates {500,2000,8000} req/s against an
+# in-process admission-controlled registry; rows/s, accepted p99,
+# shed fraction, SLO verdict per operating point).
 bench:
 	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkSweep|BenchmarkBestMove|BenchmarkRunAdult' -benchtime 1s -json > BENCH_engine.json
 	$(GO) test . -run '^$$' -bench 'BenchmarkStream' -benchtime 1x -count 3 -json > BENCH_stream.json
 	$(GO) test . -run '^$$' -bench 'BenchmarkShard' -benchtime 1x -count 3 -json > BENCH_shard.json
 	$(GO) test ./internal/serve -run '^$$' -bench 'BenchmarkServe' -benchtime 1s -json > BENCH_serve.json
+	$(GO) test ./internal/load -run '^$$' -bench 'BenchmarkLoad' -benchtime 1x -json > BENCH_load.json
 	$(GO) test ./internal/stats -run '^$$' -bench 'BenchmarkDot|BenchmarkSqDist|BenchmarkZipf' -benchtime 1s
 
 # bench-smoke just proves the benchmarks still compile and run (CI).
@@ -39,4 +44,5 @@ bench-smoke:
 	$(GO) test . -run '^$$' -bench 'BenchmarkStream/stream' -benchtime 1x
 	$(GO) test . -run '^$$' -bench 'BenchmarkShard/shards=2/adult6500' -benchtime 1x
 	$(GO) test ./internal/serve -run '^$$' -bench 'BenchmarkServe/workers=1/batch=64' -benchtime 1x
+	$(GO) test ./internal/load -run '^$$' -bench 'BenchmarkLoad/rate=500' -benchtime 1x
 	$(GO) test ./internal/stats -run '^$$' -bench 'BenchmarkDot|BenchmarkSqDist|BenchmarkZipf' -benchtime 1x

@@ -7,6 +7,17 @@
 //
 //	fairserved -model m.json [-model more.json ...] [-addr :8080]
 //	           [-batch 64] [-workers N] [-latency-window 1024]
+//	           [-max-concurrent N [-max-queue N] [-queue-budget 50ms]]
+//	           [-request-timeout 0] [-max-body 33554432]
+//	           [-shutdown-timeout 10s]
+//
+// Overload behavior: with -max-concurrent set, each model admits at
+// most that many concurrent batches; excess requests queue up to
+// -max-queue deep and are shed with HTTP 429 (plus a Retry-After
+// header) when the queue is full or the estimated wait exceeds
+// -queue-budget. With -request-timeout set, requests that cannot
+// finish inside the budget fail with HTTP 503 and free their slot.
+// Bodies larger than -max-body are rejected with HTTP 413.
 //
 // Endpoints (all JSON unless noted):
 //
@@ -37,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -76,6 +88,13 @@ func serveCtx(ctx context.Context, args []string, out io.Writer) error {
 		batch     = fs.Int("batch", 0, "micro-batch size per worker task (0 = 64)")
 		workers   = fs.Int("workers", 0, "scoring workers per model (0 = GOMAXPROCS)")
 		latWindow = fs.Int("latency-window", 0, "requests per latency quantile window (0 = 1024)")
+
+		maxConc     = fs.Int("max-concurrent", 0, "max concurrent batches per model (0 = unlimited, no admission control)")
+		maxQueue    = fs.Int("max-queue", 0, "admission queue depth per model before shedding (0 = default, requires -max-concurrent)")
+		queueBudget = fs.Duration("queue-budget", 0, "shed when estimated queue wait exceeds this (0 = queue-depth limit only, requires -max-concurrent)")
+		reqTimeout  = fs.Duration("request-timeout", 0, "per-request deadline; expired requests get HTTP 503 (0 = none)")
+		maxBody     = fs.Int64("max-body", defaultMaxBody, "largest accepted request body in bytes")
+		shutTimeout = fs.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,8 +103,36 @@ func serveCtx(ctx context.Context, args []string, out io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("at least one -model is required")
 	}
+	if *maxConc < 0 {
+		return fmt.Errorf("-max-concurrent must be >= 0, got %d", *maxConc)
+	}
+	if *maxConc == 0 && (*maxQueue != 0 || *queueBudget != 0) {
+		return fmt.Errorf("-max-queue and -queue-budget require -max-concurrent > 0")
+	}
+	if *maxQueue < 0 {
+		return fmt.Errorf("-max-queue must be >= 0, got %d", *maxQueue)
+	}
+	if *queueBudget < 0 {
+		return fmt.Errorf("-queue-budget must be >= 0, got %v", *queueBudget)
+	}
+	if *reqTimeout < 0 {
+		return fmt.Errorf("-request-timeout must be >= 0, got %v", *reqTimeout)
+	}
+	if *maxBody <= 0 {
+		return fmt.Errorf("-max-body must be > 0, got %d", *maxBody)
+	}
+	if *shutTimeout <= 0 {
+		return fmt.Errorf("-shutdown-timeout must be > 0, got %v", *shutTimeout)
+	}
 
-	reg := serve.NewRegistry(serve.Options{BatchSize: *batch, Workers: *workers, LatencyWindow: *latWindow})
+	reg := serve.NewRegistry(serve.Options{
+		BatchSize:     *batch,
+		Workers:       *workers,
+		LatencyWindow: *latWindow,
+		MaxConcurrent: *maxConc,
+		MaxQueue:      *maxQueue,
+		QueueBudget:   *queueBudget,
+	})
 	defer reg.Close()
 	for _, spec := range models {
 		name, path := "", spec
@@ -105,7 +152,10 @@ func serveCtx(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: newHandler(reg)}
+	srv := &http.Server{Handler: newHandler(reg, handlerOptions{
+		RequestTimeout: *reqTimeout,
+		MaxBody:        *maxBody,
+	})}
 	fmt.Fprintf(out, "listening on http://%s (default model %q)\n", ln.Addr(), reg.Default())
 
 	errCh := make(chan error, 1)
@@ -113,7 +163,7 @@ func serveCtx(ctx context.Context, args []string, out io.Writer) error {
 	select {
 	case <-ctx.Done():
 		fmt.Fprintln(out, "shutting down")
-		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		sctx, cancel := context.WithTimeout(context.Background(), *shutTimeout)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
 			return err
@@ -175,6 +225,10 @@ type modelInfo struct {
 	Provenance model.Provenance `json:"provenance"`
 	Requests   uint64           `json:"requests"`
 	Rows       uint64           `json:"rows"`
+	Shed       uint64           `json:"shed"`
+	Deadline   uint64           `json:"deadline"`
+	Inflight   int              `json:"inflight"`
+	Queued     int              `json:"queued"`
 	P50Millis  float64          `json:"p50_ms"`
 	P99Millis  float64          `json:"p99_ms"`
 	Drift      []driftInfo      `json:"drift,omitempty"`
@@ -195,8 +249,26 @@ type reloadRequest struct {
 	Path  string `json:"path,omitempty"`
 }
 
+// defaultMaxBody bounds request bodies when -max-body is not set.
+const defaultMaxBody = 32 << 20
+
+// handlerOptions carries the per-request hardening knobs into the API.
+type handlerOptions struct {
+	// RequestTimeout caps each /v1/assign request (0 = none).
+	RequestTimeout time.Duration
+	// MaxBody bounds request bodies in bytes (0 = defaultMaxBody).
+	MaxBody int64
+}
+
+func (o handlerOptions) maxBody() int64 {
+	if o.MaxBody <= 0 {
+		return defaultMaxBody
+	}
+	return o.MaxBody
+}
+
 // newHandler builds the fairserved HTTP API over a registry.
-func newHandler(reg *serve.Registry) http.Handler {
+func newHandler(reg *serve.Registry, opts handlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -210,7 +282,7 @@ func newHandler(reg *serve.Registry) http.Handler {
 			httpError(w, http.StatusMethodNotAllowed, "POST only")
 			return
 		}
-		handleAssign(reg, w, r)
+		handleAssign(reg, opts, w, r)
 	})
 	mux.HandleFunc("/v1/models", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -228,8 +300,8 @@ func newHandler(reg *serve.Registry) http.Handler {
 			return
 		}
 		var req reloadRequest
-		if err := decodeJSON(r, &req); err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
+		if err := decodeJSON(w, r, &req, opts.maxBody()); err != nil {
+			httpError(w, bodyErrStatus(err), err.Error())
 			return
 		}
 		name := req.Model
@@ -258,10 +330,10 @@ func newHandler(reg *serve.Registry) http.Handler {
 	return mux
 }
 
-func handleAssign(reg *serve.Registry, w http.ResponseWriter, r *http.Request) {
+func handleAssign(reg *serve.Registry, opts handlerOptions, w http.ResponseWriter, r *http.Request) {
 	var req assignRequest
-	if err := decodeJSON(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+	if err := decodeJSON(w, r, &req, opts.maxBody()); err != nil {
+		httpError(w, bodyErrStatus(err), err.Error())
 		return
 	}
 	single := req.Features != nil
@@ -297,9 +369,29 @@ func handleAssign(reg *serve.Registry, w http.ResponseWriter, r *http.Request) {
 			sensitive[i] = row.Sensitive
 		}
 	}
-	clusters, dists, err := a.AssignBatch(features, sensitive)
+	ctx := r.Context()
+	if opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.RequestTimeout)
+		defer cancel()
+	}
+	clusters, dists, err := a.AssignBatchCtx(ctx, features, sensitive)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		var shed *serve.ShedError
+		switch {
+		case errors.As(err, &shed):
+			// Overload: tell well-behaved clients when to come back.
+			secs := int64((shed.RetryAfter + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+			httpError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			httpError(w, http.StatusBadRequest, err.Error())
+		}
 		return
 	}
 	resp := assignResponse{
@@ -332,6 +424,10 @@ func modelInfos(reg *serve.Registry) []modelInfo {
 			Provenance: m.Provenance,
 			Requests:   st.Requests,
 			Rows:       st.Rows,
+			Shed:       st.Shed,
+			Deadline:   st.Deadline,
+			Inflight:   st.Inflight,
+			Queued:     st.Queued,
 			P50Millis:  float64(st.P50) / float64(time.Millisecond),
 			P99Millis:  float64(st.P99) / float64(time.Millisecond),
 		}
@@ -374,6 +470,26 @@ func writeMetrics(w io.Writer, reg *serve.Registry) {
 	for i, e := range entries {
 		fmt.Fprintf(w, "fairserved_rows_total{model=%q} %d\n", e.Name, stats[i].Rows)
 	}
+	fmt.Fprintf(w, "# HELP fairserved_shed_total Requests rejected by admission control per model.\n")
+	fmt.Fprintf(w, "# TYPE fairserved_shed_total counter\n")
+	for i, e := range entries {
+		fmt.Fprintf(w, "fairserved_shed_total{model=%q} %d\n", e.Name, stats[i].Shed)
+	}
+	fmt.Fprintf(w, "# HELP fairserved_deadline_total Requests failed by their deadline per model.\n")
+	fmt.Fprintf(w, "# TYPE fairserved_deadline_total counter\n")
+	for i, e := range entries {
+		fmt.Fprintf(w, "fairserved_deadline_total{model=%q} %d\n", e.Name, stats[i].Deadline)
+	}
+	fmt.Fprintf(w, "# HELP fairserved_inflight Admitted requests currently scoring per model.\n")
+	fmt.Fprintf(w, "# TYPE fairserved_inflight gauge\n")
+	for i, e := range entries {
+		fmt.Fprintf(w, "fairserved_inflight{model=%q} %d\n", e.Name, stats[i].Inflight)
+	}
+	fmt.Fprintf(w, "# HELP fairserved_queue_depth Requests waiting for an admission slot per model.\n")
+	fmt.Fprintf(w, "# TYPE fairserved_queue_depth gauge\n")
+	for i, e := range entries {
+		fmt.Fprintf(w, "fairserved_queue_depth{model=%q} %d\n", e.Name, stats[i].Queued)
+	}
 	fmt.Fprintf(w, "# HELP fairserved_request_latency_seconds Request latency quantiles over the recent window.\n")
 	fmt.Fprintf(w, "# TYPE fairserved_request_latency_seconds summary\n")
 	for i, e := range entries {
@@ -401,17 +517,31 @@ func writeMetrics(w io.Writer, reg *serve.Registry) {
 	}
 }
 
-// decodeJSON strictly decodes one JSON body.
-func decodeJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 32<<20))
+// decodeJSON strictly decodes one JSON body of at most maxBody bytes:
+// unknown fields, trailing data, and oversized payloads are all
+// rejected rather than silently accepted or read unboundedly. The
+// *http.MaxBytesError from an oversized body is preserved in the wrap
+// so bodyErrStatus can map it to 413.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any, maxBody int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("bad request body: %s", cli.FirstLine(err))
+		return fmt.Errorf("bad request body: %w", err)
 	}
 	if dec.More() {
 		return errors.New("bad request body: trailing data")
 	}
 	return nil
+}
+
+// bodyErrStatus maps a decodeJSON failure to its status: 413 when the
+// body blew the -max-body bound, 400 for everything else.
+func bodyErrStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

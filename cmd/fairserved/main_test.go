@@ -48,7 +48,7 @@ func newTestServer(t *testing.T, path string) (*httptest.Server, *serve.Registry
 	if _, err := reg.Load("prod", path); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newHandler(reg))
+	ts := httptest.NewServer(newHandler(reg, handlerOptions{}))
 	t.Cleanup(func() { ts.Close(); reg.Close() })
 	return ts, reg
 }

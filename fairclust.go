@@ -313,11 +313,18 @@ type ModelScaling = model.Scaling
 // configuration.
 type Assigner = serve.Assigner
 
-// AssignerOptions configures the Assigner's worker pool.
+// AssignerOptions configures the Assigner's worker pool and, when
+// MaxConcurrent is set, its admission control (bounded queue +
+// wait-budget load shedding).
 type AssignerOptions = serve.Options
 
 // ModelRegistry is a named set of served models with atomic hot-swap.
 type ModelRegistry = serve.Registry
+
+// IsShedError reports whether an assignment error is an
+// admission-control rejection: the server is over capacity and the
+// caller should back off and retry (the server itself is healthy).
+func IsShedError(err error) bool { return serve.IsShed(err) }
 
 // NewModel builds a model artifact from a completed solve: the dataset
 // (or weighted summary) it ran on, per-row weights (nil for unit

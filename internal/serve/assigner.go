@@ -7,7 +7,7 @@
 //   - Assigner: answers single and batch queries for one immutable
 //     model through a micro-batching worker pool, and accumulates
 //     per-model serving statistics (request/row counters, latency
-//     quantiles, fairness drift).
+//     quantiles, fairness drift, shed/deadline counts).
 //   - Registry: a named set of Assigners with atomic hot-swap — a
 //     reload under traffic lets in-flight requests finish on the model
 //     they started with while new requests see the new one.
@@ -25,9 +25,24 @@
 // by row position, so batch order is preserved. This contract is pinned
 // by TestAssignerDeterministic (every worker×batch combination, under
 // -race).
+//
+// # Overload
+//
+// With Options.MaxConcurrent set, each Assigner runs behind an
+// admission gate: at most MaxConcurrent requests score at once, at most
+// MaxQueue wait for a slot, and (with QueueBudget) arrivals whose
+// estimated queue wait already exceeds the budget are rejected with a
+// ShedError instead of queueing — shed, don't collapse. Request
+// contexts propagate through AssignCtx/AssignBatchCtx: a deadline that
+// expires while queued or mid-batch aborts the request (wrapping
+// context.DeadlineExceeded) rather than scoring rows nobody is waiting
+// for. Limits are per model: every Assigner a Registry constructs gets
+// its own independent gate.
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -52,6 +67,27 @@ type Options struct {
 	// LatencyWindow is how many recent request latencies the p50/p99
 	// estimates are computed over; <= 0 means 1024.
 	LatencyWindow int
+
+	// MaxConcurrent caps how many requests may score on this model at
+	// once; <= 0 disables admission control entirely (no queue bound,
+	// no shedding — the pre-overload-control behavior).
+	MaxConcurrent int
+	// MaxQueue bounds how many requests may wait for a slot when
+	// MaxConcurrent is set; <= 0 means DefaultMaxQueue. Arrivals beyond
+	// the bound are rejected with a ShedError.
+	MaxQueue int
+	// QueueBudget, when positive, sheds arrivals whose estimated queue
+	// wait (queued requests × smoothed service time / slots) already
+	// exceeds it: the request would blow its latency budget anyway, so
+	// reject it now and keep the queue short.
+	QueueBudget time.Duration
+
+	// ScoreHook, when non-nil, runs once per scoring task (micro-batch
+	// in the pooled path, whole request in the inline path) before any
+	// distances are computed. It exists ONLY for fault-injection tests —
+	// simulating slow or stalled workers — and must be nil in
+	// production.
+	ScoreHook func(rows int)
 }
 
 func (o Options) withDefaults() Options {
@@ -64,12 +100,19 @@ func (o Options) withDefaults() Options {
 	if o.LatencyWindow <= 0 {
 		o.LatencyWindow = 1024
 	}
+	if o.MaxConcurrent > 0 && o.MaxQueue <= 0 {
+		o.MaxQueue = DefaultMaxQueue
+	}
 	return o
 }
 
 // task is one micro-batch: score rows[i] and write the winning cluster
-// (and squared distance) into the caller's result slots.
+// (and squared distance) into the caller's result slots. ctx, when
+// non-nil, is the owning request's context — a worker picking up a task
+// whose request already gave up skips the scoring and frees itself for
+// live traffic.
 type task struct {
+	ctx   context.Context
 	rows  [][]float64
 	out   []int
 	dists []float64 // may be nil
@@ -83,6 +126,7 @@ type Assigner struct {
 	opts Options
 
 	tasks chan task
+	gate  *gate // nil when admission control is off
 
 	// closeMu serializes request entry against Close, so the pool is
 	// only torn down once every admitted request has drained. Requests
@@ -109,6 +153,7 @@ func NewAssigner(m *model.Model, opts Options) (*Assigner, error) {
 		m:     m,
 		opts:  opts,
 		tasks: make(chan task),
+		gate:  newGate(opts),
 		stats: newTracker(m, opts.LatencyWindow),
 	}
 	for w := 0; w < opts.Workers; w++ {
@@ -125,6 +170,12 @@ func (a *Assigner) Options() Options { return a.opts }
 
 func (a *Assigner) worker() {
 	for t := range a.tasks {
+		if t.ctx != nil && t.ctx.Err() != nil {
+			// The request already gave up (deadline/cancel): don't burn
+			// the worker scoring rows nobody will read.
+			t.wg.Done()
+			continue
+		}
 		a.score(t.rows, t.out, t.dists)
 		t.wg.Done()
 	}
@@ -132,6 +183,9 @@ func (a *Assigner) worker() {
 
 // score labels rows sequentially into the caller's slots.
 func (a *Assigner) score(rows [][]float64, out []int, dists []float64) {
+	if h := a.opts.ScoreHook; h != nil {
+		h(len(rows))
+	}
 	for i, x := range rows {
 		c, d := a.m.AssignDist(x)
 		out[i] = c
@@ -168,15 +222,52 @@ func (a *Assigner) Close() {
 	close(a.tasks)
 }
 
+// admitErr classifies a gate rejection for the caller: shed errors pass
+// through (IsShed), context errors are counted and wrapped so
+// errors.Is(err, context.DeadlineExceeded) still works.
+func (a *Assigner) admitErr(err error) error {
+	if IsShed(err) {
+		a.stats.shed.Add(1)
+		return err
+	}
+	return a.ctxErr(err, "while queued")
+}
+
+// ctxErr wraps a context expiry into the request error, counting it.
+func (a *Assigner) ctxErr(err error, when string) error {
+	a.stats.deadline.Add(1)
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("serve: model %q: deadline exceeded %s: %w", a.m.Name, when, err)
+	}
+	return fmt.Errorf("serve: model %q: request canceled %s: %w", a.m.Name, when, err)
+}
+
 // Assign labels one feature vector (already in the model's trained
 // space if the artifact carries Scaling — see AssignRaw). The
 // sensitive values, when non-nil, feed the drift tracker; they are keyed
 // by attribute name and never influence the assignment itself.
 func (a *Assigner) Assign(x []float64, sensitive map[string]string) (cluster int, dist float64, err error) {
+	return a.AssignCtx(context.Background(), x, sensitive)
+}
+
+// AssignCtx is Assign under a request context: it passes the admission
+// gate (when configured) and honors the context's deadline while
+// queued. Shed requests return a ShedError; expired ones wrap ctx.Err().
+func (a *Assigner) AssignCtx(ctx context.Context, x []float64, sensitive map[string]string) (cluster int, dist float64, err error) {
 	if len(x) != a.m.Dim() {
 		return 0, 0, fmt.Errorf("serve: query has %d features, model %q expects %d", len(x), a.m.Name, a.m.Dim())
 	}
 	start := time.Now()
+	if a.gate != nil {
+		if err := a.gate.acquire(ctx); err != nil {
+			return 0, 0, a.admitErr(err)
+		}
+		admitted := time.Now()
+		defer func() { a.gate.release(time.Since(admitted)) }()
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, 0, a.ctxErr(err, "before scoring")
+	}
 	cluster, dist = a.m.AssignDist(x)
 	a.stats.record(1, time.Since(start))
 	if sensitive != nil {
@@ -191,6 +282,17 @@ func (a *Assigner) Assign(x []float64, sensitive map[string]string) (cluster int
 // the drift tracker. Results are deterministic and identical for every
 // pool configuration.
 func (a *Assigner) AssignBatch(rows [][]float64, sensitive []map[string]string) ([]int, []float64, error) {
+	return a.AssignBatchCtx(context.Background(), rows, sensitive)
+}
+
+// AssignBatchCtx is AssignBatch under a request context. The context's
+// deadline is honored at every stage: while waiting for admission,
+// between micro-batches, and while waiting for pool workers — an
+// expired request returns an error wrapping context.DeadlineExceeded
+// (no partial results) and frees the caller immediately, even if a
+// stalled worker is still pinned on one of its micro-batches (the
+// orphaned task writes into slots nothing reads anymore).
+func (a *Assigner) AssignBatchCtx(ctx context.Context, rows [][]float64, sensitive []map[string]string) ([]int, []float64, error) {
 	dim := a.m.Dim()
 	for i, x := range rows {
 		if len(x) != dim {
@@ -201,6 +303,16 @@ func (a *Assigner) AssignBatch(rows [][]float64, sensitive []map[string]string) 
 		return nil, nil, fmt.Errorf("serve: %d sensitive records for %d rows", len(sensitive), len(rows))
 	}
 	start := time.Now()
+	if a.gate != nil {
+		if err := a.gate.acquire(ctx); err != nil {
+			return nil, nil, a.admitErr(err)
+		}
+		admitted := time.Now()
+		defer func() { a.gate.release(time.Since(admitted)) }()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, a.ctxErr(err, "before scoring")
+	}
 	out := make([]int, len(rows))
 	dists := make([]float64, len(rows))
 
@@ -208,19 +320,70 @@ func (a *Assigner) AssignBatch(rows [][]float64, sensitive []map[string]string) 
 	if len(rows) <= batch || a.opts.Workers <= 1 || !a.enter() {
 		// Small batches, single-worker pools and closed (swapped-out)
 		// assigners score inline: identical results, no pool round trip.
-		a.score(rows, out, dists)
+		// The deadline is still checked between micro-batch strides.
+		for lo := 0; lo < len(rows); lo += batch {
+			if lo > 0 && ctx.Err() != nil {
+				return nil, nil, a.ctxErr(ctx.Err(), "mid-batch")
+			}
+			hi := lo + batch
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			a.score(rows[lo:hi], out[lo:hi], dists[lo:hi])
+		}
+		if err := ctx.Err(); err != nil {
+			// The deadline passed while scoring (e.g. a stalled stride):
+			// the caller already gave up, so this is a late failure, not
+			// a success whose latency belongs in the accepted stats.
+			return nil, nil, a.ctxErr(err, "mid-batch")
+		}
 	} else {
-		var wg sync.WaitGroup
+		var tctx context.Context
+		if ctx.Done() != nil {
+			tctx = ctx // only pay the per-task check when it can fire
+		}
+		wg := &sync.WaitGroup{}
+		expired := false
+	submit:
 		for lo := 0; lo < len(rows); lo += batch {
 			hi := lo + batch
 			if hi > len(rows) {
 				hi = len(rows)
 			}
 			wg.Add(1)
-			a.tasks <- task{rows: rows[lo:hi], out: out[lo:hi], dists: dists[lo:hi], wg: &wg}
+			select {
+			case a.tasks <- task{ctx: tctx, rows: rows[lo:hi], out: out[lo:hi], dists: dists[lo:hi], wg: wg}:
+			case <-ctx.Done():
+				wg.Done()
+				expired = true
+				break submit
+			}
 		}
-		wg.Wait()
+		if !expired && tctx != nil {
+			// Wait for the fan-out, but never past the deadline: a
+			// stalled worker must cost a pool goroutine, not the request.
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-ctx.Done():
+				expired = true
+			}
+		} else if !expired {
+			wg.Wait()
+		}
+		if expired {
+			// Free the caller now; inflight drops only once the orphaned
+			// micro-batches drain, so Close still can't truncate them.
+			go func() { wg.Wait(); a.inflight.Done() }()
+			return nil, nil, a.ctxErr(ctx.Err(), "mid-batch")
+		}
 		a.inflight.Done()
+		if err := ctx.Err(); err != nil {
+			// Workers may have skipped tasks after expiry; the slots are
+			// unreliable, so the request fails as a whole.
+			return nil, nil, a.ctxErr(err, "mid-batch")
+		}
 	}
 
 	a.stats.record(len(rows), time.Since(start))
@@ -243,8 +406,15 @@ func (a *Assigner) AssignRaw(x []float64, sensitive map[string]string) (int, flo
 	return a.Assign(x, sensitive)
 }
 
-// Stats snapshots the serving counters.
-func (a *Assigner) Stats() Stats { return a.stats.snapshot() }
+// Stats snapshots the serving counters, including the admission gauges
+// when a gate is configured.
+func (a *Assigner) Stats() Stats {
+	s := a.stats.snapshot()
+	if a.gate != nil {
+		s.Inflight, s.Queued = a.gate.depth()
+	}
+	return s
+}
 
 // Drift reports observed-vs-training fairness per categorical
 // attribute.

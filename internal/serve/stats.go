@@ -14,10 +14,21 @@ import (
 
 // Stats is a point-in-time snapshot of one Assigner's serving counters.
 type Stats struct {
-	// Requests counts Assign/AssignBatch calls; Rows counts labelled
-	// feature vectors (a batch of 100 is 1 request, 100 rows).
+	// Requests counts completed Assign/AssignBatch calls; Rows counts
+	// labelled feature vectors (a batch of 100 is 1 request, 100 rows).
 	Requests uint64
 	Rows     uint64
+	// Shed counts requests rejected by admission control (ShedError);
+	// Deadline counts requests whose context expired — queued or
+	// mid-batch — before completion. Neither contributes to
+	// Requests/Rows or the latency quantiles.
+	Shed     uint64
+	Deadline uint64
+	// Inflight and Queued are instantaneous admission-gate gauges:
+	// requests holding scoring slots and requests waiting for one.
+	// Always zero when admission control is off.
+	Inflight int
+	Queued   int
 	// P50 and P99 are request latency quantiles over the most recent
 	// LatencyWindow requests (zero until the first request).
 	P50 time.Duration
@@ -31,6 +42,8 @@ type tracker struct {
 
 	requests atomic.Uint64
 	rows     atomic.Uint64
+	shed     atomic.Uint64
+	deadline atomic.Uint64
 
 	latMu  sync.Mutex
 	ring   []time.Duration
@@ -123,7 +136,12 @@ func (t *tracker) observe(cluster int, sensitive map[string]string) {
 }
 
 func (t *tracker) snapshot() Stats {
-	s := Stats{Requests: t.requests.Load(), Rows: t.rows.Load()}
+	s := Stats{
+		Requests: t.requests.Load(),
+		Rows:     t.rows.Load(),
+		Shed:     t.shed.Load(),
+		Deadline: t.deadline.Load(),
+	}
 	t.latMu.Lock()
 	n := t.pos
 	if t.filled {
