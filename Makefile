@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench bench-smoke
+.PHONY: all build test vet bench bench-smoke bench-check
 
 all: vet build test
 
@@ -30,13 +30,36 @@ vet:
 # (BenchmarkLoad, offered rates {500,2000,8000} req/s against an
 # in-process admission-controlled registry; rows/s, accepted p99,
 # shed fraction, SLO verdict per operating point).
+# BENCH_kernels.json is the frozen PR 7 baseline for the pruned
+# nearest-centroid kernels (BenchmarkLloyd kernel={pruned,full} and
+# the BenchmarkServe workers×batch grid + kernel k-sweep); it is NOT
+# re-recorded by this target — `make bench-check` diffs fresh
+# recordings against it.
+# Guarded recordings use -count 3: benchguard compares the minimum
+# ns/op across counts (the repeatable floor), which is what keeps a
+# ±5% bar meaningful on a shared box where CPU steal inflates single
+# runs by 10%+.
 bench:
-	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkSweep|BenchmarkBestMove|BenchmarkRunAdult' -benchtime 1s -json > BENCH_engine.json
+	$(GO) test ./internal/core ./internal/kmeans -run '^$$' -bench 'BenchmarkSweep|BenchmarkBestMove|BenchmarkRunAdult|BenchmarkLloyd' -benchtime 1s -count 3 -json > BENCH_engine.json
 	$(GO) test . -run '^$$' -bench 'BenchmarkStream' -benchtime 1x -count 3 -json > BENCH_stream.json
 	$(GO) test . -run '^$$' -bench 'BenchmarkShard' -benchtime 1x -count 3 -json > BENCH_shard.json
-	$(GO) test ./internal/serve -run '^$$' -bench 'BenchmarkServe' -benchtime 1s -json > BENCH_serve.json
+	$(GO) test ./internal/serve -run '^$$' -bench 'BenchmarkServe' -benchtime 1s -count 3 -json > BENCH_serve.json
 	$(GO) test ./internal/load -run '^$$' -bench 'BenchmarkLoad' -benchtime 1x -json > BENCH_load.json
-	$(GO) test ./internal/stats -run '^$$' -bench 'BenchmarkDot|BenchmarkSqDist|BenchmarkZipf' -benchtime 1s
+	$(GO) test ./internal/stats -run '^$$' -bench 'BenchmarkDot|BenchmarkSqDist|BenchmarkZipf|BenchmarkNearest' -benchtime 1s
+
+# bench-check guards the recorded perf trajectory: after `make bench`,
+# diff the fresh recordings against the frozen baselines (exit 2 on
+# regression). BENCH_sweep.json froze the pre-engine sweep kernels
+# (PR 1) and holds at ±5%; BENCH_kernels.json froze the pruned Lloyd +
+# serving kernels (PR 7) and gets ±15%, because on the 1-CPU shared
+# reference box the min-of-3 floor of the Lloyd/serve benchmarks still
+# drifts ±10% between back-to-back no-op recordings (measured while
+# freezing the baseline) — a genuine pruning regression (losing the
+# 1.5–2× win at k=150) blows far past 15%, noise does not.
+bench-check:
+	$(GO) run ./cmd/benchguard -baseline BENCH_sweep.json -current BENCH_engine.json -match 'BenchmarkSweep/|BenchmarkBestMove/' -tol 0.05
+	$(GO) run ./cmd/benchguard -baseline BENCH_kernels.json -current BENCH_engine.json -match 'BenchmarkLloyd/' -tol 0.15
+	$(GO) run ./cmd/benchguard -baseline BENCH_kernels.json -current BENCH_serve.json -match 'BenchmarkServe/' -tol 0.15
 
 # bench-smoke just proves the benchmarks still compile and run (CI).
 bench-smoke:
@@ -44,5 +67,7 @@ bench-smoke:
 	$(GO) test . -run '^$$' -bench 'BenchmarkStream/stream' -benchtime 1x
 	$(GO) test . -run '^$$' -bench 'BenchmarkShard/shards=2/adult6500' -benchtime 1x
 	$(GO) test ./internal/serve -run '^$$' -bench 'BenchmarkServe/workers=1/batch=64' -benchtime 1x
+	$(GO) test ./internal/serve -run '^$$' -bench 'BenchmarkServe/kernel=' -benchtime 1x
+	$(GO) test ./internal/kmeans -run '^$$' -bench 'BenchmarkLloyd' -benchtime 1x
 	$(GO) test ./internal/load -run '^$$' -bench 'BenchmarkLoad/rate=500' -benchtime 1x
-	$(GO) test ./internal/stats -run '^$$' -bench 'BenchmarkDot|BenchmarkSqDist|BenchmarkZipf' -benchtime 1x
+	$(GO) test ./internal/stats -run '^$$' -bench 'BenchmarkDot|BenchmarkSqDist|BenchmarkZipf|BenchmarkNearest' -benchtime 1x

@@ -1,0 +1,127 @@
+// Command benchguard compares two recorded `go test -bench -json`
+// event streams and fails when a benchmark regressed past a
+// tolerance. It is the automated form of the "re-recorded
+// BENCH_*.json must stay within 5% of the frozen baseline" rule the
+// Makefile has documented in prose since PR 2:
+//
+//	benchguard -baseline BENCH_sweep.json -current BENCH_engine.json \
+//	    -match 'BenchmarkSweep|BenchmarkBestMove' -tol 0.05
+//
+// Exit codes: 0 all matched benchmarks within tolerance, 1 usage or
+// parse error (including a baseline benchmark missing from the
+// current recording), 2 at least one regression.
+//
+// Only ns/op is compared. When a stream holds several samples of the
+// same benchmark (-count > 1), the minimum is used on both sides —
+// the repeatable floor of the kernel, not scheduler noise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "frozen `go test -bench -json` event stream")
+		currentPath  = flag.String("current", "", "freshly recorded event stream to check")
+		match        = flag.String("match", ".", "regexp selecting benchmark names to compare")
+		tol          = flag.Float64("tol", 0.05, "allowed fractional ns/op increase over baseline")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchguard -baseline FILE -current FILE [-match RE] [-tol FRAC]")
+		os.Exit(1)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: bad -match: %v\n", err)
+		os.Exit(1)
+	}
+
+	base, err := parseFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+	cur, err := parseFile(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep := compare(base, cur, re, *tol)
+	for _, line := range rep.lines {
+		fmt.Println(line)
+	}
+	switch {
+	case rep.regressions > 0:
+		fmt.Fprintf(os.Stderr, "benchguard: %d regression(s) beyond %.0f%%\n", rep.regressions, *tol*100)
+		os.Exit(2)
+	case rep.missing > 0:
+		fmt.Fprintf(os.Stderr, "benchguard: %d baseline benchmark(s) missing from current recording\n", rep.missing)
+		os.Exit(1)
+	case rep.compared == 0:
+		fmt.Fprintf(os.Stderr, "benchguard: -match %q selected no benchmarks\n", *match)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d benchmark(s) within %.0f%% of baseline\n", rep.compared, *tol*100)
+}
+
+func parseFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res, err := parseStream(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return res, nil
+}
+
+type report struct {
+	lines       []string
+	compared    int
+	regressions int
+	missing     int
+}
+
+// compare checks every baseline benchmark whose name matches re
+// against the current recording. Benchmarks only present in the
+// current stream are ignored: new benchmarks get frozen into the
+// baseline when it is re-recorded, they are not regressions.
+func compare(base, cur map[string]float64, re *regexp.Regexp, tol float64) report {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var rep report
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			rep.missing++
+			rep.lines = append(rep.lines, fmt.Sprintf("MISSING %-60s baseline %.0f ns/op", name, b))
+			continue
+		}
+		rep.compared++
+		ratio := c / b
+		verdict := "ok"
+		if ratio > 1+tol {
+			verdict = "REGRESSED"
+			rep.regressions++
+		}
+		rep.lines = append(rep.lines, fmt.Sprintf("%-9s %-60s %12.0f -> %12.0f ns/op  (%+.1f%%)",
+			verdict, name, b, c, (ratio-1)*100))
+	}
+	return rep
+}

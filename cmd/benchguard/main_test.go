@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// stream builds a test2json-shaped event stream with the name and the
+// numbers split across output events, the way `go test -json`
+// actually emits benchmark results.
+func stream(results ...[3]string) string { // {test, nsOp, extra}
+	var b strings.Builder
+	b.WriteString(`{"Action":"start","Package":"repro/internal/x"}` + "\n")
+	b.WriteString(`{"Action":"output","Package":"repro/internal/x","Output":"goos: linux\n"}` + "\n")
+	for _, r := range results {
+		test, ns := r[0], r[1]
+		fmt.Fprintf(&b, `{"Action":"run","Package":"repro/internal/x","Test":%q}`+"\n", test)
+		fmt.Fprintf(&b, `{"Action":"output","Package":"repro/internal/x","Test":%q,"Output":%q}`+"\n",
+			test, test+"         \t")
+		fmt.Fprintf(&b, `{"Action":"output","Package":"repro/internal/x","Test":%q,"Output":%q}`+"\n",
+			test, "     307\t   "+ns+" ns/op\t       0 B/op\t       0 allocs/op\n")
+	}
+	return b.String()
+}
+
+func TestParseStreamSplitLines(t *testing.T) {
+	got, err := parseStream(strings.NewReader(stream(
+		[3]string{"BenchmarkSweep/aggregate", "4051944", ""},
+		[3]string{"BenchmarkServe/kernel=indexed/k=150", "1690000.5", ""},
+	)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"repro/internal/x:BenchmarkSweep/aggregate":            4051944,
+		"repro/internal/x:BenchmarkServe/kernel=indexed/k=150": 1690000.5,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for k, v := range want {
+		if math.Abs(got[k]-v) > 1e-9 {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestParseStreamMinOfCount(t *testing.T) {
+	// -count 3 repeats the same benchmark; the floor wins.
+	got, err := parseStream(strings.NewReader(stream(
+		[3]string{"BenchmarkLloyd/kernel=pruned/k=50", "500", ""},
+		[3]string{"BenchmarkLloyd/kernel=pruned/k=50", "450", ""},
+		[3]string{"BenchmarkLloyd/kernel=pruned/k=50", "520", ""},
+	)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got["repro/internal/x:BenchmarkLloyd/kernel=pruned/k=50"]; v != 450 {
+		t.Fatalf("min ns/op = %v, want 450", v)
+	}
+}
+
+func TestParseStreamEmpty(t *testing.T) {
+	if _, err := parseStream(strings.NewReader(`{"Action":"start","Package":"p"}` + "\n")); err == nil {
+		t.Fatal("want error on stream with no benchmark results")
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	base := map[string]float64{
+		"p:BenchmarkSweep/naive":  1000,
+		"p:BenchmarkSweep/fused":  1000,
+		"p:BenchmarkGone":         1000,
+		"p:BenchmarkOther/ignore": 1000,
+	}
+	cur := map[string]float64{
+		"p:BenchmarkSweep/naive": 1049, // +4.9%: within tolerance
+		"p:BenchmarkSweep/fused": 1051, // +5.1%: regression
+		"p:BenchmarkNew":         10,   // only in current: ignored
+	}
+	rep := compare(base, cur, regexp.MustCompile(`BenchmarkSweep|BenchmarkGone`), 0.05)
+	if rep.compared != 2 {
+		t.Errorf("compared = %d, want 2", rep.compared)
+	}
+	if rep.regressions != 1 {
+		t.Errorf("regressions = %d, want 1", rep.regressions)
+	}
+	if rep.missing != 1 {
+		t.Errorf("missing = %d, want 1", rep.missing)
+	}
+	joined := strings.Join(rep.lines, "\n")
+	if !strings.Contains(joined, "REGRESSED") || !strings.Contains(joined, "fused") {
+		t.Errorf("report missing REGRESSED fused line:\n%s", joined)
+	}
+	if strings.Contains(joined, "ignore") || strings.Contains(joined, "BenchmarkNew") {
+		t.Errorf("report leaked unmatched/new benchmarks:\n%s", joined)
+	}
+}
+
+func TestCompareImprovementIsOK(t *testing.T) {
+	base := map[string]float64{"p:BenchmarkX": 1000}
+	cur := map[string]float64{"p:BenchmarkX": 400}
+	rep := compare(base, cur, regexp.MustCompile(`.`), 0.05)
+	if rep.regressions != 0 || rep.missing != 0 || rep.compared != 1 {
+		t.Fatalf("improvement misreported: %+v", rep)
+	}
+}

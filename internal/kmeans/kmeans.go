@@ -75,6 +75,13 @@ type Config struct {
 	// against frozen centroids is pure, results are bit-identical for
 	// every setting.
 	Parallelism int
+	// FullScan disables Hamerly triangle-inequality pruning: every row
+	// is scored with the naive k-way centroid scan each iteration. The
+	// pruned default is bit-identical to this path (assignments,
+	// iteration counts and objective bits — pinned by prune_test.go);
+	// the switch exists as the test/benchmark reference, not as a
+	// correctness knob.
+	FullScan bool
 	// Observer, when non-nil, receives per-iteration statistics
 	// (moves, objective, elapsed wall-clock).
 	Observer engine.Observer
@@ -115,6 +122,7 @@ type lloyd struct {
 	k        int
 	assign   []int
 	frozen   [][]float64
+	prune    *pruner // nil → naive full scan every row
 }
 
 func (l *lloyd) N() int                   { return len(l.features) }
@@ -132,8 +140,12 @@ func (l *lloyd) Delta(i, from, to int) float64 {
 func (l *lloyd) Value() float64 { return SSE(l.features, l.assign, l.frozen) }
 
 // nearest applies the shared nearestCentroid rule against the frozen
-// centroids.
+// centroids, through the Hamerly pruner when one is attached (the
+// pruned result is bit-identical; see prune.go).
 func (l *lloyd) nearest(i int) int {
+	if l.prune != nil {
+		return l.prune.bestMove(i, l.assign[i], l.frozen)
+	}
 	return nearestCentroid(l.features[i], l.frozen)
 }
 
@@ -145,6 +157,9 @@ type lloydSnap lloyd
 
 func (s *lloydSnap) Freeze() {
 	s.frozen = computeCentroids(s.features, s.assign, s.k)
+	if s.prune != nil {
+		s.prune.refresh(s.frozen, s.assign)
+	}
 }
 
 func (s *lloydSnap) BestMove(i, from int) int { return (*lloyd)(s).nearest(i) }
@@ -181,6 +196,9 @@ func Run(features [][]float64, cfg Config) (*Result, error) {
 		features: features,
 		k:        cfg.K,
 		assign:   initialAssign(features, nil, &cfg),
+	}
+	if !cfg.FullScan {
+		obj.prune = newPruner(features)
 	}
 
 	er := engine.Solve(obj, engine.NewLloydSweep(obj, workers), engine.Config{

@@ -70,6 +70,9 @@ func RunWeighted(features [][]float64, weights []float64, cfg Config) (*Result, 
 		k:        cfg.K,
 		assign:   initialAssign(features, weights, &cfg),
 	}
+	if !cfg.FullScan {
+		obj.prune = newPruner(features)
+	}
 
 	er := engine.Solve(obj, engine.NewLloydSweep(obj, workers), engine.Config{
 		MaxIter:  maxIter,
@@ -100,13 +103,22 @@ type lloydWeighted struct {
 	k        int
 	assign   []int
 	frozen   [][]float64
+	prune    *pruner // nil → naive full scan every row
 }
 
-func (l *lloydWeighted) N() int               { return len(l.features) }
-func (l *lloydWeighted) K() int               { return l.k }
-func (l *lloydWeighted) Current(i int) int    { return l.assign[i] }
-func (l *lloydWeighted) Move(i, from, to int) { l.assign[i] = to }
-func (l *lloydWeighted) BestMove(i, from int) int {
+func (l *lloydWeighted) N() int                   { return len(l.features) }
+func (l *lloydWeighted) K() int                   { return l.k }
+func (l *lloydWeighted) Current(i int) int        { return l.assign[i] }
+func (l *lloydWeighted) Move(i, from, to int)     { l.assign[i] = to }
+func (l *lloydWeighted) BestMove(i, from int) int { return l.nearest(i) }
+
+// nearest mirrors lloyd.nearest: scoring is mass-independent, so the
+// weighted path shares the pruner (bounds are plain Euclidean
+// distances; weights never enter the nearest-centroid decision).
+func (l *lloydWeighted) nearest(i int) int {
+	if l.prune != nil {
+		return l.prune.bestMove(i, l.assign[i], l.frozen)
+	}
 	return nearestCentroid(l.features[i], l.frozen)
 }
 func (l *lloydWeighted) Delta(i, from, to int) float64 {
@@ -128,10 +140,13 @@ type lloydWeightedSnap lloydWeighted
 
 func (s *lloydWeightedSnap) Freeze() {
 	s.frozen = weightedCentroids(s.features, s.weights, s.assign, s.k)
+	if s.prune != nil {
+		s.prune.refresh(s.frozen, s.assign)
+	}
 }
 
 func (s *lloydWeightedSnap) BestMove(i, from int) int {
-	return nearestCentroid(s.features[i], s.frozen)
+	return (*lloydWeighted)(s).nearest(i)
 }
 
 // nearestCentroid mirrors the historical assignAll rule shared by the

@@ -46,9 +46,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/stats"
 )
 
 // DefaultBatchSize is the micro-batch size when Options.BatchSize <= 0:
@@ -106,17 +108,46 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// task is one micro-batch: score rows[i] and write the winning cluster
-// (and squared distance) into the caller's result slots. ctx, when
-// non-nil, is the owning request's context — a worker picking up a task
-// whose request already gave up skips the scoring and frees itself for
-// live traffic.
-type task struct {
-	ctx   context.Context
+// batchJob is one batch request's shared work descriptor: participants
+// (pool workers plus, for deadline-free requests, the caller itself)
+// claim micro-batch strides with one atomic add each and score them
+// into the caller's result slots. This replaces the old
+// one-channel-send-per-micro-batch fan-out: dispatch cost is now one
+// channel handoff per PARTICIPANT instead of one per micro-batch, so
+// large batches no longer drown in pool overhead.
+//
+// wg counts participant EXITS, and a participant only exits once no
+// unclaimed stride remains and its own claimed strides are scored —
+// so wg.Wait() implies every stride is done, and implies no
+// participant will touch the job again, which is what makes the
+// sync.Pool reuse of jobs safe.
+type batchJob struct {
+	ctx   context.Context // non-nil only when cancellation can fire
 	rows  [][]float64
 	out   []int
-	dists []float64 // may be nil
-	wg    *sync.WaitGroup
+	dists []float64
+	batch int
+	next  atomic.Int64 // next unclaimed row offset
+	wg    sync.WaitGroup
+}
+
+// jobPool recycles batchJob descriptors so the steady-state batch path
+// allocates nothing beyond the result slices it returns.
+var jobPool = sync.Pool{New: func() any { return new(batchJob) }}
+
+func newJob(ctx context.Context, rows [][]float64, out []int, dists []float64, batch int) *batchJob {
+	j := jobPool.Get().(*batchJob)
+	j.ctx, j.rows, j.out, j.dists, j.batch = ctx, rows, out, dists, batch
+	j.next.Store(0)
+	return j
+}
+
+// putJob must only be called after j.wg.Wait() has returned (or before
+// the job was ever offered to a worker): the wg protocol guarantees no
+// participant touches the job afterwards.
+func putJob(j *batchJob) {
+	j.ctx, j.rows, j.out, j.dists = nil, nil, nil, nil
+	jobPool.Put(j)
 }
 
 // Assigner serves one immutable model. All methods are safe for
@@ -125,8 +156,18 @@ type Assigner struct {
 	m    *model.Model
 	opts Options
 
-	tasks chan task
-	gate  *gate // nil when admission control is off
+	// ix is the sorted-neighbor centroid index — norms and neighbor
+	// lists computed once per model install, never per batch — so all
+	// scoring goes through the pruned fused kernel
+	// (stats.CentroidIndex.Nearest): d² = ‖x‖² − 2·x·c + ‖c‖², with
+	// triangle-inequality early termination over neighbors of the
+	// running best. scratch pools the per-query visited marks so the
+	// steady-state hot path allocates nothing.
+	ix      *stats.CentroidIndex
+	scratch sync.Pool
+
+	jobs chan *batchJob
+	gate *gate // nil when admission control is off
 
 	// closeMu serializes request entry against Close, so the pool is
 	// only torn down once every admitted request has drained. Requests
@@ -152,10 +193,12 @@ func NewAssigner(m *model.Model, opts Options) (*Assigner, error) {
 	a := &Assigner{
 		m:     m,
 		opts:  opts,
-		tasks: make(chan task),
+		ix:    stats.NewCentroidIndex(m.Centroids),
+		jobs:  make(chan *batchJob),
 		gate:  newGate(opts),
 		stats: newTracker(m, opts.LatencyWindow),
 	}
+	a.scratch.New = func() any { return a.ix.NewScratch() }
 	for w := 0; w < opts.Workers; w++ {
 		go a.worker()
 	}
@@ -169,30 +212,63 @@ func (a *Assigner) Model() *model.Model { return a.m }
 func (a *Assigner) Options() Options { return a.opts }
 
 func (a *Assigner) worker() {
-	for t := range a.tasks {
-		if t.ctx != nil && t.ctx.Err() != nil {
-			// The request already gave up (deadline/cancel): don't burn
-			// the worker scoring rows nobody will read.
-			t.wg.Done()
-			continue
-		}
-		a.score(t.rows, t.out, t.dists)
-		t.wg.Done()
+	for j := range a.jobs {
+		a.runJob(j)
+		j.wg.Done()
 	}
 }
 
-// score labels rows sequentially into the caller's slots.
+// runJob claims and scores strides until none remain. Stride claiming
+// is one atomic add; the per-stride context check keeps the old
+// semantics that a worker never burns time scoring rows whose request
+// already gave up (it still drains the claims so wg settles).
+func (a *Assigner) runJob(j *batchJob) {
+	n := len(j.rows)
+	for {
+		lo := int(j.next.Add(int64(j.batch))) - j.batch
+		if lo >= n {
+			return
+		}
+		hi := min(lo+j.batch, n)
+		if j.ctx != nil && j.ctx.Err() != nil {
+			continue // request abandoned: drain without scoring
+		}
+		a.score(j.rows[lo:hi], j.out[lo:hi], j.dists[lo:hi])
+	}
+}
+
+// invite offers the job to up to n idle workers without blocking; each
+// successful handoff registers one participant. Busy workers are
+// simply not invited — whoever is already participating (for
+// deadline-free requests, at least the caller) covers the strides.
+func (a *Assigner) invite(j *batchJob, n int) {
+	for w := 0; w < n; w++ {
+		j.wg.Add(1)
+		select {
+		case a.jobs <- j:
+		default:
+			j.wg.Done()
+			return
+		}
+	}
+}
+
+// score labels rows into the caller's slots via the pruned fused
+// kernel — the exact kernel single queries use, so batch and single
+// results are identical bit for bit.
 func (a *Assigner) score(rows [][]float64, out []int, dists []float64) {
 	if h := a.opts.ScoreHook; h != nil {
 		h(len(rows))
 	}
+	sc := a.scratch.Get().(*stats.CentroidScratch)
 	for i, x := range rows {
-		c, d := a.m.AssignDist(x)
+		c, d := a.ix.Nearest(x, sc)
 		out[i] = c
 		if dists != nil {
 			dists[i] = d
 		}
 	}
+	a.scratch.Put(sc)
 }
 
 // enter admits a request into the pool, or reports that the pool is
@@ -219,7 +295,7 @@ func (a *Assigner) Close() {
 	a.closed = true
 	a.closeMu.Unlock()
 	a.inflight.Wait()
-	close(a.tasks)
+	close(a.jobs)
 }
 
 // admitErr classifies a gate rejection for the caller: shed errors pass
@@ -268,7 +344,9 @@ func (a *Assigner) AssignCtx(ctx context.Context, x []float64, sensitive map[str
 	if err := ctx.Err(); err != nil {
 		return 0, 0, a.ctxErr(err, "before scoring")
 	}
-	cluster, dist = a.m.AssignDist(x)
+	sc := a.scratch.Get().(*stats.CentroidScratch)
+	cluster, dist = a.ix.Nearest(x, sc)
+	a.scratch.Put(sc)
 	a.stats.record(1, time.Since(start))
 	if sensitive != nil {
 		a.stats.observe(cluster, sensitive)
@@ -337,51 +415,65 @@ func (a *Assigner) AssignBatchCtx(ctx context.Context, rows [][]float64, sensiti
 			// a success whose latency belongs in the accepted stats.
 			return nil, nil, a.ctxErr(err, "mid-batch")
 		}
+	} else if ctx.Done() == nil {
+		// Deadline-free pooled path: the caller is a guaranteed
+		// participant (it scores strides itself — no idle blocking, no
+		// goroutine per request), and idle workers join via invite. One
+		// channel handoff per joining worker is the entire dispatch
+		// cost, however many micro-batches the request spans.
+		j := newJob(nil, rows, out, dists, batch)
+		strides := (len(rows) + batch - 1) / batch
+		a.invite(j, min(a.opts.Workers, strides-1))
+		a.runJob(j)
+		j.wg.Wait()
+		putJob(j)
+		a.inflight.Done()
 	} else {
-		var tctx context.Context
-		if ctx.Done() != nil {
-			tctx = ctx // only pay the per-task check when it can fire
+		// Cancellable pooled path: the caller must never score (a
+		// stalled stride would pin it past its own deadline), so the
+		// first handoff blocks — bounded by the context — to guarantee
+		// a scorer, and the rest are opportunistic.
+		j := newJob(ctx, rows, out, dists, batch)
+		j.wg.Add(1)
+		submitted := false
+		select {
+		case a.jobs <- j:
+			submitted = true
+		case <-ctx.Done():
+			j.wg.Done()
 		}
-		wg := &sync.WaitGroup{}
-		expired := false
-	submit:
-		for lo := 0; lo < len(rows); lo += batch {
-			hi := lo + batch
-			if hi > len(rows) {
-				hi = len(rows)
-			}
-			wg.Add(1)
-			select {
-			case a.tasks <- task{ctx: tctx, rows: rows[lo:hi], out: out[lo:hi], dists: dists[lo:hi], wg: wg}:
-			case <-ctx.Done():
-				wg.Done()
-				expired = true
-				break submit
-			}
-		}
-		if !expired && tctx != nil {
-			// Wait for the fan-out, but never past the deadline: a
-			// stalled worker must cost a pool goroutine, not the request.
-			done := make(chan struct{})
-			go func() { wg.Wait(); close(done) }()
-			select {
-			case <-done:
-			case <-ctx.Done():
-				expired = true
-			}
-		} else if !expired {
-			wg.Wait()
-		}
-		if expired {
-			// Free the caller now; inflight drops only once the orphaned
-			// micro-batches drain, so Close still can't truncate them.
-			go func() { wg.Wait(); a.inflight.Done() }()
+		if !submitted {
+			// Never offered: nothing else references the job.
+			putJob(j)
+			a.inflight.Done()
 			return nil, nil, a.ctxErr(ctx.Err(), "mid-batch")
 		}
+		strides := (len(rows) + batch - 1) / batch
+		a.invite(j, min(a.opts.Workers, strides)-1)
+		// Wait for the participants, but never past the deadline: a
+		// stalled worker must cost a pool goroutine, not the request.
+		done := make(chan struct{})
+		go func() { j.wg.Wait(); close(done) }()
+		expired := false
+		select {
+		case <-done:
+		case <-ctx.Done():
+			expired = true
+		}
+		if expired {
+			// Free the caller now; inflight drops (and the job recycles)
+			// only once the orphaned strides drain, so Close still can't
+			// truncate them.
+			go func() { <-done; a.inflight.Done(); putJob(j) }()
+			return nil, nil, a.ctxErr(ctx.Err(), "mid-batch")
+		}
+		err := ctx.Err()
+		putJob(j)
 		a.inflight.Done()
-		if err := ctx.Err(); err != nil {
-			// Workers may have skipped tasks after expiry; the slots are
-			// unreliable, so the request fails as a whole.
+		if err != nil {
+			// Participants may have drained strides unscored after
+			// expiry; the slots are unreliable, so the request fails as
+			// a whole.
 			return nil, nil, a.ctxErr(err, "mid-batch")
 		}
 	}

@@ -4,8 +4,34 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/model"
+	"repro/internal/stats"
 	"repro/internal/testfix"
 )
+
+// syntheticModel builds a minimal valid model whose k centroids are
+// evenly-strided copies of the given rows — the shape a trained model
+// has (centroids inside the data's hull) without running a training
+// job: the k-sweep benchmarks only exercise the scoring kernels.
+func syntheticModel(tb testing.TB, rows [][]float64, k int) *model.Model {
+	tb.Helper()
+	m := &model.Model{
+		Format:   model.Format,
+		Version:  model.Version,
+		Name:     fmt.Sprintf("synth-k%d", k),
+		K:        k,
+		Clusters: make([]model.ClusterProfile, k),
+	}
+	m.Centroids = make([][]float64, k)
+	stride := len(rows) / k
+	for c := range m.Centroids {
+		m.Centroids[c] = append([]float64(nil), rows[c*stride]...)
+	}
+	if err := m.Validate(); err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
 
 // BenchmarkServe measures batch-assign throughput through the
 // micro-batching worker pool across batch sizes and worker counts, on
@@ -26,6 +52,7 @@ func BenchmarkServe(b *testing.B) {
 				}
 				defer a.Close()
 				b.SetBytes(int64(len(rows)))
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, _, err := a.AssignBatch(rows, nil); err != nil {
@@ -34,6 +61,40 @@ func BenchmarkServe(b *testing.B) {
 				}
 			})
 		}
+	}
+
+	// k-sweep: the indexed serving kernel (what every Assigner scores
+	// with) against the naive model.AssignDist scan on the same rows,
+	// for centroid counts spanning small to wide deployments — both as
+	// bare kernel loops, so the ratio is pure kernel (pool overhead is
+	// the workers×batch grid above). It must grow with k; the naive
+	// scan stays in the codebase exactly so this reference keeps
+	// meaning. Models are built directly (not trained) so k=150 costs
+	// no setup time.
+	for _, k := range []int{5, 15, 50, 150} {
+		km := syntheticModel(b, rows, k)
+		b.Run(fmt.Sprintf("kernel=naive/k=%d", k), func(b *testing.B) {
+			out := make([]int, len(rows))
+			b.SetBytes(int64(len(rows)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for r, x := range rows {
+					out[r], _ = km.AssignDist(x)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("kernel=indexed/k=%d", k), func(b *testing.B) {
+			ix := stats.NewCentroidIndex(km.Centroids)
+			sc := ix.NewScratch()
+			out := make([]int, len(rows))
+			b.SetBytes(int64(len(rows)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for r, x := range rows {
+					out[r], _ = ix.Nearest(x, sc)
+				}
+			}
+		})
 	}
 
 	// Single-query path: the per-request floor the batch variants

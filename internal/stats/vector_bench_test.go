@@ -28,10 +28,11 @@ func benchVectors(n int) [][]float64 {
 var benchSink float64
 
 // BenchmarkDot locks in the 4-wide unrolled inner product. Dim 8
-// matches the Adult feature space; 3, 64 and 301 exercise the scalar
-// tail and longer doc2vec-style embeddings.
+// matches the Adult feature space; 2, 3 and 16 cover the small-dim
+// fast paths and the first all-unrolled size; 64 and 301 exercise the
+// scalar tail and longer doc2vec-style embeddings.
 func BenchmarkDot(b *testing.B) {
-	for _, n := range []int{3, 8, 64, 301} {
+	for _, n := range []int{2, 3, 8, 16, 64, 301} {
 		xs, ys := benchVectors(n), benchVectors(n)
 		b.Run(fmt.Sprintf("dim=%d", n), func(b *testing.B) {
 			s := 0.0
@@ -45,7 +46,7 @@ func BenchmarkDot(b *testing.B) {
 
 // BenchmarkSqDist locks in the 4-wide unrolled squared distance.
 func BenchmarkSqDist(b *testing.B) {
-	for _, n := range []int{3, 8, 64, 301} {
+	for _, n := range []int{2, 3, 8, 16, 64, 301} {
 		xs, ys := benchVectors(n), benchVectors(n)
 		b.Run(fmt.Sprintf("dim=%d", n), func(b *testing.B) {
 			s := 0.0
