@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test vet bench bench-smoke bench-check
+.PHONY: all build test vet lint fairvet-selfcheck race bench bench-smoke bench-check
 
-all: vet build test
+all: lint build test
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,41 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# lint is the full static gate: formatting, go vet, and the repo's own
+# fairvet suite (determinism / atomic-field / context-flow / CLI-exit /
+# float-equality contracts — see DESIGN.md "Statically enforced
+# contracts"). A finding exits nonzero; suppress only with a justified
+# `//fairvet:ignore <pass> -- <reason>` marker.
+lint: vet
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; fi
+	$(GO) run ./cmd/fairvet ./...
+
+# fairvet-selfcheck proves the linter still bites: the selfcheck
+# fixture seeds one known violation per pass, so fairvet accepting it
+# means a pass has gone blind.
+fairvet-selfcheck:
+	@if $(GO) run ./cmd/fairvet ./internal/analysis/testdata/src/selfcheck >/dev/null 2>&1; then \
+		echo "fairvet passed the seeded-violation fixture; a pass has gone blind"; exit 1; \
+	else echo "fairvet self-check ok: seeded violations still detected"; fi
+
+# race runs every concurrency-sensitive suite under the race detector —
+# the single source of truth for what CI exercises with -race. The -run
+# filters keep the expensive packages scoped to their concurrent paths.
+race:
+	$(GO) test -race ./internal/engine ./internal/goldencase
+	$(GO) test -race ./internal/core -run 'TestParallelSweep|TestAggregateKernelParity|TestEmptyClusterRepair'
+	$(GO) test -race ./internal/kmeans ./internal/zgya
+	$(GO) test -race ./internal/stats
+	$(GO) test -race ./internal/kmeans -run 'TestPruned|TestPrune'
+	$(GO) test -race ./internal/coreset ./internal/pipeline ./internal/dataset
+	$(GO) test -race ./internal/core -run 'TestWeighted|TestEvaluateObjectiveWeighted|TestRunWeighted'
+	$(GO) test -race ./internal/kmeans -run 'TestRunWeighted'
+	$(GO) test -race ./internal/model ./internal/serve
+	$(GO) test -race ./internal/load
+	$(GO) test -race ./internal/serve -run 'TestAdmission|TestDeadline|TestGatedDeterminism|TestReloadFaultInjection'
+	$(GO) test -race ./internal/cli ./cmd/benchguard
 
 # bench records the sweep/kernel perf trajectory for this checkout as a
 # raw `go test -bench -json` event stream, so future PRs can diff

@@ -7,9 +7,12 @@
 //	benchguard -baseline BENCH_sweep.json -current BENCH_engine.json \
 //	    -match 'BenchmarkSweep|BenchmarkBestMove' -tol 0.05
 //
-// Exit codes: 0 all matched benchmarks within tolerance, 1 usage or
-// parse error (including a baseline benchmark missing from the
-// current recording), 2 at least one regression.
+// Success exits 0. Every failure — bad invocation, unparseable
+// stream, a baseline benchmark missing from the current recording, a
+// regression beyond tolerance, or a -match selecting nothing —
+// follows the repository CLI contract via internal/cli.Main: one
+// explanatory line on stderr and exit code 2. The per-benchmark
+// verdict table always goes to stdout before the verdict.
 //
 // Only ns/op is compared. When a stream holds several samples of the
 // same benchmark (-count > 1), the minimum is used on both sides —
@@ -19,56 +22,66 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
+
+	"repro/internal/cli"
 )
 
-func main() {
+func main() { cli.Main("benchguard", run) }
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		baselinePath = flag.String("baseline", "", "frozen `go test -bench -json` event stream")
-		currentPath  = flag.String("current", "", "freshly recorded event stream to check")
-		match        = flag.String("match", ".", "regexp selecting benchmark names to compare")
-		tol          = flag.Float64("tol", 0.05, "allowed fractional ns/op increase over baseline")
+		baselinePath = fs.String("baseline", "", "frozen `go test -bench -json` event stream")
+		currentPath  = fs.String("current", "", "freshly recorded event stream to check")
+		match        = fs.String("match", ".", "regexp selecting benchmark names to compare")
+		tol          = fs.Float64("tol", 0.05, "allowed fractional ns/op increase over baseline")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 	if *baselinePath == "" || *currentPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchguard -baseline FILE -current FILE [-match RE] [-tol FRAC]")
-		os.Exit(1)
+		fs.Usage()
+		return fmt.Errorf("-baseline and -current are required")
+	}
+	if *tol < 0 {
+		return fmt.Errorf("-tol must be non-negative (got %v)", *tol)
 	}
 	re, err := regexp.Compile(*match)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchguard: bad -match: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("bad -match: %w", err)
 	}
 
 	base, err := parseFile(*baselinePath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	cur, err := parseFile(*currentPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 
 	rep := compare(base, cur, re, *tol)
 	for _, line := range rep.lines {
-		fmt.Println(line)
+		fmt.Fprintln(out, line)
 	}
 	switch {
 	case rep.regressions > 0:
-		fmt.Fprintf(os.Stderr, "benchguard: %d regression(s) beyond %.0f%%\n", rep.regressions, *tol*100)
-		os.Exit(2)
+		return fmt.Errorf("%d regression(s) beyond %.0f%%", rep.regressions, *tol*100)
 	case rep.missing > 0:
-		fmt.Fprintf(os.Stderr, "benchguard: %d baseline benchmark(s) missing from current recording\n", rep.missing)
-		os.Exit(1)
+		return fmt.Errorf("%d baseline benchmark(s) missing from current recording", rep.missing)
 	case rep.compared == 0:
-		fmt.Fprintf(os.Stderr, "benchguard: -match %q selected no benchmarks\n", *match)
-		os.Exit(1)
+		return fmt.Errorf("-match %q selected no benchmarks", *match)
 	}
-	fmt.Printf("benchguard: %d benchmark(s) within %.0f%% of baseline\n", rep.compared, *tol*100)
+	fmt.Fprintf(out, "benchguard: %d benchmark(s) within %.0f%% of baseline\n", rep.compared, *tol*100)
+	return nil
 }
 
 func parseFile(path string) (map[string]float64, error) {

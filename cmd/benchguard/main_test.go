@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -106,5 +109,65 @@ func TestCompareImprovementIsOK(t *testing.T) {
 	rep := compare(base, cur, regexp.MustCompile(`.`), 0.05)
 	if rep.regressions != 0 || rep.missing != 0 || rep.compared != 1 {
 		t.Fatalf("improvement misreported: %+v", rep)
+	}
+}
+
+// writeStream drops a synthetic -json recording into dir.
+func writeStream(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunVerdicts drives run end to end: within-tolerance passes,
+// regression and missing-benchmark recordings return errors (which
+// cli.Main turns into the one-line/exit-2 contract).
+func TestRunVerdicts(t *testing.T) {
+	dir := t.TempDir()
+	base := writeStream(t, dir, "base.json", stream([3]string{"BenchmarkSweep/aggregate", "1000", ""}))
+	ok := writeStream(t, dir, "ok.json", stream([3]string{"BenchmarkSweep/aggregate", "1040", ""}))
+	bad := writeStream(t, dir, "bad.json", stream([3]string{"BenchmarkSweep/aggregate", "1200", ""}))
+	other := writeStream(t, dir, "other.json", stream([3]string{"BenchmarkOther/x", "10", ""}))
+
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", ok, "-match", "BenchmarkSweep"}, &buf); err != nil {
+		t.Fatalf("within-tolerance run failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "within 5% of baseline") {
+		t.Errorf("missing success summary:\n%s", buf.String())
+	}
+	if err := run([]string{"-baseline", base, "-current", bad, "-match", "BenchmarkSweep"}, &buf); err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Errorf("regression not reported, err=%v", err)
+	}
+	if err := run([]string{"-baseline", base, "-current", other, "-match", "BenchmarkSweep"}, &buf); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("missing benchmark not reported, err=%v", err)
+	}
+}
+
+// TestBenchguardValidationAudit pins the CLI contract on bad
+// invocations: every one must return an error, never panic or exit.
+func TestBenchguardValidationAudit(t *testing.T) {
+	dir := t.TempDir()
+	base := writeStream(t, dir, "base.json", stream([3]string{"BenchmarkX", "100", ""}))
+	cases := map[string][]string{
+		"no files":              {},
+		"missing current":       {"-baseline", base},
+		"unknown flag":          {"-baseline", base, "-current", base, "-zap"},
+		"bad match regexp":      {"-baseline", base, "-current", base, "-match", "("},
+		"negative tol":          {"-baseline", base, "-current", base, "-tol", "-0.1"},
+		"unreadable file":       {"-baseline", filepath.Join(dir, "nope.json"), "-current", base},
+		"match selects nothing": {"-baseline", base, "-current", base, "-match", "BenchmarkNope"},
+		"stray positional args": {"-baseline", base, "-current", base, "extra"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(args, &buf); err == nil {
+				t.Errorf("benchguard accepted a bad invocation: %v", args)
+			}
+		})
 	}
 }

@@ -163,6 +163,7 @@ func serveCtx(ctx context.Context, args []string, out io.Writer) error {
 	select {
 	case <-ctx.Done():
 		fmt.Fprintln(out, "shutting down")
+		//fairvet:ignore ctxflow -- ctx is already done once shutdown starts; the drain grace period needs a fresh root with its own deadline
 		sctx, cancel := context.WithTimeout(context.Background(), *shutTimeout)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {

@@ -1,0 +1,155 @@
+// Command fairvet runs the repository's static-analysis suite — the
+// machine-checked form of the determinism, concurrency and CLI
+// contracts DESIGN.md states in prose:
+//
+//	fairvet [-passes p1,p2] [packages...]
+//
+// With no arguments it analyzes every package in the module (./...).
+// Arguments may be package patterns (./internal/..., repro/cmd/fairkm)
+// or plain directories; directories are loaded directly, so fixture
+// packages under testdata/ — which wildcard patterns never match —
+// can be named explicitly (the CI self-check does exactly that).
+//
+// Passes: nodeterminism, atomicfield, ctxflow, cliexit, floateq (see
+// internal/analysis). Findings print one per line as
+// file:line:col: [pass] message, and any finding makes the command
+// fail with the standard exit-2 contract, so `make lint` stays red
+// until the tree is clean or every exception carries a justified
+// //fairvet:ignore directive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/cli"
+)
+
+func main() { cli.Main("fairvet", run) }
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fairvet", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		passes = fs.String("passes", "", "comma-separated subset of passes to run (default: all)")
+		list   = fs.Bool("list", false, "list available passes and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite := analysis.Analyzers()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(out, "%-15s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+	if *passes != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(*passes, ",") {
+			a, ok := byName[name]
+			if !ok {
+				return fmt.Errorf("unknown pass %q (run fairvet -list)", name)
+			}
+			picked = append(picked, a)
+		}
+		suite = picked
+	}
+
+	// Resolve explicit directory arguments to absolute paths before
+	// moving to the module root, so `fairvet some/dir` works from any
+	// subdirectory.
+	patterns := fs.Args()
+	abs := make(map[string]string)
+	for _, p := range patterns {
+		if st, err := os.Stat(p); err == nil && st.IsDir() {
+			a, err := filepath.Abs(p)
+			if err != nil {
+				return err
+			}
+			abs[p] = a
+		}
+	}
+	root, err := analysis.ChdirModuleRoot()
+	if err != nil {
+		return err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return err
+	}
+
+	loader := analysis.NewLoader()
+	var pkgs []*analysis.Package
+	var listPatterns []string
+	for _, p := range patterns {
+		dir, isDir := abs[p]
+		if !isDir {
+			listPatterns = append(listPatterns, p)
+			continue
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return fmt.Errorf("%s: directory is outside the module", p)
+		}
+		pkg, err := loader.LoadDir(dir, modPath+"/"+filepath.ToSlash(rel))
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(listPatterns) > 0 || len(patterns) == 0 {
+		loaded, err := loader.LoadPatterns(listPatterns...)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, a := range suite {
+			diags, err := analysis.RunPass(a, pkg)
+			if err != nil {
+				return err
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				rel := pos.Filename
+				if r, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+					rel = r
+				}
+				fmt.Fprintf(out, "%s:%d:%d: [%s] %s\n", rel, pos.Line, pos.Column, d.Pass, d.Message)
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		return fmt.Errorf("%d finding(s); fix them or add //fairvet:ignore <pass> -- <reason>", findings)
+	}
+	return nil
+}
+
+var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	m := moduleRe.FindSubmatch(data)
+	if m == nil {
+		return "", fmt.Errorf("%s: no module line", gomod)
+	}
+	return string(m[1]), nil
+}

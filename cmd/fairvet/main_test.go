@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// modRel resolves a module-root-relative path to an absolute one by
+// walking up to go.mod — robust to run() having already moved the
+// process working directory to the module root in an earlier test.
+func modRel(t *testing.T, rel string) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return filepath.Join(dir, rel)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("no go.mod above the test working directory")
+		}
+		dir = parent
+	}
+}
+
+// fixture returns the absolute path to the CI self-check fixture, one
+// known violation per pass.
+func fixture(t *testing.T) string {
+	return modRel(t, "internal/analysis/testdata/src/selfcheck")
+}
+
+// TestSelfCheck mirrors the CI step: fairvet against the selfcheck
+// fixture must fail and report at least one finding from every pass.
+func TestSelfCheck(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{fixture(t)}, &buf)
+	if err == nil {
+		t.Fatalf("fairvet passed the selfcheck fixture; output:\n%s", buf.String())
+	}
+	out := buf.String()
+	for _, pass := range []string{"nodeterminism", "atomicfield", "ctxflow", "cliexit", "floateq"} {
+		if !strings.Contains(out, "["+pass+"]") {
+			t.Errorf("self-check output missing a [%s] finding:\n%s", pass, out)
+		}
+	}
+}
+
+// TestPassesFilter runs only one pass over the fixture: findings from
+// the others must not appear.
+func TestPassesFilter(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-passes", "floateq", fixture(t)}, &buf)
+	if err == nil {
+		t.Fatal("floateq alone should still fail the fixture")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "[floateq]") {
+		t.Errorf("missing floateq finding:\n%s", out)
+	}
+	if strings.Contains(out, "[cliexit]") || strings.Contains(out, "[nodeterminism]") {
+		t.Errorf("pass filter leaked other passes:\n%s", out)
+	}
+}
+
+// TestCleanPackage pins a known-clean package analyzing to zero
+// findings (internal/cli's os.Exit is the sanctioned site, outside
+// cmd/, so cliexit must not fire).
+func TestCleanPackage(t *testing.T) {
+	abs := modRel(t, "internal/cli")
+	var buf bytes.Buffer
+	if err := run([]string{abs}, &buf); err != nil {
+		t.Fatalf("internal/cli should be fairvet-clean, got %v:\n%s", err, buf.String())
+	}
+}
+
+// TestList prints the suite.
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, pass := range []string{"nodeterminism", "atomicfield", "ctxflow", "cliexit", "floateq"} {
+		if !strings.Contains(buf.String(), pass) {
+			t.Errorf("-list output missing %s:\n%s", pass, buf.String())
+		}
+	}
+}
+
+// TestValidationAudit pins the exit-2 contract inputs: bad invocations
+// must return errors, never panic.
+func TestValidationAudit(t *testing.T) {
+	cases := map[string][]string{
+		"unknown flag":    {"-zap"},
+		"unknown pass":    {"-passes", "nope"},
+		"missing pattern": {"./no/such/dir/anywhere"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(args, &buf); err == nil {
+				t.Errorf("fairvet accepted a bad invocation: %v", args)
+			}
+		})
+	}
+}

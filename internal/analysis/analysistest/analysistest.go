@@ -1,0 +1,123 @@
+// Package analysistest runs one fairvet analyzer over a golden fixture
+// package and checks its diagnostics against // want comments, the
+// same contract as golang.org/x/tools/go/analysis/analysistest:
+//
+//	return time.Now() // want `time\.Now in deterministic code`
+//
+// Each want comment holds one or more quoted regular expressions that
+// must match, one-to-one, the diagnostics reported on that line;
+// diagnostics on lines without a matching want (and wants left
+// unmatched) fail the test. Suppression directives are applied before
+// matching, so fixtures can also pin the //fairvet:ignore behavior.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// loader is shared across tests in a process: the source importer
+// caches every type-checked dependency, so the stdlib is checked once,
+// not once per fixture.
+var (
+	loaderOnce sync.Once
+	loader     *analysis.Loader
+)
+
+func sharedLoader() *analysis.Loader {
+	loaderOnce.Do(func() { loader = analysis.NewLoader() })
+	return loader
+}
+
+// Run loads the fixture package in dir (relative to the test's working
+// directory), runs a over it, and compares diagnostics with the
+// fixture's // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := sharedLoader().LoadDir(abs, "fairvettest/"+filepath.Base(abs))
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	diags, err := analysis.RunPass(a, pkg)
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, ok := parseWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", pos.Filename, pos.Line, d.Pass, d.Message)
+			continue
+		}
+		wants[k][matched] = nil // consumed
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var patRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// parseWant extracts the quoted regexps from a // want comment.
+func parseWant(text string) ([]string, bool) {
+	m := wantRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil, false
+	}
+	var out []string
+	for _, q := range patRe.FindAllString(m[1], -1) {
+		s, err := strconv.Unquote(q)
+		if err != nil {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out, len(out) > 0
+}

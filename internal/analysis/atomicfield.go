@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField enforces all-or-nothing atomicity per struct field: a
+// field whose address is ever passed to a sync/atomic function
+// (atomic.AddUint64(&s.n, 1), atomic.StoreInt64(&s.v, x), ...) must
+// never be read or written through a plain selector anywhere else in
+// the package — a single non-atomic access invalidates every atomic
+// one. Fields typed atomic.Uint64/Int64/... (the preferred style in
+// this repository: serve's Stats counters, the kmeans scan telemetry,
+// the assigner's stride counter) are immune by construction since
+// their state is unexported. Composite-literal keys are not flagged:
+// the zero value needs no atomicity and literal construction precedes
+// publication.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields touched by sync/atomic must never be accessed non-atomically",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Phase 1: collect fields whose address flows into sync/atomic
+	// calls, and remember those exact selector nodes as sanctioned.
+	atomicFields := map[*types.Var]string{} // field -> atomic func name seen
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || selectsPackage(pass.TypesInfo, sel) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				fieldSel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v := fieldVar(pass.TypesInfo, fieldSel); v != nil {
+					atomicFields[v] = sel.Sel.Name
+					sanctioned[fieldSel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Phase 2: any other selector reaching one of those fields is a
+	// plain (racy) access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			v := fieldVar(pass.TypesInfo, sel)
+			if v == nil {
+				return true
+			}
+			if fn, isAtomic := atomicFields[v]; isAtomic {
+				pass.Reportf(sel.Pos(), "non-atomic access to field %s, which is accessed with atomic.%s elsewhere; use sync/atomic consistently or a typed sync/atomic value", v.Name(), fn)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldVar resolves a selector to the struct field it selects, or nil
+// when the selector is not a field selection.
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces context propagation: a function that receives a
+// context.Context must actually thread it to its callees. Three ways
+// to drop a context are flagged:
+//
+//  1. the ctx parameter is never mentioned in the body (deadlines and
+//     cancellation silently stop at this frame);
+//  2. the body calls context.Background() or context.TODO(), starting
+//     a fresh root context even though one was handed in — the exact
+//     bug class the serve admission/queue/stride chain guards against;
+//  3. any call site passes a literal nil where the callee expects a
+//     context.Context (stdlib APIs panic on nil contexts).
+//
+// Functions whose ctx parameter is blank (_) are exempt from (1): the
+// discard is already visible in the signature. Interface
+// implementations that genuinely cannot use their context should
+// suppress with //fairvet:ignore ctxflow -- <reason>.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "functions receiving a context must propagate it, not drop or shadow it",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkCtxParams(pass, n)
+				}
+			case *ast.CallExpr:
+				checkNilContextArg(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCtxParams(pass *Pass, fn *ast.FuncDecl) {
+	var ctxParams []*types.Var
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			for _, name := range field.Names {
+				obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+				if !ok || name.Name == "_" {
+					continue
+				}
+				if isContextType(obj.Type()) {
+					ctxParams = append(ctxParams, obj)
+				}
+			}
+		}
+	}
+	if len(ctxParams) == 0 {
+		return
+	}
+	used := map[*types.Var]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if v, ok := pass.TypesInfo.Uses[n].(*types.Var); ok {
+				used[v] = true
+			}
+		case *ast.CallExpr:
+			if isPkgCall(pass.TypesInfo, n, "context", "Background") || isPkgCall(pass.TypesInfo, n, "context", "TODO") {
+				sel := n.Fun.(*ast.SelectorExpr)
+				pass.Reportf(n.Pos(), "context.%s() inside %s, which already receives a context: the incoming deadline/cancellation is dropped here", sel.Sel.Name, fn.Name.Name)
+			}
+		}
+		return true
+	})
+	for _, p := range ctxParams {
+		if !used[p] {
+			pass.Reportf(fn.Name.Pos(), "%s receives %s %s but never uses it: cancellation and deadlines stop propagating at this frame (use _ to discard explicitly)", fn.Name.Name, p.Name(), "context.Context")
+		}
+	}
+}
+
+// checkNilContextArg flags passing a literal nil where the callee's
+// parameter is a context.Context.
+func checkNilContextArg(pass *Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		id, ok := arg.(*ast.Ident)
+		if !ok || id.Name != "nil" {
+			continue
+		}
+		if _, isNil := pass.TypesInfo.Uses[id].(*types.Nil); !isNil {
+			continue
+		}
+		pi := i
+		if sig.Variadic() && pi >= params.Len() {
+			pi = params.Len() - 1
+		}
+		if pi < 0 || pi >= params.Len() {
+			continue
+		}
+		if isContextType(params.At(pi).Type()) {
+			pass.Reportf(arg.Pos(), "nil passed as context.Context: use context.Background() at roots or propagate the caller's ctx")
+		}
+	}
+}

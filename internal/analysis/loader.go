@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and fully type-checked package ready
+// to be run through the analyzers.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages with one shared FileSet and
+// one shared source importer, so the (expensive) from-source
+// type-check of common dependencies happens once per process, not once
+// per analyzed package.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a Loader. The process must be inside the module
+// being analyzed (the source importer resolves module-local imports
+// through the go command, which needs a module context).
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// LoadDir loads the single package rooted at dir (non-test .go files
+// only) under the given import path. It does not consult the go
+// command, so it also works for fixture packages under testdata/ that
+// package patterns never match.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: no non-test .go files", dir)
+	}
+	return l.load(importPath, dir, names)
+}
+
+// LoadPatterns expands package patterns (./..., explicit directories,
+// import paths) through `go list` and loads each resulting package.
+// Explicit directory arguments are passed through go list too, so
+// testdata fixture directories can be named directly even though
+// wildcard patterns skip them.
+func (l *Loader) LoadPatterns(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, m := range metas {
+		if len(m.GoFiles) == 0 {
+			continue
+		}
+		p, err := l.load(m.ImportPath, m.Dir, m.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+func (l *Loader) load(importPath, dir string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Dir: dir, Fset: l.fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+type listMeta struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+func goList(patterns []string) ([]listMeta, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, stderr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+	dec := json.NewDecoder(&out)
+	var metas []listMeta
+	for {
+		var m listMeta
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: %w", err)
+		}
+		if m.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", m.ImportPath, m.Error.Err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// ChdirModuleRoot walks up from the working directory to the enclosing
+// go.mod and makes that directory both the process working directory
+// and the default build context root, so fairvet behaves identically
+// no matter which subdirectory it is launched from.
+func ChdirModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			if err := os.Chdir(dir); err != nil {
+				return "", err
+			}
+			build.Default.Dir = dir
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

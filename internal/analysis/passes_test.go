@@ -1,0 +1,77 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// Each pass runs over its golden fixture package: every // want
+// comment must be produced and nothing else may be reported. The
+// fixtures hold at least one positive and one negative case per rule.
+
+func TestNoDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata/src/nodeterminism", analysis.NoDeterminism)
+}
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, "testdata/src/atomicfield", analysis.AtomicField)
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata/src/ctxflow", analysis.CtxFlow)
+}
+
+func TestCLIExit(t *testing.T) {
+	analysistest.Run(t, "testdata/src/cliexit", analysis.CLIExit)
+}
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, "testdata/src/floateq", analysis.FloatEq)
+}
+
+// TestSuppression pins the //fairvet:ignore contract: justified
+// directives silence, unjustified ones add a finding, mismatched pass
+// names do nothing, own-line directives cover the next line.
+func TestSuppression(t *testing.T) {
+	analysistest.Run(t, "testdata/src/suppress", analysis.FloatEq)
+}
+
+// TestSelfCheckFixtureTripsEveryPass mirrors the CI self-check
+// in-process: the selfcheck fixture must produce at least one finding
+// from each of the five passes.
+func TestSelfCheckFixtureTripsEveryPass(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkg, err := loader.LoadDir("testdata/src/selfcheck", "fairvettest/selfcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range analysis.Analyzers() {
+		diags, err := analysis.RunPass(a, pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if len(diags) == 0 {
+			t.Errorf("pass %s found nothing in the selfcheck fixture; the CI self-check would pass vacuously", a.Name)
+		}
+	}
+}
+
+// TestAnalyzersStable pins the suite composition: renaming or dropping
+// a pass silently would also silence its suppression directives.
+func TestAnalyzersStable(t *testing.T) {
+	want := []string{"nodeterminism", "atomicfield", "ctxflow", "cliexit", "floateq"}
+	got := analysis.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing Doc or Run", a.Name)
+		}
+	}
+}

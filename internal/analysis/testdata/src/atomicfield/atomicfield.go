@@ -1,0 +1,42 @@
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits   uint64 // accessed via sync/atomic below
+	misses uint64
+	limit  int // plain field, never atomic
+}
+
+func (c *counters) hit() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counters) miss() {
+	atomic.AddUint64(&c.misses, 1)
+}
+
+func (c *counters) racyRead() uint64 {
+	return c.hits // want `non-atomic access to field hits`
+}
+
+func (c *counters) racyWrite() {
+	c.misses = 0 // want `non-atomic access to field misses`
+}
+
+func (c *counters) atomicReadOK() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func (c *counters) plainFieldOK() int {
+	return c.limit
+}
+
+// Typed atomics are immune by construction: their state is unexported,
+// so a non-atomic access cannot typecheck.
+type typedCounter struct {
+	n atomic.Int64
+}
+
+func (t *typedCounter) inc()       { t.n.Add(1) }
+func (t *typedCounter) get() int64 { return t.n.Load() }

@@ -1,0 +1,40 @@
+//fairvet:climain fixture: stands in for a package under cmd/
+package cliexit
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+)
+
+func exits() {
+	os.Exit(1) // want `os\.Exit in a command`
+}
+
+func fatals(err error) {
+	log.Fatalf("boom: %v", err) // want `log\.Fatalf in a command`
+}
+
+func fatalLn() {
+	log.Fatalln("boom") // want `log\.Fatalln in a command`
+}
+
+func panics() {
+	panic("boom") // want `panic in a command`
+}
+
+// Returning an error is the sanctioned failure path.
+func returnsErrOK(bad bool) error {
+	if bad {
+		return errors.New("bad input")
+	}
+	return nil
+}
+
+// Plain logging and printing are fine; only the terminating variants
+// bypass the contract.
+func logsOK() {
+	log.Printf("progress")
+	fmt.Println("done")
+}

@@ -1,0 +1,46 @@
+package ctxflow
+
+import "context"
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func neverUses(ctx context.Context, n int) int { // want `neverUses receives ctx context\.Context but never uses it`
+	return n * 2
+}
+
+func freshRoot(ctx context.Context) error { // want `freshRoot receives ctx context\.Context but never uses it`
+	return work(context.Background()) // want `context\.Background\(\) inside freshRoot`
+}
+
+func freshTODO(ctx context.Context) error {
+	_ = ctx.Err()
+	return work(context.TODO()) // want `context\.TODO\(\) inside freshTODO`
+}
+
+func nilContext() error {
+	return work(nil) // want `nil passed as context\.Context`
+}
+
+func propagatesOK(ctx context.Context) error {
+	return work(ctx)
+}
+
+func derivesOK(ctx context.Context) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return work(sub)
+}
+
+// A blank parameter is a visible, deliberate discard and stays legal.
+func blankOK(_ context.Context) int {
+	return 1
+}
+
+// Functions without a context may start a root: that is where roots
+// belong.
+func rootOK() error {
+	return work(context.Background())
+}

@@ -1,0 +1,29 @@
+package floateq
+
+func equalFloats(a, b float64) bool {
+	return a == b // want `== on floating-point values`
+}
+
+func notEqualFloats(a, b float32) bool {
+	return a != b // want `!= on floating-point values`
+}
+
+func constantCompare(x float64) bool {
+	return x == 0 // want `== on floating-point values`
+}
+
+func nanCheck(x float64) bool {
+	return x != x // want `!= on floating-point values`
+}
+
+func intCompareOK(a, b int) bool {
+	return a == b
+}
+
+func stringCompareOK(a, b string) bool {
+	return a == b
+}
+
+func orderedCompareOK(a, b float64) bool {
+	return a < b || a > b
+}

@@ -1,0 +1,7 @@
+//fairvet:floateq fixture: bitwise equality is the contract under test here
+package floateq
+
+// The file-level marker opts every comparison in this file out.
+func exactParity(a, b float64) bool {
+	return a == b
+}

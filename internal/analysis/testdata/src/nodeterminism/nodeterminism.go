@@ -1,0 +1,84 @@
+//fairvet:deterministic fixture: opts this file into the deterministic scope
+package nodeterminism
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now in deterministic code`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in deterministic code`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `math/rand\.Intn in deterministic code`
+}
+
+func localButStillGlobalPackage(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `math/rand\.New in deterministic code` `math/rand\.NewSource in deterministic code`
+}
+
+// Type references to math/rand carry no global state and stay legal
+// (stats.RNG itself holds a *rand.Rand).
+func typeRefOK(r *rand.Rand) int64 { return r.Int63() }
+
+func mapRangeUnsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map range appends to a slice the function never sorts`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func mapRangeSortedAppend(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapRangeWriter(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map range calls Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func mapRangeStringConcat(m map[string]int) string {
+	out := ""
+	for k := range m { // want `map range concatenates a string`
+		out += k
+	}
+	return out
+}
+
+func mapRangeSliceIndexWrite(m map[int]float64, out []float64) {
+	for k, v := range m { // want `map range writes through a slice index`
+		out[k] = v
+	}
+}
+
+// Reading from a map in random order into an order-free reduction is
+// deterministic and stays legal.
+func mapRangeReduceOK(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Ranging a slice is always fine.
+func sliceRangeOK(xs []string, w io.Writer) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}

@@ -1,0 +1,47 @@
+// CI runs fairvet against this package and asserts a nonzero exit
+// with all five pass names present, proving the installed binary
+// still detects each contract violation end to end.
+//
+//fairvet:deterministic self-check fixture: one known violation per pass
+//fairvet:climain self-check fixture: one known violation per pass
+package selfcheck
+
+import (
+	"context"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+type gauge struct {
+	n uint64
+}
+
+func (g *gauge) inc() {
+	atomic.AddUint64(&g.n, 1)
+}
+
+// atomicfield: plain read of an atomically-written field.
+func (g *gauge) broken() uint64 {
+	return g.n
+}
+
+// nodeterminism: wall-clock read in deterministic scope.
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// ctxflow: receives a context and drops it.
+func drop(ctx context.Context) {
+	<-context.Background().Done()
+}
+
+// floateq: accidental bitwise comparison.
+func same(a, b float64) bool {
+	return a == b
+}
+
+// cliexit: hard exit outside internal/cli.Main.
+func bail() {
+	os.Exit(3)
+}

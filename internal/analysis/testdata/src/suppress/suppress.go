@@ -1,0 +1,23 @@
+package suppress
+
+// A justified suppression silences the finding.
+func justified(a, b float64) bool {
+	return a == b //fairvet:ignore floateq -- exact sentinel comparison, both sides copied from the same source
+}
+
+// An unjustified suppression keeps the finding and adds a second one
+// demanding a reason.
+func unjustified(a, b float64) bool {
+	return a == b //fairvet:ignore floateq // want `== on floating-point values` `fairvet:ignore directive needs a justification`
+}
+
+// A directive naming a different pass does not suppress.
+func wrongPass(a, b float64) bool {
+	return a == b //fairvet:ignore cliexit -- not the right pass // want `== on floating-point values`
+}
+
+// A directive on its own line covers the next line.
+func precedingLine(a, b float64) bool {
+	//fairvet:ignore floateq -- deliberate bitwise check pinned by tests
+	return a == b
+}

@@ -14,16 +14,27 @@ import (
 )
 
 // ExitUsage is the exit code for every CLI failure: invalid flags,
-// unreadable inputs, impossible parameters. (0 remains success; any
-// other code would indicate a crash, which the one-line contract
-// forbids.)
+// unreadable inputs, impossible parameters. (0 remains success.)
 const ExitUsage = 2
+
+// ExitInternal is the exit code when a command body panics. The
+// contract still holds — one line on stderr, never a raw stack trace —
+// but the distinct code lets scripts tell a crash (a bug in the tool)
+// from a rejected invocation.
+const ExitInternal = 3
 
 // Main runs a command body and applies the failure contract. The body
 // gets os.Args[1:] and os.Stdout; on error, the first line of the
 // error is printed as "name: message" to stderr and the process exits
-// with ExitUsage.
+// with ExitUsage. A panicking body is recovered into the same one-line
+// shape ("name: internal error: ...") with exit code ExitInternal.
 func Main(name string, run func(args []string, out io.Writer) error) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "%s: internal error: %s\n", name, firstLine(fmt.Sprintf("%v", r)))
+			os.Exit(ExitInternal)
+		}
+	}()
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %s\n", name, FirstLine(err))
 		os.Exit(ExitUsage)
@@ -33,7 +44,11 @@ func Main(name string, run func(args []string, out io.Writer) error) {
 // FirstLine reduces an error to its first non-empty line, keeping the
 // one-line contract even for wrapped multi-line errors.
 func FirstLine(err error) string {
-	for _, line := range strings.Split(err.Error(), "\n") {
+	return firstLine(err.Error())
+}
+
+func firstLine(s string) string {
+	for _, line := range strings.Split(s, "\n") {
 		if line = strings.TrimSpace(line); line != "" {
 			return line
 		}

@@ -37,6 +37,11 @@ func TestMainExitCode(t *testing.T) {
 	case "ok":
 		Main("oktool", func([]string, io.Writer) error { return nil })
 		return
+	case "panic":
+		Main("crashtool", func([]string, io.Writer) error {
+			panic(fmt.Errorf("nil deref in the solver\nwith a second line"))
+		})
+		return
 	}
 
 	run := func(mode string) (int, string) {
@@ -66,5 +71,18 @@ func TestMainExitCode(t *testing.T) {
 	code, stderr = run("ok")
 	if code != 0 || stderr != "" {
 		t.Errorf("succeeding tool exited %d with stderr %q", code, stderr)
+	}
+
+	// A panicking command must still honor the contract: exactly one
+	// stderr line, no stack trace, and the distinct internal-error code.
+	code, stderr = run("panic")
+	if code != ExitInternal {
+		t.Errorf("panicking tool exited %d, want %d", code, ExitInternal)
+	}
+	if want := "crashtool: internal error: nil deref in the solver\n"; stderr != want {
+		t.Errorf("stderr = %q, want %q", stderr, want)
+	}
+	if strings.Contains(stderr, "goroutine") {
+		t.Errorf("stack trace leaked to the user:\n%s", stderr)
 	}
 }

@@ -1,5 +1,7 @@
 package core
 
+//fairvet:floateq ClusterWeightExponent==0 is an exact "unset" sentinel, never the result of arithmetic
+
 import (
 	"fmt"
 	"math"

@@ -1,5 +1,7 @@
 package core
 
+//fairvet:floateq exponent==0/==2 are exact config sentinels (default + fast path), never results of arithmetic
+
 import (
 	"math"
 

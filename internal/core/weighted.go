@@ -1,5 +1,7 @@
 package core
 
+//fairvet:floateq exponent==0 is an unset sentinel; mass[c]==0 is exact emptiness of a sum of positive weights
+
 import (
 	"fmt"
 	"math"

@@ -15,6 +15,8 @@
 // clustering of word problems meaningful.
 package doc2vec
 
+//fairvet:floateq norm==0 detects an exactly-zero vector before dividing
+
 import (
 	"errors"
 	"fmt"

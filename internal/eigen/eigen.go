@@ -9,6 +9,8 @@
 // this repository (hundreds to a few thousands of nodes).
 package eigen
 
+//fairvet:floateq av==0 skips exact zeros in the sparse multiply; an epsilon would change results
+
 import (
 	"errors"
 	"fmt"

@@ -190,7 +190,7 @@ type Result struct {
 // Solve runs coordinate descent (or Lloyd iteration, depending on the
 // sweeper) to convergence under cfg's policies.
 func Solve(obj Objective, sw Sweeper, cfg Config) Result {
-	start := time.Now()
+	start := time.Now() //fairvet:ignore nodeterminism -- wall-clock feeds only the Budget stop policy and Elapsed telemetry, both documented as nondeterministic (Budget=0 in deterministic runs)
 	needValue := cfg.Tol > 0 || cfg.Observer != nil
 	prev := math.Inf(1)
 	var res Result
@@ -204,6 +204,7 @@ func Solve(obj Objective, sw Sweeper, cfg Config) Result {
 			value = obj.Value()
 		}
 		if cfg.Observer != nil {
+			//fairvet:ignore nodeterminism -- Elapsed is observer telemetry, never an input to the descent
 			cfg.Observer(IterEvent{Iteration: iter, Moves: moves, Objective: value, Elapsed: time.Since(start)})
 		}
 		if moves == 0 {
@@ -217,11 +218,12 @@ func Solve(obj Objective, sw Sweeper, cfg Config) Result {
 			break
 		}
 		prev = value
+		//fairvet:ignore nodeterminism -- the wall-clock Budget stop is an explicitly nondeterministic policy, off by default
 		if cfg.Budget > 0 && time.Since(start) >= cfg.Budget {
 			res.Reason = StopBudget
 			break
 		}
 	}
-	res.Elapsed = time.Since(start)
+	res.Elapsed = time.Since(start) //fairvet:ignore nodeterminism -- Elapsed is result telemetry, not solver state
 	return res
 }

@@ -1,5 +1,7 @@
 package experiments
 
+//fairvet:floateq best==0 guards an exact division by zero
+
 import (
 	"fmt"
 	"runtime"

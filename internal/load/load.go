@@ -30,6 +30,12 @@
 // live fairserved over keep-alive connections (cmd/fairload).
 package load
 
+// The workload-construction half of the package (Build and everything
+// it calls) is deterministic by contract — see the Determinism section
+// above; Fingerprint pins it in the tests. Run (report.go) is the
+// wall-clock half and stays out of scope.
+//fairvet:deterministic
+
 import (
 	"crypto/sha256"
 	"encoding/hex"

@@ -12,6 +12,8 @@
 // the problem sizes the baselines produce.
 package lp
 
+//fairvet:floateq factor==0 skips exactly-zero tableau entries; an epsilon would change the simplex arithmetic
+
 import (
 	"errors"
 	"fmt"

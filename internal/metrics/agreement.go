@@ -1,5 +1,7 @@
 package metrics
 
+//fairvet:floateq contingency counts and entropies compare exactly against 0: sums of nonnegative terms are 0 only when empty/degenerate
+
 import (
 	"fmt"
 	"math"

@@ -19,6 +19,8 @@
 // Extras: Balance (Chierichetti et al.) and average normalized entropy.
 package metrics
 
+//fairvet:floateq cluster sizes and probabilities compare exactly against 0 to detect empty clusters and zero-support values
+
 import (
 	"fmt"
 	"math"

@@ -471,6 +471,7 @@ func Decode(r io.Reader) (*Model, error) {
 func Save(path string, m *Model) error {
 	env := *m
 	if env.Provenance.CreatedAt == "" {
+		//fairvet:ignore nodeterminism -- provenance timestamp on a Save copy; the codec determinism contract is over a fixed envelope, and CreatedAt is caller-settable for reproducible bytes
 		env.Provenance.CreatedAt = time.Now().UTC().Format(time.RFC3339)
 	}
 	if env.Name == "" {

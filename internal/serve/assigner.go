@@ -421,6 +421,7 @@ func (a *Assigner) AssignBatchCtx(ctx context.Context, rows [][]float64, sensiti
 		// goroutine per request), and idle workers join via invite. One
 		// channel handoff per joining worker is the entire dispatch
 		// cost, however many micro-batches the request spans.
+		//fairvet:ignore ctxflow -- nil is the documented deadline-free sentinel: batchJob.ctx is "non-nil only when cancellation can fire", and strides skip the per-claim ctx poll entirely
 		j := newJob(nil, rows, out, dists, batch)
 		strides := (len(rows) + batch - 1) / batch
 		a.invite(j, min(a.opts.Workers, strides-1))

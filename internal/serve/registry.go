@@ -1,5 +1,7 @@
 package serve
 
+//fairvet:deterministic snapshot/listing code: /v1/models and /metrics output order must not depend on map iteration (List sorts after collecting)
+
 import (
 	"fmt"
 	"sort"
@@ -69,6 +71,7 @@ func (r *Registry) Install(name, path string, m *model.Model) (*Entry, error) {
 	if err != nil {
 		return nil, err
 	}
+	//fairvet:ignore nodeterminism -- LoadedAt is operational provenance shown in /v1/models, never an input to scoring
 	e := &Entry{Name: name, Path: path, LoadedAt: time.Now(), Generation: 1, assigner: a}
 
 	r.mu.Lock()

@@ -25,6 +25,8 @@
 // draws (Section 4.3.1).
 package spectral
 
+//fairvet:floateq sigma==0 is an exact unset/degenerate sentinel
+
 import (
 	"errors"
 	"fmt"

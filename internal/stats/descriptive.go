@@ -1,5 +1,7 @@
 package stats
 
+//fairvet:floateq n==0 is an exact emptiness check (n = float64(len(xs)))
+
 import (
 	"math"
 	"sort"

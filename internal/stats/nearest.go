@@ -1,5 +1,7 @@
 package stats
 
+//fairvet:floateq the d==best and row!=row comparisons ARE the determinism contract: exact ties break to the lowest index, pinned bit-for-bit by the kernel parity suites
+
 import "sort"
 
 // Nearest-centroid kernels: the hot path of both Lloyd sweeps
