@@ -46,6 +46,8 @@ race:
 	$(GO) test -race ./internal/model ./internal/serve
 	$(GO) test -race ./internal/load
 	$(GO) test -race ./internal/serve -run 'TestAdmission|TestDeadline|TestGatedDeterminism|TestReloadFaultInjection'
+	$(GO) test -race ./internal/telemetry
+	$(GO) test -race ./internal/serve -run 'TestAssignBatchTraced|TestSnapshotDoesNotBlockRecording'
 	$(GO) test -race ./internal/cli ./cmd/benchguard
 
 # bench records the sweep/kernel perf trajectory for this checkout as a
@@ -57,7 +59,9 @@ race:
 # (wall-clock, summary size and objective ratio on Adult-6500 and a
 # synthetic n=10^5 stream). BENCH_serve.json records batch-assign
 # serving throughput across micro-batch sizes and worker counts
-# (BenchmarkServe, 4096 Adult-shaped rows per op at k=15).
+# (BenchmarkServe, 4096 Adult-shaped rows per op at k=15), plus the
+# BenchmarkServeTelemetry off/on pair — the same workload without and
+# with span tracing — which bench-check compares against each other.
 # BENCH_shard.json records sharded summarize-then-solve scaling
 # (BenchmarkShard, S ∈ {1,2,4,8} on Adult-6500 + synth-1e5; obj-vs-s1
 # must stay ≈1 — sharding buys wall-clock, not objective).
@@ -95,6 +99,7 @@ bench-check:
 	$(GO) run ./cmd/benchguard -baseline BENCH_sweep.json -current BENCH_engine.json -match 'BenchmarkSweep/|BenchmarkBestMove/' -tol 0.05
 	$(GO) run ./cmd/benchguard -baseline BENCH_kernels.json -current BENCH_engine.json -match 'BenchmarkLloyd/' -tol 0.15
 	$(GO) run ./cmd/benchguard -baseline BENCH_kernels.json -current BENCH_serve.json -match 'BenchmarkServe/' -tol 0.15
+	$(GO) run ./cmd/benchguard -baseline BENCH_serve.json -current BENCH_serve.json -match 'BenchmarkServeTelemetry/telemetry=off/' -rename-from 'telemetry=off' -rename-to 'telemetry=on' -tol 0.05
 
 # bench-smoke just proves the benchmarks still compile and run (CI).
 bench-smoke:
@@ -103,6 +108,7 @@ bench-smoke:
 	$(GO) test . -run '^$$' -bench 'BenchmarkShard/shards=2/adult6500' -benchtime 1x
 	$(GO) test ./internal/serve -run '^$$' -bench 'BenchmarkServe/workers=1/batch=64' -benchtime 1x
 	$(GO) test ./internal/serve -run '^$$' -bench 'BenchmarkServe/kernel=' -benchtime 1x
+	$(GO) test ./internal/serve -run '^$$' -bench 'BenchmarkServeTelemetry' -benchtime 1x
 	$(GO) test ./internal/kmeans -run '^$$' -bench 'BenchmarkLloyd' -benchtime 1x
 	$(GO) test ./internal/load -run '^$$' -bench 'BenchmarkLoad/rate=500' -benchtime 1x
 	$(GO) test ./internal/stats -run '^$$' -bench 'BenchmarkDot|BenchmarkSqDist|BenchmarkZipf|BenchmarkNearest' -benchtime 1x

@@ -40,6 +40,8 @@ func run(args []string, out io.Writer) error {
 		currentPath  = fs.String("current", "", "freshly recorded event stream to check")
 		match        = fs.String("match", ".", "regexp selecting benchmark names to compare")
 		tol          = fs.Float64("tol", 0.05, "allowed fractional ns/op increase over baseline")
+		renameFrom   = fs.String("rename-from", "", "regexp rewritten in each selected baseline name before the current-stream lookup (with -rename-to; compares variant pairs, e.g. telemetry=off vs telemetry=on)")
+		renameTo     = fs.String("rename-to", "", "replacement for -rename-from matches")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +60,16 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("bad -match: %w", err)
 	}
+	if (*renameFrom == "") != (*renameTo == "") {
+		return fmt.Errorf("-rename-from and -rename-to must be given together")
+	}
+	var rename *regexp.Regexp
+	if *renameFrom != "" {
+		rename, err = regexp.Compile(*renameFrom)
+		if err != nil {
+			return fmt.Errorf("bad -rename-from: %w", err)
+		}
+	}
 
 	base, err := parseFile(*baselinePath)
 	if err != nil {
@@ -68,7 +80,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	rep := compare(base, cur, re, *tol)
+	rep := compare(base, cur, re, *tol, rename, *renameTo)
 	for _, line := range rep.lines {
 		fmt.Fprintln(out, line)
 	}
@@ -107,8 +119,11 @@ type report struct {
 // compare checks every baseline benchmark whose name matches re
 // against the current recording. Benchmarks only present in the
 // current stream are ignored: new benchmarks get frozen into the
-// baseline when it is re-recorded, they are not regressions.
-func compare(base, cur map[string]float64, re *regexp.Regexp, tol float64) report {
+// baseline when it is re-recorded, they are not regressions. A
+// non-nil rename rewrites each selected baseline name before the
+// current-stream lookup, turning the comparison into a variant pair
+// within one recording (baseline variant vs renamed variant).
+func compare(base, cur map[string]float64, re *regexp.Regexp, tol float64, rename *regexp.Regexp, renameTo string) report {
 	names := make([]string, 0, len(base))
 	for name := range base {
 		if re.MatchString(name) {
@@ -120,10 +135,14 @@ func compare(base, cur map[string]float64, re *regexp.Regexp, tol float64) repor
 	var rep report
 	for _, name := range names {
 		b := base[name]
-		c, ok := cur[name]
+		key := name
+		if rename != nil {
+			key = rename.ReplaceAllString(name, renameTo)
+		}
+		c, ok := cur[key]
 		if !ok {
 			rep.missing++
-			rep.lines = append(rep.lines, fmt.Sprintf("MISSING %-60s baseline %.0f ns/op", name, b))
+			rep.lines = append(rep.lines, fmt.Sprintf("MISSING %-60s baseline %.0f ns/op", key, b))
 			continue
 		}
 		rep.compared++
@@ -134,7 +153,7 @@ func compare(base, cur map[string]float64, re *regexp.Regexp, tol float64) repor
 			rep.regressions++
 		}
 		rep.lines = append(rep.lines, fmt.Sprintf("%-9s %-60s %12.0f -> %12.0f ns/op  (%+.1f%%)",
-			verdict, name, b, c, (ratio-1)*100))
+			verdict, key, b, c, (ratio-1)*100))
 	}
 	return rep
 }

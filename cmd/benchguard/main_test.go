@@ -84,7 +84,7 @@ func TestCompareVerdicts(t *testing.T) {
 		"p:BenchmarkSweep/fused": 1051, // +5.1%: regression
 		"p:BenchmarkNew":         10,   // only in current: ignored
 	}
-	rep := compare(base, cur, regexp.MustCompile(`BenchmarkSweep|BenchmarkGone`), 0.05)
+	rep := compare(base, cur, regexp.MustCompile(`BenchmarkSweep|BenchmarkGone`), 0.05, nil, "")
 	if rep.compared != 2 {
 		t.Errorf("compared = %d, want 2", rep.compared)
 	}
@@ -106,9 +106,38 @@ func TestCompareVerdicts(t *testing.T) {
 func TestCompareImprovementIsOK(t *testing.T) {
 	base := map[string]float64{"p:BenchmarkX": 1000}
 	cur := map[string]float64{"p:BenchmarkX": 400}
-	rep := compare(base, cur, regexp.MustCompile(`.`), 0.05)
+	rep := compare(base, cur, regexp.MustCompile(`.`), 0.05, nil, "")
 	if rep.regressions != 0 || rep.missing != 0 || rep.compared != 1 {
 		t.Fatalf("improvement misreported: %+v", rep)
+	}
+}
+
+// TestCompareRenamedPair: -rename-from/-rename-to rewrite each
+// selected baseline name before the current lookup, comparing variant
+// pairs within one recording (the telemetry-overhead guard shape:
+// telemetry=on must stay within tolerance of telemetry=off).
+func TestCompareRenamedPair(t *testing.T) {
+	both := map[string]float64{
+		"p:BenchmarkServeTelemetry/telemetry=off/workers=2": 1000,
+		"p:BenchmarkServeTelemetry/telemetry=on/workers=2":  1030, // +3%: within
+	}
+	rep := compare(both, both, regexp.MustCompile(`telemetry=off`), 0.05,
+		regexp.MustCompile(`telemetry=off`), "telemetry=on")
+	if rep.compared != 1 || rep.regressions != 0 || rep.missing != 0 {
+		t.Fatalf("renamed pair misreported: %+v", rep)
+	}
+	if !strings.Contains(rep.lines[0], "telemetry=on") {
+		t.Errorf("report should show the renamed (current) name:\n%s", rep.lines[0])
+	}
+
+	slow := map[string]float64{
+		"p:BenchmarkServeTelemetry/telemetry=off/workers=2": 1000,
+		"p:BenchmarkServeTelemetry/telemetry=on/workers=2":  1100, // +10%: regression
+	}
+	rep = compare(slow, slow, regexp.MustCompile(`telemetry=off`), 0.05,
+		regexp.MustCompile(`telemetry=off`), "telemetry=on")
+	if rep.regressions != 1 {
+		t.Fatalf("overhead regression not caught: %+v", rep)
 	}
 }
 
@@ -161,6 +190,9 @@ func TestBenchguardValidationAudit(t *testing.T) {
 		"unreadable file":       {"-baseline", filepath.Join(dir, "nope.json"), "-current", base},
 		"match selects nothing": {"-baseline", base, "-current", base, "-match", "BenchmarkNope"},
 		"stray positional args": {"-baseline", base, "-current", base, "extra"},
+		"rename-from alone":     {"-baseline", base, "-current", base, "-rename-from", "x"},
+		"rename-to alone":       {"-baseline", base, "-current", base, "-rename-to", "y"},
+		"bad rename regexp":     {"-baseline", base, "-current", base, "-rename-from", "(", "-rename-to", "y"},
 	}
 	for name, args := range cases {
 		t.Run(name, func(t *testing.T) {

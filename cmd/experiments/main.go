@@ -6,7 +6,13 @@
 //
 //	experiments [-exp all|table5..table8|fig1..fig7|baselines|scaling|numeric|stream|shardsweep]
 //	            [-reps N] [-seed S] [-adult-rows N] [-parallel P]
-//	            [-budget D] [-trace] [-out FILE]
+//	            [-budget D] [-trace] [-telemetry run.jsonl]
+//	            [-cpuprofile prof.out] [-out FILE]
+//
+// -telemetry streams a JSONL run journal (one record per solver
+// iteration, labelled with method, k and seed) to the given path.
+// -cpuprofile writes a pprof CPU profile of the whole run for
+// `go tool pprof`.
 //
 // With -exp all (the default) it runs the paper's full evaluation.
 // -reps controls the number of random restarts averaged per
@@ -19,10 +25,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 // renderer is the common surface of every experiment result.
@@ -94,6 +102,8 @@ func run(args []string, out io.Writer) error {
 		parallel  = fs.Int("parallel", 0, "engine sweep workers (FairKM/K-Means/ZGYA): 0 = paper's sequential sweeps, -1 = GOMAXPROCS, n = n workers")
 		budget    = fs.Duration("budget", 0, "wall-clock budget per individual solver run (0 = none)")
 		trace     = fs.Bool("trace", false, "log every solver iteration to stderr (very verbose)")
+		telem     = fs.String("telemetry", "", "write a JSONL run journal (per-iteration records for every solver run) to this path")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 		outPath   = fs.String("out", "", "also write output to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -103,6 +113,17 @@ func run(args []string, out io.Writer) error {
 	if *reps < 1 {
 		return fmt.Errorf("-reps must be at least 1 (got %d)", *reps)
 	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 	opts := experiments.DefaultOptions()
 	opts.Reps = *reps
 	opts.Seed = *seed
@@ -111,6 +132,14 @@ func run(args []string, out io.Writer) error {
 	opts.Budget = *budget
 	if *trace {
 		opts.Trace = os.Stderr
+	}
+	if *telem != "" {
+		journal, err := telemetry.CreateRunLog(*telem)
+		if err != nil {
+			return err
+		}
+		opts.Journal = journal
+		defer journal.Close()
 	}
 
 	selected, err := selectExperiments(*exp)
@@ -135,6 +164,11 @@ func run(args []string, out io.Writer) error {
 		}
 		if _, err := fmt.Fprintf(w, "### %s\n\n%s\n", r.name, res.Render()); err != nil {
 			return err
+		}
+	}
+	if opts.Journal != nil {
+		if err := opts.Journal.Close(); err != nil {
+			return fmt.Errorf("telemetry journal: %w", err)
 		}
 	}
 	return nil

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -85,5 +86,52 @@ func TestValidationAudit(t *testing.T) {
 				t.Errorf("run(%v) accepted a bad invocation", args)
 			}
 		})
+	}
+}
+
+// TestRunTelemetryAndProfile: -telemetry journals every solver run of
+// the experiment (parallel restarts serialize into one valid JSONL
+// file) and -cpuprofile writes a non-empty pprof profile.
+func TestRunTelemetryAndProfile(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "runs.jsonl")
+	profile := filepath.Join(dir, "cpu.prof")
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "table7", "-reps", "2",
+		"-telemetry", journal, "-cpuprofile", profile}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("journal is empty")
+	}
+	methods := map[string]bool{}
+	for i, line := range lines {
+		var rec struct {
+			Type string `json:"type"`
+			Run  string `json:"run"`
+			Iter int    `json:"iter"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("journal line %d not JSON: %v\n%s", i, err, line)
+		}
+		if rec.Type != "iter" || rec.Iter < 1 {
+			t.Errorf("journal line %d = %+v", i, rec)
+		}
+		methods[strings.SplitN(rec.Run, "[", 2)[0]] = true
+	}
+	// table7 runs FairKM and the K-Means baseline; both must journal.
+	for _, m := range []string{"FairKM", "K-Means"} {
+		if !methods[m] {
+			t.Errorf("journal has no %s runs (methods: %v)", m, methods)
+		}
+	}
+	if prof, err := os.ReadFile(profile); err != nil || len(prof) == 0 {
+		t.Errorf("cpu profile: err=%v size=%d", err, len(prof))
 	}
 }

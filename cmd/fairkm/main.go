@@ -6,7 +6,13 @@
 //	fairkm -in data.csv -features f1,f2 -sensitive s1,s2 -k 5
 //	       [-numeric-sensitive a1,a2] [-lambda L | -auto-lambda]
 //	       [-seed S] [-max-iter N] [-tol T] [-budget D] [-parallel P]
-//	       [-trace] [-assign out.csv] [-save model.json] [-compare]
+//	       [-trace] [-telemetry run.jsonl] [-assign out.csv]
+//	       [-save model.json] [-compare]
+//
+// -telemetry streams a machine-readable run journal to the given path:
+// one JSONL record per engine iteration ({iter, moves, objective,
+// elapsed_ns}) plus a final summary record. With a fixed -seed every
+// field is reproducible except elapsed_ns.
 //
 // -save writes the trained model as a versioned artifact (centroids,
 // λ, categorical domains, min-max scaling, provenance) that
@@ -24,6 +30,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/core"
@@ -32,6 +39,7 @@ import (
 	"repro/internal/kmeans"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 func main() { cli.Main("fairkm", run) }
@@ -55,6 +63,7 @@ func run(args []string, out io.Writer) error {
 		budget     = fs.Duration("budget", 0, "wall-clock budget for the solve, e.g. 500ms (0 = none)")
 		parallel   = fs.Int("parallel", 0, "sweep workers: 0 = paper's sequential Algorithm 1, -1 = GOMAXPROCS, n = n workers")
 		trace      = fs.Bool("trace", false, "print one line per iteration (moves, objective, elapsed)")
+		telem      = fs.String("telemetry", "", "write a JSONL run journal (per-iteration records plus a final summary) to this path")
 		minmax     = fs.Bool("minmax", true, "min-max normalize features before clustering")
 		assignOut  = fs.String("assign", "", "write per-row cluster assignments to this CSV")
 		saveOut    = fs.String("save", "", "write the trained model artifact (centroids, λ, domains, scaling, provenance) to this path; serve it with fairserved")
@@ -98,12 +107,37 @@ func run(args []string, out io.Writer) error {
 		Seed: *seed, MaxIter: *maxIter, Tol: *tol, Budget: *budget,
 		Parallelism: *parallel,
 	}
+	var traceObs engine.Observer
 	if *trace {
-		cfg.Observer = engine.TraceObserver(out, "fairkm")
+		traceObs = engine.TraceObserver(out, "fairkm")
 	}
+	var journal *telemetry.RunLog
+	if *telem != "" {
+		journal, err = telemetry.CreateRunLog(*telem)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		cfg.Observer = engine.Observers(traceObs, journal.Observer("fairkm"))
+	} else {
+		cfg.Observer = traceObs
+	}
+	started := time.Now()
 	res, err := core.Run(ds, cfg)
 	if err != nil {
 		return err
+	}
+	if journal != nil {
+		journal.WriteSummary("fairkm", telemetry.RunSummary{
+			Tool: "fairkm", K: *k, Lambda: res.Lambda, Seed: *seed, Rows: ds.N(),
+			Iterations: res.Iterations, TotalMoves: res.TotalMoves, Converged: res.Converged,
+			Objective: res.Objective, KMeansTerm: res.KMeansTerm, FairnessTerm: res.FairnessTerm,
+			ElapsedNS: time.Since(started).Nanoseconds(),
+		})
+		if err := journal.Close(); err != nil {
+			return fmt.Errorf("telemetry journal: %w", err)
+		}
+		fmt.Fprintf(out, "wrote run journal to %s\n", *telem)
 	}
 
 	fmt.Fprintf(out, "FairKM: n=%d k=%d lambda=%.4g iterations=%d converged=%v\n",

@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -147,5 +149,73 @@ func TestRunSaveArtifact(t *testing.T) {
 	}
 	if len(m.Sensitive) != 2 || m.Sensitive[0].Kind != model.KindCategorical || m.Sensitive[1].Kind != model.KindNumeric {
 		t.Errorf("artifact sensitive schema = %+v", m.Sensitive)
+	}
+}
+
+// TestRunJournal pins the -telemetry contract: the journal is valid
+// JSONL (iter records then one summary), and with a fixed seed two
+// runs' journals are byte-identical once the wall-clock elapsed_ns
+// stamps are normalized away — nothing else may vary.
+func TestRunJournal(t *testing.T) {
+	csv := writeTestCSV(t)
+	journalRun := func(path string) string {
+		t.Helper()
+		var buf bytes.Buffer
+		err := run([]string{
+			"-in", csv, "-features", "x,y", "-sensitive", "grp",
+			"-k", "2", "-auto-lambda", "-seed", "7", "-telemetry", path,
+		}, &buf)
+		if err != nil {
+			t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+		}
+		if !strings.Contains(buf.String(), "wrote run journal") {
+			t.Errorf("no journal confirmation:\n%s", buf.String())
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	dir := t.TempDir()
+	first := journalRun(filepath.Join(dir, "a.jsonl"))
+
+	lines := strings.Split(strings.TrimSuffix(first, "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("journal has %d lines, want iter records plus a summary:\n%s", len(lines), first)
+	}
+	for i, line := range lines[:len(lines)-1] {
+		var rec struct {
+			Type string `json:"type"`
+			Run  string `json:"run"`
+			Iter int    `json:"iter"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i, err, line)
+		}
+		if rec.Type != "iter" || rec.Run != "fairkm" || rec.Iter != i+1 {
+			t.Errorf("line %d = %+v, want iter %d of run fairkm", i, rec, i+1)
+		}
+	}
+	var sum struct {
+		Type string `json:"type"`
+		Tool string `json:"tool"`
+		K    int    `json:"k"`
+		Seed int64  `json:"seed"`
+		Rows int    `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Type != "summary" || sum.Tool != "fairkm" || sum.K != 2 || sum.Seed != 7 || sum.Rows != 80 {
+		t.Errorf("summary = %+v", sum)
+	}
+
+	second := journalRun(filepath.Join(dir, "b.jsonl"))
+	elapsed := regexp.MustCompile(`"elapsed_ns":\d+`)
+	normA := elapsed.ReplaceAllString(first, `"elapsed_ns":0`)
+	normB := elapsed.ReplaceAllString(second, `"elapsed_ns":0`)
+	if normA != normB {
+		t.Errorf("fixed-seed journals differ beyond elapsed_ns:\n--- a ---\n%s\n--- b ---\n%s", first, second)
 	}
 }

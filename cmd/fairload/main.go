@@ -33,6 +33,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -77,6 +78,7 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		timeout   = fs.Duration("timeout", 0, "per-request client deadline (0 = none)")
 		slo       = fs.Duration("slo", 0, "grade accepted-request p99 against this bound (0 = no SLO grading)")
 		asJSON    = fs.Bool("json", false, "emit the full report as JSON instead of the summary")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 
 		workers     = fs.Int("workers", 0, "in-process: scoring workers per model (0 = GOMAXPROCS)")
 		batch       = fs.Int("batch", 0, "in-process: micro-batch size per worker task (0 = 64)")
@@ -99,6 +101,17 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *dim < 0 {
 		return fmt.Errorf("-dim must be >= 0, got %d", *dim)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	cfg := load.Config{

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -168,5 +169,26 @@ func TestValidationAudit(t *testing.T) {
 				t.Errorf("fairload accepted a bad invocation: %v", args)
 			}
 		})
+	}
+}
+
+// TestCPUProfile: -cpuprofile writes a non-empty pprof profile of the
+// load run.
+func TestCPUProfile(t *testing.T) {
+	dir := t.TempDir()
+	path := saveFixtureModel(t, dir, 2)
+	profile := filepath.Join(dir, "cpu.prof")
+
+	var buf bytes.Buffer
+	err := runCtx(context.Background(), []string{
+		"-artifact", "prod=" + path,
+		"-rate", "2000", "-requests", "100", "-seed", "3",
+		"-cpuprofile", profile,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("fairload failed: %v\n%s", err, buf.String())
+	}
+	if prof, err := os.ReadFile(profile); err != nil || len(prof) == 0 {
+		t.Errorf("cpu profile: err=%v size=%d", err, len(prof))
 	}
 }

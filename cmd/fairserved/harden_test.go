@@ -18,13 +18,8 @@ import (
 // options and handler options — the overload/hardening test rig.
 func hardTestServer(t *testing.T, path string, so serve.Options, ho handlerOptions) (*httptest.Server, *serve.Registry) {
 	t.Helper()
-	reg := serve.NewRegistry(so)
-	if _, err := reg.Load("prod", path); err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(newHandler(reg, ho))
-	t.Cleanup(func() { ts.Close(); reg.Close() })
-	return ts, reg
+	srv, reg, _ := newTelemetryTestServer(t, path, so, ho)
+	return srv, reg
 }
 
 // TestBodyLimits: oversized payloads get 413, garbage gets 400, and
@@ -222,5 +217,43 @@ func TestHardenedFlagValidation(t *testing.T) {
 				t.Errorf("serveCtx(%v) accepted a bad invocation", args)
 			}
 		})
+	}
+}
+
+// TestDebugMuxIsolation: pprof lives only on the opt-in -debug-addr
+// mux; the serving mux must never expose it (profiling endpoints on a
+// public port are a DoS and information leak).
+func TestDebugMuxIsolation(t *testing.T) {
+	dbg := httptest.NewServer(newDebugMux())
+	defer dbg.Close()
+	resp, err := http.Get(dbg.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("debug mux /debug/pprof/ = %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(dbg.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("debug mux /debug/pprof/cmdline = %d, want 200", resp.StatusCode)
+	}
+
+	dir := t.TempDir()
+	path, _ := saveFixtureModel(t, dir, 15)
+	ts, _ := hardTestServer(t, path, serve.Options{Workers: 1}, handlerOptions{})
+	for _, p := range []string{"/debug/pprof/", "/debug/pprof/profile", "/debug/pprof/heap"} {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("serving mux %s = %d, want 404", p, resp.StatusCode)
+		}
 	}
 }

@@ -6,10 +6,10 @@
 // Usage:
 //
 //	fairserved -model m.json [-model more.json ...] [-addr :8080]
-//	           [-batch 64] [-workers N] [-latency-window 1024]
+//	           [-batch 64] [-workers N]
 //	           [-max-concurrent N [-max-queue N] [-queue-budget 50ms]]
 //	           [-request-timeout 0] [-max-body 33554432]
-//	           [-shutdown-timeout 10s]
+//	           [-shutdown-timeout 10s] [-debug-addr ""]
 //
 // Overload behavior: with -max-concurrent set, each model admits at
 // most that many concurrent batches; excess requests queue up to
@@ -31,7 +31,15 @@
 //	                       atomic hot-swap; in-flight requests finish on
 //	                       the old model
 //	GET  /healthz          liveness
-//	GET  /metrics          Prometheus text exposition
+//	GET  /metrics          Prometheus text exposition (registry-backed:
+//	                       counters, gauges and full-fidelity latency
+//	                       histograms, including per-stage request spans)
+//	GET  /debug/traces     the slowest recent requests as span traces
+//	                       (admission/queue/score/total breakdown)
+//
+// With -debug-addr set, net/http/pprof is served on that address on a
+// separate mux — profiling endpoints never share the serving listener,
+// and are entirely off by default.
 //
 // SIGINT/SIGTERM shut the server down gracefully: the listener closes,
 // in-flight requests complete, worker pools drain.
@@ -56,6 +64,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/model"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
 func main() { cli.Main("fairserved", run) }
@@ -84,10 +93,9 @@ func serveCtx(ctx context.Context, args []string, out io.Writer) error {
 	var models modelList
 	fs.Var(&models, "model", "model artifact to serve, as PATH or NAME=PATH (repeatable; first is the default model)")
 	var (
-		addr      = fs.String("addr", ":8080", "listen address")
-		batch     = fs.Int("batch", 0, "micro-batch size per worker task (0 = 64)")
-		workers   = fs.Int("workers", 0, "scoring workers per model (0 = GOMAXPROCS)")
-		latWindow = fs.Int("latency-window", 0, "requests per latency quantile window (0 = 1024)")
+		addr    = fs.String("addr", ":8080", "listen address")
+		batch   = fs.Int("batch", 0, "micro-batch size per worker task (0 = 64)")
+		workers = fs.Int("workers", 0, "scoring workers per model (0 = GOMAXPROCS)")
 
 		maxConc     = fs.Int("max-concurrent", 0, "max concurrent batches per model (0 = unlimited, no admission control)")
 		maxQueue    = fs.Int("max-queue", 0, "admission queue depth per model before shedding (0 = default, requires -max-concurrent)")
@@ -95,6 +103,7 @@ func serveCtx(ctx context.Context, args []string, out io.Writer) error {
 		reqTimeout  = fs.Duration("request-timeout", 0, "per-request deadline; expired requests get HTTP 503 (0 = none)")
 		maxBody     = fs.Int64("max-body", defaultMaxBody, "largest accepted request body in bytes")
 		shutTimeout = fs.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+		debugAddr   = fs.String("debug-addr", "", "serve net/http/pprof on this address, on its own mux (empty = profiling off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,15 +134,17 @@ func serveCtx(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("-shutdown-timeout must be > 0, got %v", *shutTimeout)
 	}
 
+	ts := newTelemetryState()
 	reg := serve.NewRegistry(serve.Options{
 		BatchSize:     *batch,
 		Workers:       *workers,
-		LatencyWindow: *latWindow,
 		MaxConcurrent: *maxConc,
 		MaxQueue:      *maxQueue,
 		QueueBudget:   *queueBudget,
+		TracerFor:     ts.tracerFor,
 	})
 	defer reg.Close()
+	ts.watch(reg)
 	for _, spec := range models {
 		name, path := "", spec
 		if i := strings.IndexByte(spec, '='); i >= 0 {
@@ -148,11 +159,22 @@ func serveCtx(ctx context.Context, args []string, out io.Writer) error {
 			e.Name, path, m.K, m.Dim(), m.Lambda, m.Provenance.Tool, m.Provenance.Rows)
 	}
 
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return err
+		}
+		debugSrv := &http.Server{Handler: newDebugMux()}
+		defer debugSrv.Close()
+		go func() { _ = debugSrv.Serve(dln) }() // best-effort; dies with the process
+		fmt.Fprintf(out, "pprof on http://%s/debug/pprof/\n", dln.Addr())
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: newHandler(reg, handlerOptions{
+	srv := &http.Server{Handler: newHandler(reg, ts, handlerOptions{
 		RequestTimeout: *reqTimeout,
 		MaxBody:        *maxBody,
 	})}
@@ -232,6 +254,7 @@ type modelInfo struct {
 	Queued     int              `json:"queued"`
 	P50Millis  float64          `json:"p50_ms"`
 	P99Millis  float64          `json:"p99_ms"`
+	P999Millis float64          `json:"p999_ms"`
 	Drift      []driftInfo      `json:"drift,omitempty"`
 }
 
@@ -268,8 +291,9 @@ func (o handlerOptions) maxBody() int64 {
 	return o.MaxBody
 }
 
-// newHandler builds the fairserved HTTP API over a registry.
-func newHandler(reg *serve.Registry, opts handlerOptions) http.Handler {
+// newHandler builds the fairserved HTTP API over a serving registry
+// and the process telemetry state.
+func newHandler(reg *serve.Registry, ts *telemetryState, opts handlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -325,8 +349,19 @@ func newHandler(reg *serve.Registry, opts handlerOptions) http.Handler {
 			httpError(w, http.StatusMethodNotAllowed, "GET only")
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		writeMetrics(w, reg)
+		w.Header().Set("Content-Type", telemetry.ContentType)
+		_ = ts.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		traces := ts.slowest()
+		if traces == nil {
+			traces = []telemetry.Trace{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"traces": traces})
 	})
 	return mux
 }
@@ -431,6 +466,7 @@ func modelInfos(reg *serve.Registry) []modelInfo {
 			Queued:     st.Queued,
 			P50Millis:  float64(st.P50) / float64(time.Millisecond),
 			P99Millis:  float64(st.P99) / float64(time.Millisecond),
+			P999Millis: float64(st.P999) / float64(time.Millisecond),
 		}
 		for _, d := range e.Assigner().Drift() {
 			info.Drift = append(info.Drift, driftInfo{
@@ -446,76 +482,6 @@ func modelInfos(reg *serve.Registry) []modelInfo {
 		infos = append(infos, info)
 	}
 	return infos
-}
-
-// writeMetrics renders the Prometheus text exposition format with the
-// standard library only. Each entry's stats and drift are snapshotted
-// exactly once per scrape: Drift() holds the tracker lock the
-// assignment path's observe() also takes, so scraping must not
-// recompute it per metric family.
-func writeMetrics(w io.Writer, reg *serve.Registry) {
-	entries := reg.List()
-	stats := make([]serve.Stats, len(entries))
-	drifts := make([][]serve.DriftReport, len(entries))
-	for i, e := range entries {
-		stats[i] = e.Assigner().Stats()
-		drifts[i] = e.Assigner().Drift()
-	}
-	fmt.Fprintf(w, "# HELP fairserved_requests_total Assignment requests served per model.\n")
-	fmt.Fprintf(w, "# TYPE fairserved_requests_total counter\n")
-	for i, e := range entries {
-		fmt.Fprintf(w, "fairserved_requests_total{model=%q} %d\n", e.Name, stats[i].Requests)
-	}
-	fmt.Fprintf(w, "# HELP fairserved_rows_total Feature vectors labelled per model.\n")
-	fmt.Fprintf(w, "# TYPE fairserved_rows_total counter\n")
-	for i, e := range entries {
-		fmt.Fprintf(w, "fairserved_rows_total{model=%q} %d\n", e.Name, stats[i].Rows)
-	}
-	fmt.Fprintf(w, "# HELP fairserved_shed_total Requests rejected by admission control per model.\n")
-	fmt.Fprintf(w, "# TYPE fairserved_shed_total counter\n")
-	for i, e := range entries {
-		fmt.Fprintf(w, "fairserved_shed_total{model=%q} %d\n", e.Name, stats[i].Shed)
-	}
-	fmt.Fprintf(w, "# HELP fairserved_deadline_total Requests failed by their deadline per model.\n")
-	fmt.Fprintf(w, "# TYPE fairserved_deadline_total counter\n")
-	for i, e := range entries {
-		fmt.Fprintf(w, "fairserved_deadline_total{model=%q} %d\n", e.Name, stats[i].Deadline)
-	}
-	fmt.Fprintf(w, "# HELP fairserved_inflight Admitted requests currently scoring per model.\n")
-	fmt.Fprintf(w, "# TYPE fairserved_inflight gauge\n")
-	for i, e := range entries {
-		fmt.Fprintf(w, "fairserved_inflight{model=%q} %d\n", e.Name, stats[i].Inflight)
-	}
-	fmt.Fprintf(w, "# HELP fairserved_queue_depth Requests waiting for an admission slot per model.\n")
-	fmt.Fprintf(w, "# TYPE fairserved_queue_depth gauge\n")
-	for i, e := range entries {
-		fmt.Fprintf(w, "fairserved_queue_depth{model=%q} %d\n", e.Name, stats[i].Queued)
-	}
-	fmt.Fprintf(w, "# HELP fairserved_request_latency_seconds Request latency quantiles over the recent window.\n")
-	fmt.Fprintf(w, "# TYPE fairserved_request_latency_seconds summary\n")
-	for i, e := range entries {
-		fmt.Fprintf(w, "fairserved_request_latency_seconds{model=%q,quantile=\"0.5\"} %g\n", e.Name, stats[i].P50.Seconds())
-		fmt.Fprintf(w, "fairserved_request_latency_seconds{model=%q,quantile=\"0.99\"} %g\n", e.Name, stats[i].P99.Seconds())
-	}
-	fmt.Fprintf(w, "# HELP fairserved_model_generation Hot-swap generation per model name.\n")
-	fmt.Fprintf(w, "# TYPE fairserved_model_generation gauge\n")
-	for _, e := range entries {
-		fmt.Fprintf(w, "fairserved_model_generation{model=%q} %d\n", e.Name, e.Generation)
-	}
-	fmt.Fprintf(w, "# HELP fairserved_drift_max_tv Max total-variation distance between observed and training cluster mixes.\n")
-	fmt.Fprintf(w, "# TYPE fairserved_drift_max_tv gauge\n")
-	for i, e := range entries {
-		for _, d := range drifts[i] {
-			fmt.Fprintf(w, "fairserved_drift_max_tv{model=%q,attribute=%q} %g\n", e.Name, d.Attribute, d.MaxTV)
-		}
-	}
-	fmt.Fprintf(w, "# HELP fairserved_drift_observed_rows Rows with sensitive values observed per attribute.\n")
-	fmt.Fprintf(w, "# TYPE fairserved_drift_observed_rows counter\n")
-	for i, e := range entries {
-		for _, d := range drifts[i] {
-			fmt.Fprintf(w, "fairserved_drift_observed_rows{model=%q,attribute=%q} %d\n", e.Name, d.Attribute, d.ObservedRows)
-		}
-	}
 }
 
 // decodeJSON strictly decodes one JSON body of at most maxBody bytes:

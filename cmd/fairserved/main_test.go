@@ -6,16 +6,19 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/load"
 	"repro/internal/model"
 	"repro/internal/serve"
 	"repro/internal/testfix"
@@ -41,16 +44,29 @@ func saveFixtureModel(t *testing.T, dir string, seed int64) (string, *model.Mode
 	return path, m
 }
 
-// newTestServer loads one artifact into a registry-backed handler.
+// newTestServer loads one artifact into a registry-backed handler,
+// with the full telemetry wiring (metric registry + request tracers)
+// the real serveCtx uses.
 func newTestServer(t *testing.T, path string) (*httptest.Server, *serve.Registry) {
 	t.Helper()
-	reg := serve.NewRegistry(serve.Options{Workers: 2, BatchSize: 16})
+	srv, reg, _ := newTelemetryTestServer(t, path, serve.Options{Workers: 2, BatchSize: 16}, handlerOptions{})
+	return srv, reg
+}
+
+// newTelemetryTestServer is newTestServer with explicit serve/handler
+// options, also exposing the telemetry state for trace assertions.
+func newTelemetryTestServer(t *testing.T, path string, so serve.Options, ho handlerOptions) (*httptest.Server, *serve.Registry, *telemetryState) {
+	t.Helper()
+	tel := newTelemetryState()
+	so.TracerFor = tel.tracerFor
+	reg := serve.NewRegistry(so)
 	if _, err := reg.Load("prod", path); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newHandler(reg, handlerOptions{}))
-	t.Cleanup(func() { ts.Close(); reg.Close() })
-	return ts, reg
+	tel.watch(reg)
+	srv := httptest.NewServer(newHandler(reg, tel, ho))
+	t.Cleanup(func() { srv.Close(); reg.Close() })
+	return srv, reg, tel
 }
 
 func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
@@ -192,16 +208,44 @@ func TestModelsAndMetricsEndpoints(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/metrics: %d", resp.StatusCode)
 	}
+	if got := resp.Header.Get("Content-Type"); !strings.Contains(got, "version=0.0.4") {
+		t.Errorf("/metrics content type = %q", got)
+	}
 	text := string(data)
 	for _, want := range []string{
 		`fairserved_requests_total{model="prod"} 5`,
 		`fairserved_rows_total{model="prod"} 5`,
-		`fairserved_request_latency_seconds{model="prod",quantile="0.99"}`,
+		"# TYPE fairserved_request_latency_seconds histogram",
+		`fairserved_request_latency_seconds_bucket{model="prod",le="+Inf"} 5`,
+		`fairserved_request_latency_seconds_count{model="prod"} 5`,
+		`fairserved_request_stage_seconds_count{model="prod",stage="total"} 5`,
+		`fairserved_request_stage_seconds_count{model="prod",stage="admission"} 5`,
 		`fairserved_model_generation{model="prod"} 1`,
-		`fairserved_drift_observed_rows{model="prod",attribute=`,
+		// Label keys render in sorted order: attribute before model.
+		`fairserved_drift_observed_rows{attribute="` + attr + `",model="prod"} 5`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	// The flight recorder saw the same five requests.
+	resp, data = getBody(t, ts.URL+"/debug/traces")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces: %d", resp.StatusCode)
+	}
+	var traces struct {
+		Traces []map[string]any `json:"traces"`
+	}
+	if err := json.Unmarshal(data, &traces); err != nil {
+		t.Fatalf("/debug/traces body: %v\n%s", err, data)
+	}
+	if len(traces.Traces) != 5 {
+		t.Errorf("/debug/traces has %d traces, want 5:\n%s", len(traces.Traces), data)
+	}
+	for _, tr := range traces.Traces {
+		if tr["model"] != "prod" || tr["outcome"] != "ok" {
+			t.Errorf("trace = %v", tr)
 		}
 	}
 
@@ -301,8 +345,13 @@ func TestServeCtxEndToEnd(t *testing.T) {
 		t.Fatalf("/v1/assign = %d %s", resp.StatusCode, data)
 	}
 	if resp, data := getBody(t, base+"/metrics"); resp.StatusCode != http.StatusOK ||
-		!strings.Contains(string(data), "fairserved_requests_total") {
+		!strings.Contains(string(data), "fairserved_requests_total") ||
+		!strings.Contains(string(data), "fairserved_request_stage_seconds_bucket") {
 		t.Fatalf("/metrics = %d %s", resp.StatusCode, data)
+	}
+	if resp, data := getBody(t, base+"/debug/traces"); resp.StatusCode != http.StatusOK ||
+		!strings.Contains(string(data), `"outcome"`) {
+		t.Fatalf("/debug/traces = %d %s", resp.StatusCode, data)
 	}
 
 	cancel()
@@ -369,4 +418,97 @@ func (w *syncLineWriter) String() string {
 
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// promHistogramQuantile computes the nearest-rank quantile from the
+// cumulative `le` buckets of one histogram series in a Prometheus
+// text exposition.
+func promHistogramQuantile(t *testing.T, text, family, labels string, q float64) time.Duration {
+	t.Helper()
+	var n uint64
+	countPrefix := family + "_count{" + labels + "} "
+	bucketPrefix := family + "_bucket{" + labels + ",le=\""
+	type bucket struct {
+		le  float64
+		cum uint64
+	}
+	var buckets []bucket
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, countPrefix); ok {
+			c, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				t.Fatalf("bad _count line %q: %v", line, err)
+			}
+			n = c
+		}
+		if rest, ok := strings.CutPrefix(line, bucketPrefix); ok {
+			leStr, cumStr, ok := strings.Cut(rest, "\"} ")
+			if !ok {
+				t.Fatalf("bad _bucket line %q", line)
+			}
+			if leStr == "+Inf" {
+				continue
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				t.Fatalf("bad le in %q: %v", line, err)
+			}
+			cum, err := strconv.ParseUint(cumStr, 10, 64)
+			if err != nil {
+				t.Fatalf("bad count in %q: %v", line, err)
+			}
+			buckets = append(buckets, bucket{le, cum})
+		}
+	}
+	if n == 0 || len(buckets) == 0 {
+		t.Fatalf("no %s{%s} histogram in exposition:\n%s", family, labels, text)
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	for _, b := range buckets {
+		if b.cum >= rank {
+			return time.Duration(b.le * float64(time.Second))
+		}
+	}
+	t.Fatalf("rank %d beyond the last finite bucket (n=%d)", rank, n)
+	return 0
+}
+
+// TestMetricsP99AgreesWithLoad is the end-to-end acceptance check for
+// the histogram-backed /metrics: an open-loop fairload run against the
+// in-process registry must measure the same accepted-request p99 the
+// server's exposed latency histogram reports, within the histogram's
+// ≤1/32 relative bucket quantization. Both sides wrap the identical
+// AssignBatchCtx call, so queueing waits land in both distributions;
+// the 1ms ScoreHook floor keeps measurement epsilon far below bucket
+// width.
+func TestMetricsP99AgreesWithLoad(t *testing.T) {
+	dir := t.TempDir()
+	path, m := saveFixtureModel(t, dir, 21)
+	ts, reg, _ := newTelemetryTestServer(t, path, serve.Options{
+		Workers:   4,
+		ScoreHook: func(rows int) { time.Sleep(time.Millisecond) },
+	}, handlerOptions{})
+
+	w, err := load.Build(load.Config{
+		Rate: 1000, Requests: 300, Seed: 9, Dim: m.Dim(), MaxBatch: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := load.Run(context.Background(), w, &load.RegistryTarget{Registry: reg})
+	if rep.OK != 300 {
+		t.Fatalf("load run: %d/%d OK (first error: %s)", rep.OK, rep.Sent, rep.FirstError)
+	}
+
+	_, data := getBody(t, ts.URL+"/metrics")
+	served := promHistogramQuantile(t, string(data),
+		"fairserved_request_latency_seconds", `model="prod"`, 0.99)
+	measured := rep.Latency.P99
+	if measured <= 0 {
+		t.Fatalf("load report p99 = %v", measured)
+	}
+	if diff := math.Abs(float64(served-measured)) / float64(measured); diff > 1.0/32 {
+		t.Errorf("/metrics p99 %v vs fairload p99 %v: %.2f%% apart, want <= 1/32 (~3.1%%)",
+			served, measured, diff*100)
+	}
 }

@@ -13,7 +13,11 @@
 //	           [-chunk 4096] [-max-groups 256] [-seed S] [-max-iter N]
 //	           [-tol T] [-parallel P] [-minmax] [-skip-eval]
 //	           [-shards S] [-shard-workers W] [-merge-budget B]
-//	           [-save model.json]
+//	           [-telemetry run.jsonl] [-save model.json]
+//
+// -telemetry streams a JSONL run journal of the summary solve (one
+// record per iteration plus a final summary record) to the given path;
+// with a fixed -seed every field is reproducible except elapsed_ns.
 //
 // With -minmax an extra leading pass computes per-column minima and
 // ranges so features can be scaled to [0,1] on the fly — three
@@ -36,11 +40,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/dataset"
 	"repro/internal/model"
 	"repro/internal/pipeline"
+	"repro/internal/telemetry"
 )
 
 func main() { cli.Main("fairstream", run) }
@@ -70,6 +76,7 @@ func run(args []string, out io.Writer) error {
 		mergeBudget  = fs.Int("merge-budget", 0, "cap the merged summary's row count; a larger union is reduced by one extra coreset pass (0 = never reduce)")
 		minmax       = fs.Bool("minmax", false, "min-max scale features to [0,1] via an extra leading pass")
 		skipEval     = fs.Bool("skip-eval", false, "skip the second full-data metrics pass")
+		telem        = fs.String("telemetry", "", "write a JSONL run journal of the summary solve to this path")
 		saveOut      = fs.String("save", "", "write the trained model artifact (centroids, λ, domains, scaling, provenance) to this path; serve it with fairserved")
 		centsOut     = fs.String("centroids", "", "deprecated alias for -save (the CSV export lost the categorical domains and λ; the artifact keeps them)")
 	)
@@ -147,6 +154,17 @@ func run(args []string, out io.Writer) error {
 		Tol:         *tol,
 		Parallelism: *parallel,
 	}
+	var journal *telemetry.RunLog
+	if *telem != "" {
+		var err error
+		journal, err = telemetry.CreateRunLog(*telem)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		pcfg.Observer = journal.Observer("fairstream")
+	}
+	started := time.Now()
 	var res *pipeline.Result
 	if *shards > 1 {
 		split, err := dataset.SplitCSV(*in, *shards)
@@ -192,6 +210,19 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+	}
+	if journal != nil {
+		journal.WriteSummary("fairstream", telemetry.RunSummary{
+			Tool: "fairstream", K: *k, Lambda: res.Lambda, Seed: *seed, Rows: res.N,
+			Iterations: res.Solve.Iterations, TotalMoves: res.Solve.TotalMoves,
+			Converged: res.Solve.Converged, Objective: res.Solve.Objective,
+			KMeansTerm: res.Solve.KMeansTerm, FairnessTerm: res.Solve.FairnessTerm,
+			ElapsedNS: time.Since(started).Nanoseconds(),
+		})
+		if err := journal.Close(); err != nil {
+			return fmt.Errorf("telemetry journal: %w", err)
+		}
+		fmt.Fprintf(out, "wrote run journal to %s\n", *telem)
 	}
 	fmt.Fprintf(out, "stream: n=%d rows in, %d summary rows out (%.1f× compression), %d strata\n",
 		res.N, res.Summary.N(), float64(res.N)/float64(res.Summary.N()), res.Groups)

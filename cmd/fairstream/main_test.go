@@ -2,10 +2,12 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -203,5 +205,56 @@ func TestValidationAudit(t *testing.T) {
 				t.Errorf("run(%v) accepted a bad invocation", args)
 			}
 		})
+	}
+}
+
+// TestFairstreamJournal: -telemetry writes a JSONL journal of the
+// summary solve whose iter records and summary survive a fixed-seed
+// rerun byte-identically apart from the wall-clock elapsed stamps.
+func TestFairstreamJournal(t *testing.T) {
+	csv := writeTestCSV(t, 900)
+	dir := t.TempDir()
+	journalRun := func(path string) string {
+		t.Helper()
+		var buf bytes.Buffer
+		err := run([]string{
+			"-in", csv, "-features", "x,y", "-sensitive", "grp",
+			"-k", "3", "-auto-lambda", "-m", "24", "-chunk", "100",
+			"-seed", "4", "-skip-eval", "-telemetry", path,
+		}, &buf)
+		if err != nil {
+			t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+		}
+		if !strings.Contains(buf.String(), "wrote run journal") {
+			t.Errorf("no journal confirmation:\n%s", buf.String())
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	first := journalRun(filepath.Join(dir, "a.jsonl"))
+	lines := strings.Split(strings.TrimSuffix(first, "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("journal has %d lines:\n%s", len(lines), first)
+	}
+	var sum struct {
+		Type string `json:"type"`
+		Run  string `json:"run"`
+		Tool string `json:"tool"`
+		Rows int    `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Type != "summary" || sum.Run != "fairstream" || sum.Tool != "fairstream" || sum.Rows != 900 {
+		t.Errorf("summary = %+v", sum)
+	}
+
+	second := journalRun(filepath.Join(dir, "b.jsonl"))
+	elapsed := regexp.MustCompile(`"elapsed_ns":\d+`)
+	if elapsed.ReplaceAllString(first, "") != elapsed.ReplaceAllString(second, "") {
+		t.Errorf("fixed-seed journals differ beyond elapsed_ns:\n--- a ---\n%s\n--- b ---\n%s", first, second)
 	}
 }

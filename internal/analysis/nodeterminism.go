@@ -13,14 +13,15 @@ import (
 // construction is deterministic, and load.go opts in with a
 // //fairvet:deterministic file marker.)
 var detPackages = map[string]bool{
-	"repro/internal/core":     true,
-	"repro/internal/engine":   true,
-	"repro/internal/kmeans":   true,
-	"repro/internal/stats":    true,
-	"repro/internal/coreset":  true,
-	"repro/internal/pipeline": true,
-	"repro/internal/model":    true,
-	"repro/internal/dataset":  true,
+	"repro/internal/core":      true,
+	"repro/internal/engine":    true,
+	"repro/internal/kmeans":    true,
+	"repro/internal/stats":     true,
+	"repro/internal/coreset":   true,
+	"repro/internal/pipeline":  true,
+	"repro/internal/model":     true,
+	"repro/internal/dataset":   true,
+	"repro/internal/telemetry": true,
 }
 
 // NoDeterminism flags nondeterminism escape hatches inside the

@@ -23,3 +23,28 @@ func TraceObserver(w io.Writer, label string) Observer {
 			label, ev.Iteration, ev.Moves, ev.Objective, ev.Elapsed.Round(time.Microsecond))
 	}
 }
+
+// Observers composes observers into one, skipping nils: the CLIs stack
+// a human-readable -trace observer and a -telemetry run journal on the
+// same solve. Returns nil when none remain (so Config.Observer stays
+// nil and Solve skips the per-iteration Value() computation), and the
+// sole survivor unwrapped.
+func Observers(obs ...Observer) Observer {
+	live := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(ev IterEvent) {
+		for _, o := range live {
+			o(ev)
+		}
+	}
+}

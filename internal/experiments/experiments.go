@@ -28,6 +28,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/kmeans"
+	"repro/internal/telemetry"
 	"repro/internal/zgya"
 )
 
@@ -71,6 +72,11 @@ type Options struct {
 	// (labelled with method, k and seed). With parallel restarts the
 	// lines interleave; each line is written atomically.
 	Trace io.Writer
+	// Journal, when non-nil, receives machine-readable per-iteration
+	// records for every solver run, tagged with the same method/k/seed
+	// labels as Trace. The RunLog serializes concurrent restarts;
+	// cmd/experiments exposes it as -telemetry.
+	Journal *telemetry.RunLog
 }
 
 // DefaultOptions returns the scale used by cmd/experiments by default.
@@ -104,13 +110,18 @@ func (o *Options) normalize() {
 }
 
 // observer returns an engine.Observer writing per-iteration trace
-// lines tagged with label (whole lines, serialized across the
-// parallel restart goroutines), or nil when tracing is off.
+// lines and/or telemetry journal records tagged with label (whole
+// lines, serialized across the parallel restart goroutines), or nil
+// when both sinks are off.
 func (o Options) observer(label string) engine.Observer {
-	if o.Trace == nil {
-		return nil
+	var trace, journal engine.Observer
+	if o.Trace != nil {
+		trace = engine.TraceObserver(o.Trace, label)
 	}
-	return engine.TraceObserver(o.Trace, label)
+	if o.Journal != nil {
+		journal = o.Journal.Observer(label)
+	}
+	return engine.Observers(trace, journal)
 }
 
 // FairKMConfig returns a core.Config carrying the orchestration

@@ -39,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/coreset"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/stats"
 )
@@ -88,6 +89,9 @@ type Config struct {
 	Tol         float64
 	Parallelism int
 	Weights     map[string]float64
+	// Observer, when non-nil, receives the summary solve's
+	// per-iteration statistics (trace output, telemetry run journals).
+	Observer engine.Observer
 }
 
 // Result is a completed summarize-then-solve run.
@@ -312,6 +316,7 @@ func (s *Summarizer) Solve() (*Result, error) {
 		Tol:         s.cfg.Tol,
 		Parallelism: s.cfg.Parallelism,
 		Weights:     s.cfg.Weights,
+		Observer:    s.cfg.Observer,
 	})
 	if err != nil {
 		return nil, err

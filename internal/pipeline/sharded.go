@@ -236,6 +236,7 @@ func solveSharded(sums []*Summarizer, cfg ShardedConfig) (*Result, error) {
 		Tol:         cfg.Tol,
 		Parallelism: cfg.Parallelism,
 		Weights:     cfg.Weights,
+		Observer:    cfg.Observer,
 	})
 	if err != nil {
 		return nil, err

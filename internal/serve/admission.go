@@ -77,30 +77,35 @@ func newGate(o Options) *gate {
 
 // acquire admits the request or rejects it: *ShedError when a capacity
 // bound trips, ctx.Err() when the request's deadline expires while
-// queued. A nil return means the caller holds a slot and must release().
-func (g *gate) acquire(ctx context.Context) error {
+// queued. A nil error means the caller holds a slot and must
+// release(). queueWait is the measured blocking wait in the queue —
+// the span-trace "queue" stage — and is zero on the uncontended fast
+// path (which stays clock-free) and on shed rejections (the request
+// never queued).
+func (g *gate) acquire(ctx context.Context) (queueWait time.Duration, err error) {
 	select {
 	case g.slots <- struct{}{}:
-		return nil
+		return 0, nil
 	default:
 	}
 	q := g.queued.Add(1)
 	if q > g.maxQueue {
 		g.queued.Add(-1)
-		return &ShedError{Reason: "queue full", RetryAfter: g.retryAfter(q)}
+		return 0, &ShedError{Reason: "queue full", RetryAfter: g.retryAfter(q)}
 	}
 	if g.budget > 0 {
 		if wait := g.estimate(q); wait > g.budget {
 			g.queued.Add(-1)
-			return &ShedError{Reason: "queue wait exceeds budget", RetryAfter: wait}
+			return 0, &ShedError{Reason: "queue wait exceeds budget", RetryAfter: wait}
 		}
 	}
 	defer g.queued.Add(-1)
+	enqueued := time.Now()
 	select {
 	case g.slots <- struct{}{}:
-		return nil
+		return time.Since(enqueued), nil
 	case <-ctx.Done():
-		return ctx.Err()
+		return time.Since(enqueued), ctx.Err()
 	}
 }
 

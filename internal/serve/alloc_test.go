@@ -3,6 +3,7 @@ package serve
 import (
 	"testing"
 
+	"repro/internal/telemetry"
 	"repro/internal/testfix"
 )
 
@@ -52,5 +53,30 @@ func TestHotPathAllocs(t *testing.T) {
 	})
 	if single > 0.5 {
 		t.Errorf("Assign allocs/op = %.1f, want 0", single)
+	}
+
+	// Tracing on: the span bookkeeping (stage histogram records, flight
+	// recorder) must add nothing beyond the trace-done defer itself.
+	at, err := NewAssigner(m, Options{Workers: 2, BatchSize: 64,
+		TracerFor: func(model string) *telemetry.RequestTracer {
+			return telemetry.NewRequestTracer(telemetry.NewRegistry(),
+				"alloc_request_stage_seconds", "Alloc stages.", model, 0)
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer at.Close()
+	for i := 0; i < 4; i++ {
+		if _, _, err := at.AssignBatch(rows, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	traced := testing.AllocsPerRun(20, func() {
+		if _, _, err := at.AssignBatch(rows, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if traced > batch+1 {
+		t.Errorf("traced AssignBatch allocs/op = %.1f, want <= untraced %.1f + 1", traced, batch)
 	}
 }

@@ -51,6 +51,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // DefaultBatchSize is the micro-batch size when Options.BatchSize <= 0:
@@ -66,9 +67,15 @@ type Options struct {
 	BatchSize int
 	// Workers is the scoring pool size; <= 0 means GOMAXPROCS.
 	Workers int
-	// LatencyWindow is how many recent request latencies the p50/p99
-	// estimates are computed over; <= 0 means 1024.
-	LatencyWindow int
+
+	// TracerFor, when non-nil, is called once per Assigner construction
+	// with the model's name and returns the span tracer batch requests
+	// report into (nil disables tracing for that model). It is a
+	// factory rather than a tracer because a Registry shares one
+	// Options across every model it installs — including re-installs on
+	// hot reload, which should keep feeding the model's existing
+	// tracer.
+	TracerFor func(model string) *telemetry.RequestTracer
 
 	// MaxConcurrent caps how many requests may score on this model at
 	// once; <= 0 disables admission control entirely (no queue bound,
@@ -98,9 +105,6 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
-	}
-	if o.LatencyWindow <= 0 {
-		o.LatencyWindow = 1024
 	}
 	if o.MaxConcurrent > 0 && o.MaxQueue <= 0 {
 		o.MaxQueue = DefaultMaxQueue
@@ -179,6 +183,11 @@ type Assigner struct {
 	inflight sync.WaitGroup
 
 	stats *tracker
+	// tracer, when non-nil, receives one span Trace per batch request
+	// (every outcome). Single-query AssignCtx stays untraced: its whole
+	// budget is a few hundred nanoseconds and the trace would cost more
+	// than the work it measures.
+	tracer *telemetry.RequestTracer
 }
 
 // NewAssigner validates the model and starts the scoring pool.
@@ -196,7 +205,10 @@ func NewAssigner(m *model.Model, opts Options) (*Assigner, error) {
 		ix:    stats.NewCentroidIndex(m.Centroids),
 		jobs:  make(chan *batchJob),
 		gate:  newGate(opts),
-		stats: newTracker(m, opts.LatencyWindow),
+		stats: newTracker(m),
+	}
+	if opts.TracerFor != nil {
+		a.tracer = opts.TracerFor(m.Name)
 	}
 	a.scratch.New = func() any { return a.ix.NewScratch() }
 	for w := 0; w < opts.Workers; w++ {
@@ -309,6 +321,31 @@ func (a *Assigner) admitErr(err error) error {
 	return a.ctxErr(err, "while queued")
 }
 
+// traceDone assembles and records one batch request's span trace:
+// admission = entry to slot acquisition (the whole request when the
+// gate denied it), queue = the measured blocking wait inside the gate,
+// score = everything after admission, total = entry to return. Runs
+// deferred, after the stats/gate bookkeeping of the path taken.
+func (a *Assigner) traceDone(err error, denied bool, rows int, start, admitted time.Time, queueWait time.Duration) {
+	end := time.Now()
+	tr := telemetry.Trace{Rows: rows, Queue: queueWait, Total: end.Sub(start)}
+	switch {
+	case err == nil:
+		tr.Outcome = telemetry.OutcomeOK
+	case IsShed(err):
+		tr.Outcome = telemetry.OutcomeShed
+	default:
+		tr.Outcome = telemetry.OutcomeDeadline
+	}
+	if denied {
+		tr.Admission = tr.Total
+	} else {
+		tr.Admission = admitted.Sub(start)
+		tr.Score = end.Sub(admitted)
+	}
+	a.tracer.Observe(tr)
+}
+
 // ctxErr wraps a context expiry into the request error, counting it.
 func (a *Assigner) ctxErr(err error, when string) error {
 	a.stats.deadline.Add(1)
@@ -335,7 +372,7 @@ func (a *Assigner) AssignCtx(ctx context.Context, x []float64, sensitive map[str
 	}
 	start := time.Now()
 	if a.gate != nil {
-		if err := a.gate.acquire(ctx); err != nil {
+		if _, err := a.gate.acquire(ctx); err != nil {
 			return 0, 0, a.admitErr(err)
 		}
 		admitted := time.Now()
@@ -370,7 +407,7 @@ func (a *Assigner) AssignBatch(rows [][]float64, sensitive []map[string]string) 
 // (no partial results) and frees the caller immediately, even if a
 // stalled worker is still pinned on one of its micro-batches (the
 // orphaned task writes into slots nothing reads anymore).
-func (a *Assigner) AssignBatchCtx(ctx context.Context, rows [][]float64, sensitive []map[string]string) ([]int, []float64, error) {
+func (a *Assigner) AssignBatchCtx(ctx context.Context, rows [][]float64, sensitive []map[string]string) (_ []int, _ []float64, retErr error) {
 	dim := a.m.Dim()
 	for i, x := range rows {
 		if len(x) != dim {
@@ -381,11 +418,25 @@ func (a *Assigner) AssignBatchCtx(ctx context.Context, rows [][]float64, sensiti
 		return nil, nil, fmt.Errorf("serve: %d sensitive records for %d rows", len(sensitive), len(rows))
 	}
 	start := time.Now()
+	// Span trace bookkeeping: admitted and queueWait are filled in by
+	// the gate branch; denied marks an admission rejection (the whole
+	// request was the admission stage). Malformed requests returned
+	// above are not traced — they never entered the pipeline.
+	admitted := start
+	var queueWait time.Duration
+	denied := false
+	if a.tracer != nil {
+		defer func() { a.traceDone(retErr, denied, len(rows), start, admitted, queueWait) }()
+	}
 	if a.gate != nil {
-		if err := a.gate.acquire(ctx); err != nil {
+		qw, err := a.gate.acquire(ctx)
+		if err != nil {
+			denied = true
+			queueWait = qw
 			return nil, nil, a.admitErr(err)
 		}
-		admitted := time.Now()
+		queueWait = qw
+		admitted = time.Now()
 		defer func() { a.gate.release(time.Since(admitted)) }()
 	}
 	if err := ctx.Err(); err != nil {
@@ -508,6 +559,11 @@ func (a *Assigner) Stats() Stats {
 	}
 	return s
 }
+
+// Latency snapshots the full accepted-request latency distribution —
+// the histogram behind the Stats quantiles, for Prometheus bucket
+// exposition.
+func (a *Assigner) Latency() *telemetry.Histogram { return a.stats.latency() }
 
 // Drift reports observed-vs-training fairness per categorical
 // attribute.

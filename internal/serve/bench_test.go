@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/testfix"
 )
 
@@ -112,4 +113,46 @@ func BenchmarkServe(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkServeTelemetry pins the cost of span tracing on the batch
+// path: the same workers=2/batch=64 workload with and without a live
+// RequestTracer (registry-backed stage histograms plus the flight
+// recorder). The `BenchmarkServe` prefix gets the pair recorded into
+// BENCH_serve.json by `make bench`, and bench-check's dedicated
+// -rename comparison holds telemetry=on within the ±5% bar of
+// telemetry=off (see Makefile).
+func BenchmarkServeTelemetry(b *testing.B) {
+	ds := testfix.Adult(1, 4096)
+	m := trainModel(b, ds, 15, 1)
+	rows := ds.Features
+
+	variants := []struct {
+		name string
+		opts Options
+	}{
+		{"telemetry=off", Options{Workers: 2, BatchSize: 64}},
+		{"telemetry=on", Options{Workers: 2, BatchSize: 64,
+			TracerFor: func(model string) *telemetry.RequestTracer {
+				return telemetry.NewRequestTracer(telemetry.NewRegistry(),
+					"bench_request_stage_seconds", "Bench stages.", model, 0)
+			}}},
+	}
+	for _, v := range variants {
+		b.Run(v.name+"/workers=2/batch=64", func(b *testing.B) {
+			a, err := NewAssigner(m, v.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer a.Close()
+			b.SetBytes(int64(len(rows)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := a.AssignBatch(rows, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

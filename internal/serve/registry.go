@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // Entry is one registered model: an immutable Assigner plus load
@@ -67,7 +68,16 @@ func (r *Registry) Install(name, path string, m *model.Model) (*Entry, error) {
 	if name == "" {
 		return nil, fmt.Errorf("serve: model has no name")
 	}
-	a, err := NewAssigner(m, r.opts)
+	opts := r.opts
+	if opts.TracerFor != nil {
+		// Bind the tracer factory to the SERVING name (the registry
+		// key), not the artifact's internal name: that is the identity
+		// every other metric labels with, and it is stable across hot
+		// reloads that swap in artifacts with different internal names.
+		factory, served := opts.TracerFor, name
+		opts.TracerFor = func(string) *telemetry.RequestTracer { return factory(served) }
+	}
+	a, err := NewAssigner(m, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,6 @@
 package serve
 
 import (
-	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +8,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // Stats is a point-in-time snapshot of one Assigner's serving counters.
@@ -29,14 +28,17 @@ type Stats struct {
 	// Always zero when admission control is off.
 	Inflight int
 	Queued   int
-	// P50 and P99 are request latency quantiles over the most recent
-	// LatencyWindow requests (zero until the first request).
-	P50 time.Duration
-	P99 time.Duration
+	// P50, P99 and P999 are request latency quantiles over ALL accepted
+	// requests since the assigner started (zero until the first
+	// request), read from a full-fidelity log-linear histogram — no
+	// sampling window, no coordinated-omission bias in the tail.
+	P50  time.Duration
+	P99  time.Duration
+	P999 time.Duration
 }
 
-// tracker accumulates counters, a latency ring and the drift state for
-// one Assigner.
+// tracker accumulates counters, the latency histogram and the drift
+// state for one Assigner.
 type tracker struct {
 	model *model.Model
 
@@ -45,10 +47,12 @@ type tracker struct {
 	shed     atomic.Uint64
 	deadline atomic.Uint64
 
-	latMu  sync.Mutex
-	ring   []time.Duration
-	pos    int
-	filled bool
+	// lat replaces the old 1024-sample quantile ring: recording is
+	// wait-free (no mutex shared with scrapes) and quantiles come from
+	// the full distribution instead of a recent-window sort. See
+	// telemetry.AtomicHistogram for why this keeps /metrics scrapes off
+	// the assign hot path (pinned by TestSnapshotDoesNotBlockRecording).
+	lat *telemetry.AtomicHistogram
 
 	driftMu sync.Mutex
 	attrs   []*driftAttr
@@ -71,8 +75,8 @@ type driftAttr struct {
 	training metrics.FairnessReport
 }
 
-func newTracker(m *model.Model, window int) *tracker {
-	t := &tracker{ring: make([]time.Duration, window)}
+func newTracker(m *model.Model) *tracker {
+	t := &tracker{lat: telemetry.NewAtomicHistogram()}
 	for _, ai := range m.CategoricalAttrs() {
 		dom, err := m.DomainIndex(ai)
 		if err != nil {
@@ -104,14 +108,7 @@ func newTracker(m *model.Model, window int) *tracker {
 func (t *tracker) record(rows int, d time.Duration) {
 	t.requests.Add(1)
 	t.rows.Add(uint64(rows))
-	t.latMu.Lock()
-	t.ring[t.pos] = d
-	t.pos++
-	if t.pos == len(t.ring) {
-		t.pos = 0
-		t.filled = true
-	}
-	t.latMu.Unlock()
+	t.lat.Record(d)
 }
 
 // observe records one labelled row's sensitive values (keyed by
@@ -135,6 +132,11 @@ func (t *tracker) observe(cluster int, sensitive map[string]string) {
 	}
 }
 
+// snapshot reads the counters and derives the latency quantiles from a
+// histogram snapshot. Unlike the old ring (copy + sort of 1024 samples
+// under the same mutex record() took), this shares no lock with the
+// assign hot path: a scrape costs the reader a bucket-array scan and
+// costs writers nothing.
 func (t *tracker) snapshot() Stats {
 	s := Stats{
 		Requests: t.requests.Load(),
@@ -142,37 +144,20 @@ func (t *tracker) snapshot() Stats {
 		Shed:     t.shed.Load(),
 		Deadline: t.deadline.Load(),
 	}
-	t.latMu.Lock()
-	n := t.pos
-	if t.filled {
-		n = len(t.ring)
-	}
-	lats := append([]time.Duration(nil), t.ring[:n]...)
-	t.latMu.Unlock()
-	if len(lats) == 0 {
+	h := t.lat.Snapshot()
+	if h.Count() == 0 {
 		return s
 	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	s.P50 = quantile(lats, 0.50)
-	s.P99 = quantile(lats, 0.99)
+	s.P50 = h.Quantile(0.50)
+	s.P99 = h.Quantile(0.99)
+	s.P999 = h.Quantile(0.999)
 	return s
 }
 
-// quantile returns the nearest-rank q-quantile of a sorted sample:
-// the smallest element with at least ⌈q·n⌉ elements ≤ it. Flooring
-// an (n−1)-scaled index here (the old int(q·(n−1))) lands P99 of a
-// full 1000-sample window on rank 989 ≈ P98.9 and systematically
-// under-reports tail latency; ⌈q·n⌉−1 is the standard estimator.
-func quantile(sorted []time.Duration, q float64) time.Duration {
-	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
-}
+// latency snapshots the full accepted-request latency distribution —
+// the histogram behind the Stats quantiles, for exposition as
+// Prometheus le buckets.
+func (t *tracker) latency() *telemetry.Histogram { return t.lat.Snapshot() }
 
 // DriftReport compares the sensitive-value mix observed in serving
 // traffic against the model's training distributions, per categorical

@@ -1,71 +1,114 @@
 package serve
 
 import (
+	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
-// TestQuantileNearestRank pins the nearest-rank estimator ⌈q·n⌉−1 on
-// known samples. The previous int(q·(n−1)) floor read ≈P98.8 for P99
-// over a full window, systematically under-reporting tail latency.
-func TestQuantileNearestRank(t *testing.T) {
-	ascending := func(n int) []time.Duration {
-		s := make([]time.Duration, n)
-		for i := range s {
-			s[i] = time.Duration(i+1) * time.Millisecond
-		}
-		return s
-	}
-	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
-
-	cases := []struct {
-		name   string
-		sorted []time.Duration
-		q      float64
-		want   time.Duration
-	}{
-		{"single element P50", ascending(1), 0.50, ms(1)},
-		{"single element P99", ascending(1), 0.99, ms(1)},
-		{"two elements P50", ascending(2), 0.50, ms(1)},
-		{"two elements P99", ascending(2), 0.99, ms(2)},
-		{"P50 of 4 is rank 2", ascending(4), 0.50, ms(2)},
-		{"P50 of 5 is rank 3", ascending(5), 0.50, ms(3)},
-		{"P99 of 100 is rank 99", ascending(100), 0.99, ms(99)},
-		{"P99 of 200 is rank 198", ascending(200), 0.99, ms(198)},
-		// The motivating case: a full 1024-entry latency ring. The old
-		// floor picked rank 1012 (≈P98.8); nearest rank is ⌈0.99·1024⌉
-		// = 1014.
-		{"P99 of full 1024 ring", ascending(1024), 0.99, ms(1014)},
-		{"P100 is the max", ascending(7), 1.0, ms(7)},
-	}
-	for _, c := range cases {
-		if got := quantile(c.sorted, c.q); got != c.want {
-			t.Errorf("%s: quantile(n=%d, q=%v) = %v, want %v", c.name, len(c.sorted), c.q, got, c.want)
-		}
-	}
+func newLatTracker() *tracker {
+	return &tracker{lat: telemetry.NewAtomicHistogram()}
 }
 
-// TestSnapshotQuantiles drives the estimator through the tracker's
-// ring: with latencies 1..window ms recorded in order, the snapshot's
-// P50/P99 must be the nearest-rank elements, not the floored ones.
+// TestSnapshotQuantiles drives the tracker's histogram-backed
+// quantiles: with latencies 1..100ms the snapshot's P50/P99 must land
+// on the nearest-rank elements within the histogram's ≤1/32 bucket
+// quantization (and never above the observed max).
 func TestSnapshotQuantiles(t *testing.T) {
-	const window = 100
-	tr := &tracker{ring: make([]time.Duration, window)}
-	for i := 1; i <= window; i++ {
+	const n = 100
+	tr := newLatTracker()
+	for i := 1; i <= n; i++ {
 		tr.record(1, time.Duration(i)*time.Millisecond)
 	}
 	s := tr.snapshot()
-	if want := 50 * time.Millisecond; s.P50 != want {
-		t.Errorf("P50 = %v, want %v", s.P50, want)
+	check := func(name string, got, exact time.Duration) {
+		t.Helper()
+		if got < exact || float64(got) > float64(exact)*(1+1.0/32) {
+			t.Errorf("%s = %v, want within [%v, %v+3.2%%]", name, got, exact, exact)
+		}
 	}
-	if want := 99 * time.Millisecond; s.P99 != want {
-		t.Errorf("P99 = %v, want %v", s.P99, want)
+	check("P50", s.P50, 50*time.Millisecond)
+	check("P99", s.P99, 99*time.Millisecond)
+	if s.P999 < 99*time.Millisecond || s.P999 > 100*time.Millisecond {
+		t.Errorf("P999 = %v, want in [99ms, max=100ms]", s.P999)
 	}
-	// Partially filled ring: quantiles over just the recorded prefix.
-	tr2 := &tracker{ring: make([]time.Duration, window)}
+	if s.Requests != n || s.Rows != n {
+		t.Errorf("requests/rows = %d/%d, want %d/%d", s.Requests, s.Rows, n, n)
+	}
+
+	// Single sample: every quantile is that sample's bucket, clamped to
+	// the exact max.
+	tr2 := newLatTracker()
 	tr2.record(1, 5*time.Millisecond)
 	s2 := tr2.snapshot()
-	if s2.P50 != 5*time.Millisecond || s2.P99 != 5*time.Millisecond {
-		t.Errorf("single-sample P50/P99 = %v/%v, want 5ms/5ms", s2.P50, s2.P99)
+	if s2.P50 != 5*time.Millisecond || s2.P99 != 5*time.Millisecond || s2.P999 != 5*time.Millisecond {
+		t.Errorf("single-sample quantiles = %v/%v/%v, want 5ms each", s2.P50, s2.P99, s2.P999)
+	}
+
+	// Empty tracker: all zeros, no panic.
+	if s0 := newLatTracker().snapshot(); s0.P50 != 0 || s0.P99 != 0 || s0.P999 != 0 {
+		t.Errorf("empty snapshot quantiles = %+v", s0)
+	}
+}
+
+// TestSnapshotDoesNotBlockRecording is the scrape-contention
+// regression test: the old tracker copied and sorted its latency ring
+// under the same mutex record() took, so every /metrics scrape stalled
+// the assign hot path. The histogram tracker shares NO lock between
+// the two sides. This test hammers snapshot() and latency() from
+// scraper goroutines while recorders run flat out — under -race it
+// proves the lock-free design sound, and the exact final counts prove
+// no record is lost to a scrape, however often one is in flight.
+func TestSnapshotDoesNotBlockRecording(t *testing.T) {
+	const recorders = 4
+	const perR = 20000
+	tr := newLatTracker()
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					snap := tr.snapshot()
+					if snap.P50 > snap.P99 || snap.P99 > snap.P999 {
+						t.Errorf("inconsistent mid-flight snapshot: %+v", snap)
+						return
+					}
+					// record() bumps the request counter before the
+					// histogram, so a later histogram read can trail the
+					// earlier counter read only by the recorders caught
+					// mid-record.
+					if h := tr.latency(); h.Count()+recorders < snap.Requests {
+						t.Errorf("latency histogram lost records: %d well behind counter %d", h.Count(), snap.Requests)
+						return
+					}
+				}
+			}
+		}()
+	}
+	var recordersWG sync.WaitGroup
+	for r := 0; r < recorders; r++ {
+		recordersWG.Add(1)
+		go func() {
+			defer recordersWG.Done()
+			for i := 0; i < perR; i++ {
+				tr.record(1, time.Duration(i%1000+1)*time.Microsecond)
+			}
+		}()
+	}
+	recordersWG.Wait()
+	close(stop)
+	scrapers.Wait()
+	s := tr.snapshot()
+	if want := uint64(recorders * perR); s.Requests != want || tr.latency().Count() != want {
+		t.Fatalf("lost records under concurrent scraping: requests=%d histogram=%d, want %d",
+			s.Requests, tr.latency().Count(), want)
 	}
 }

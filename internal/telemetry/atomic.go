@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// atomicBuckets is the fixed bucket count of AtomicHistogram: enough
+// for every non-negative int64 nanosecond value. The largest exponent
+// the log-linear layout produces is e = 63−6 = 57 (bucketIndex), so
+// the last bucket is 57·32 + 63 and the array is one longer.
+const atomicBuckets = 57<<5 + 64
+
+// AtomicHistogram is the concurrent counterpart of Histogram: the same
+// log-linear bucket layout over a fixed-size array of atomic counters,
+// so Record is wait-free (one atomic add per bucket update, CAS loops
+// only to tighten min/max) and never blocks — or is blocked by — a
+// reader. Snapshot materializes a plain Histogram for quantiles and
+// exposition; under concurrent recording the snapshot is a slightly
+// torn but monotone view (each counter is read once, atomically),
+// which is the standard metrics-scrape contract.
+//
+// This is what fixes the old serve scrape cost: the previous tracker
+// copied and sorted a 1024-entry latency ring under the same mutex the
+// assign hot path took per request, so every /metrics scrape stalled
+// serving. Recording into an AtomicHistogram shares nothing with
+// readers.
+type AtomicHistogram struct {
+	counts [atomicBuckets]atomic.Uint64
+	sum    atomic.Int64
+	min    atomic.Int64 // math.MaxInt64 until the first record
+	max    atomic.Int64
+}
+
+// NewAtomicHistogram returns an empty concurrent histogram.
+func NewAtomicHistogram() *AtomicHistogram {
+	h := &AtomicHistogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Record adds one observation. Safe for any number of concurrent
+// callers; wait-free apart from the min/max CAS loops, which only
+// retry while the extremes are actually moving.
+func (h *AtomicHistogram) Record(d time.Duration) {
+	v := d.Nanoseconds()
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.min.Load()
+		if v >= old || h.min.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// Snapshot copies the current counts into a plain Histogram. The
+// result is independent of h: callers may Merge, Quantile and
+// Summarize it freely while recording continues.
+func (h *AtomicHistogram) Snapshot() *Histogram {
+	snap := &Histogram{}
+	top := -1
+	var n uint64
+	var counts [atomicBuckets]uint64
+	for i := range h.counts {
+		if c := h.counts[i].Load(); c > 0 {
+			counts[i] = c
+			n += c
+			top = i
+		}
+	}
+	if n == 0 {
+		return snap
+	}
+	snap.counts = append([]uint64(nil), counts[:top+1]...)
+	snap.n = n
+	snap.sum = h.sum.Load()
+	snap.min = h.min.Load()
+	snap.max = h.max.Load()
+	// Concurrent records between the count and extreme loads can leave
+	// the extremes behind the counts; clamp so quantiles stay sane.
+	if snap.min > snap.max {
+		snap.min = snap.max
+	}
+	return snap
+}

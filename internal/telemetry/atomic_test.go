@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAtomicHistogramMatchesHistogram: serial recording of the same
+// sequence into both flavors yields identical distributions.
+func TestAtomicHistogramMatchesHistogram(t *testing.T) {
+	ah := NewAtomicHistogram()
+	var h Histogram
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(i*i%777777) * time.Nanosecond
+		ah.Record(d)
+		h.Record(d)
+	}
+	snap := ah.Snapshot()
+	if snap.Count() != h.Count() || snap.Min() != h.Min() || snap.Max() != h.Max() || snap.Mean() != h.Mean() {
+		t.Fatalf("snapshot summary mismatch: %+v vs %+v", snap.Summarize(), h.Summarize())
+	}
+	for _, q := range []float64{0.01, 0.5, 0.9, 0.99, 0.999, 1} {
+		if snap.Quantile(q) != h.Quantile(q) {
+			t.Fatalf("q=%v: snapshot %v, histogram %v", q, snap.Quantile(q), h.Quantile(q))
+		}
+	}
+}
+
+// TestAtomicHistogramConcurrent: concurrent writers lose nothing —
+// counts, sum and extremes are exact after the writers quiesce.
+func TestAtomicHistogramConcurrent(t *testing.T) {
+	const goroutines = 8
+	const perG = 10000
+	ah := NewAtomicHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				ah.Record(time.Duration(i%100+1) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := ah.Snapshot()
+	if want := uint64(goroutines * perG); snap.Count() != want {
+		t.Fatalf("count = %d, want %d", snap.Count(), want)
+	}
+	var sumPerG int64
+	for i := 0; i < perG; i++ {
+		sumPerG += int64(i%100+1) * 1000
+	}
+	if want := time.Duration(goroutines * sumPerG / (goroutines * perG)); snap.Mean() != want {
+		t.Fatalf("mean = %v, want %v", snap.Mean(), want)
+	}
+	if snap.Min() != time.Microsecond {
+		t.Fatalf("min = %v, want 1µs", snap.Min())
+	}
+	if snap.Max() != 100*time.Microsecond {
+		t.Fatalf("max = %v, want 100µs", snap.Max())
+	}
+}
+
+// TestAtomicHistogramSnapshotDuringWrites: snapshots taken mid-flight
+// are internally consistent (count matches bucket mass, min <= max) —
+// the metrics-scrape contract under live traffic.
+func TestAtomicHistogramSnapshotDuringWrites(t *testing.T) {
+	ah := NewAtomicHistogram()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					ah.Record(time.Duration(i%1000) * time.Microsecond)
+				}
+			}
+		}()
+	}
+	for s := 0; s < 50; s++ {
+		snap := ah.Snapshot()
+		var mass uint64
+		for _, c := range snap.counts {
+			mass += c
+		}
+		if mass != snap.n {
+			t.Fatalf("snapshot %d: bucket mass %d != n %d", s, mass, snap.n)
+		}
+		if snap.n > 0 && snap.min > snap.max {
+			t.Fatalf("snapshot %d: min %d > max %d", s, snap.min, snap.max)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestAtomicHistogramEmpty: the empty snapshot behaves like an empty
+// Histogram.
+func TestAtomicHistogramEmpty(t *testing.T) {
+	snap := NewAtomicHistogram().Snapshot()
+	if snap.Count() != 0 || snap.Min() != 0 || snap.Max() != 0 || snap.Quantile(0.99) != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", snap.Summarize())
+	}
+}
+
+// TestAtomicHistogramNegativeClamped mirrors Histogram's clamp of
+// negative durations to zero.
+func TestAtomicHistogramNegativeClamped(t *testing.T) {
+	ah := NewAtomicHistogram()
+	ah.Record(-5 * time.Second)
+	snap := ah.Snapshot()
+	if snap.Min() != 0 || snap.Max() != 0 || snap.Count() != 1 {
+		t.Fatalf("negative record not clamped: %+v", snap.Summarize())
+	}
+}

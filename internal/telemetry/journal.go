@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// RunLog is a JSONL training-run journal: one `iter` record per engine
+// iteration plus one `summary` record per run, as emitted by the CLIs'
+// -telemetry flags. Records are written in arrival order; the log is
+// safe for concurrent observers (parallel experiment repetitions share
+// one file).
+//
+// Determinism: with a fixed seed every field of every record is
+// byte-identical across runs except elapsed_ns, which is stamped from
+// the caller's wall-clock measurements (pinned by
+// TestRunJournalDeterminism and cmd/fairkm's journal test).
+type RunLog struct {
+	mu     sync.Mutex
+	w      io.Writer
+	c      io.Closer
+	closed bool
+	err    error
+}
+
+// NewRunLog journals onto w, which the caller owns.
+func NewRunLog(w io.Writer) *RunLog { return &RunLog{w: w} }
+
+// CreateRunLog creates (truncating) path and journals into it; Close
+// closes the file.
+func CreateRunLog(path string) (*RunLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &RunLog{w: f, c: f}, nil
+}
+
+// iterRecord is one engine iteration.
+type iterRecord struct {
+	Type      string  `json:"type"` // "iter"
+	Run       string  `json:"run"`
+	Iter      int     `json:"iter"`
+	Moves     int     `json:"moves"`
+	Objective float64 `json:"objective"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+}
+
+// RunSummary is the final record of one run. Zero-valued optional
+// fields (K, Lambda, Seed, Rows) are omitted, so tools without a
+// natural value for them emit clean records.
+type RunSummary struct {
+	Tool         string  `json:"tool"`
+	K            int     `json:"k,omitempty"`
+	Lambda       float64 `json:"lambda,omitempty"`
+	Seed         int64   `json:"seed,omitempty"`
+	Rows         int     `json:"rows,omitempty"`
+	Iterations   int     `json:"iterations"`
+	TotalMoves   int     `json:"total_moves"`
+	Converged    bool    `json:"converged"`
+	Objective    float64 `json:"objective"`
+	KMeansTerm   float64 `json:"kmeans_term,omitempty"`
+	FairnessTerm float64 `json:"fairness_term,omitempty"`
+	ElapsedNS    int64   `json:"elapsed_ns"`
+}
+
+type summaryRecord struct {
+	Type string `json:"type"` // "summary"
+	Run  string `json:"run"`
+	RunSummary
+}
+
+// Observer returns an engine.Observer streaming per-iteration records
+// tagged with run. Compose with a trace observer via engine.Observers.
+func (l *RunLog) Observer(run string) engine.Observer {
+	return func(ev engine.IterEvent) {
+		l.write(iterRecord{
+			Type:      "iter",
+			Run:       run,
+			Iter:      ev.Iteration,
+			Moves:     ev.Moves,
+			Objective: ev.Objective,
+			ElapsedNS: ev.Elapsed.Nanoseconds(),
+		})
+	}
+}
+
+// WriteSummary appends run's summary record.
+func (l *RunLog) WriteSummary(run string, s RunSummary) {
+	l.write(summaryRecord{Type: "summary", Run: run, RunSummary: s})
+}
+
+// write marshals and appends one record, latching the first error.
+func (l *RunLog) write(rec any) {
+	line, err := json.Marshal(rec)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	if err != nil {
+		if l.err == nil {
+			l.err = err
+		}
+		return
+	}
+	if _, werr := l.w.Write(append(line, '\n')); werr != nil && l.err == nil {
+		l.err = werr
+	}
+}
+
+// Close closes the underlying file (when CreateRunLog opened one) and
+// returns the first error seen across the log's lifetime. Idempotent;
+// records arriving after Close are dropped.
+func (l *RunLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return l.err
+	}
+	l.closed = true
+	if l.c != nil {
+		if cerr := l.c.Close(); cerr != nil && l.err == nil {
+			l.err = cerr
+		}
+	}
+	return l.err
+}

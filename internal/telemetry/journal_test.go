@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+var elapsedField = regexp.MustCompile(`"elapsed_ns":\d+`)
+
+func journalRun(elapsedScale time.Duration) []byte {
+	var buf bytes.Buffer
+	l := NewRunLog(&buf)
+	obs := l.Observer("FairKM[k=3 seed=1]")
+	for i := 1; i <= 3; i++ {
+		obs(engine.IterEvent{
+			Iteration: i,
+			Moves:     40 - 10*i,
+			Objective: 100.5 / float64(i),
+			Elapsed:   time.Duration(i) * elapsedScale,
+		})
+	}
+	l.WriteSummary("FairKM[k=3 seed=1]", RunSummary{
+		Tool: "fairkm", K: 3, Lambda: 0.5, Seed: 1, Rows: 200,
+		Iterations: 3, TotalMoves: 60, Converged: true,
+		Objective: 33.5, KMeansTerm: 30, FairnessTerm: 3.5,
+		ElapsedNS: (3 * elapsedScale).Nanoseconds(),
+	})
+	l.Close()
+	return buf.Bytes()
+}
+
+// TestRunJournalDeterminism: two journals of the same fixed-seed run
+// are byte-identical apart from the stamped elapsed_ns fields — the
+// contract the CLI -telemetry flags inherit.
+func TestRunJournalDeterminism(t *testing.T) {
+	a := journalRun(time.Millisecond)
+	b := journalRun(7 * time.Millisecond) // different wall-clock, same run
+	if bytes.Equal(a, b) {
+		t.Fatal("elapsed_ns should differ between the two runs")
+	}
+	na := elapsedField.ReplaceAll(a, []byte(`"elapsed_ns":X`))
+	nb := elapsedField.ReplaceAll(b, []byte(`"elapsed_ns":X`))
+	if !bytes.Equal(na, nb) {
+		t.Fatalf("journals differ beyond elapsed_ns:\n%s\nvs:\n%s", na, nb)
+	}
+}
+
+// TestRunJournalRecords checks the JSONL shape: typed records, one
+// line each, iter fields verbatim from the IterEvent, summary embedded
+// flat.
+func TestRunJournalRecords(t *testing.T) {
+	lines := bytes.Split(bytes.TrimSpace(journalRun(time.Millisecond)), []byte("\n"))
+	if len(lines) != 4 {
+		t.Fatalf("journal has %d lines, want 4", len(lines))
+	}
+	var first struct {
+		Type      string  `json:"type"`
+		Run       string  `json:"run"`
+		Iter      int     `json:"iter"`
+		Moves     int     `json:"moves"`
+		Objective float64 `json:"objective"`
+		ElapsedNS int64   `json:"elapsed_ns"`
+	}
+	if err := json.Unmarshal(lines[0], &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Type != "iter" || first.Run != "FairKM[k=3 seed=1]" || first.Iter != 1 ||
+		first.Moves != 30 || first.Objective != 100.5 || first.ElapsedNS != int64(time.Millisecond) {
+		t.Fatalf("iter record = %+v", first)
+	}
+	var last struct {
+		Type string `json:"type"`
+		Run  string `json:"run"`
+		RunSummary
+	}
+	if err := json.Unmarshal(lines[3], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Type != "summary" || last.Tool != "fairkm" || last.K != 3 ||
+		last.TotalMoves != 60 || !last.Converged {
+		t.Fatalf("summary record = %+v", last)
+	}
+}
+
+func TestCreateRunLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	l, err := CreateRunLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Observer("r")(engine.IterEvent{Iteration: 1})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"type":"iter"`)) {
+		t.Fatalf("file content: %s", data)
+	}
+	// Records after Close are dropped, not written or panicking.
+	l.WriteSummary("r", RunSummary{Tool: "x"})
+	after, _ := os.ReadFile(path)
+	if !bytes.Equal(data, after) {
+		t.Fatal("write after Close reached the file")
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f failWriter) Write([]byte) (int, error) { return 0, f.err }
+
+func TestRunLogLatchesFirstError(t *testing.T) {
+	want := errors.New("disk full")
+	l := NewRunLog(failWriter{err: want})
+	l.WriteSummary("r", RunSummary{Tool: "x"})
+	l.WriteSummary("r", RunSummary{Tool: "y"})
+	if err := l.Close(); !errors.Is(err, want) {
+		t.Fatalf("Close = %v, want %v", err, want)
+	}
+}

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want one containing %q", want)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v; want one containing %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestRegistryInstrumentIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs_total", "Requests.", Label{Key: "model", Value: "m"})
+	a.Add(3)
+	// Same (family, labels) — label order must not matter.
+	b := r.Counter("reqs_total", "Requests.",
+		Label{Key: "model", Value: "m"})
+	if b.Value() != 3 {
+		t.Fatalf("re-registration lost the count: %d", b.Value())
+	}
+	two := r.Counter("multi_total", "Multi.",
+		Label{Key: "b", Value: "2"}, Label{Key: "a", Value: "1"})
+	two.Inc()
+	same := r.Counter("multi_total", "Multi.",
+		Label{Key: "a", Value: "1"}, Label{Key: "b", Value: "2"})
+	if same.Value() != 1 {
+		t.Fatal("label order changed instrument identity")
+	}
+}
+
+func TestRegistryGaugeAndHistogram(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "Depth.")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	h := r.Histogram("lat_seconds", "Latency.")
+	h.Record(10 * time.Millisecond)
+	h.Record(20 * time.Millisecond)
+	if snap := h.Snapshot(); snap.Count() != 2 || snap.Min() != 10*time.Millisecond {
+		t.Fatalf("histogram snapshot: %+v", snap.Summarize())
+	}
+}
+
+func TestRegistryContractPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "OK.")
+	mustPanic(t, "registered as counter and gauge", func() {
+		r.Gauge("ok_total", "Not a counter.")
+	})
+	mustPanic(t, "invalid metric name", func() { r.Counter("0bad", "Leading digit.") })
+	mustPanic(t, "invalid metric name", func() { r.Counter("sp ace", "Space.") })
+	mustPanic(t, "invalid metric name", func() { r.Counter("", "Empty.") })
+	mustPanic(t, "invalid label key", func() {
+		r.Counter("lbl_total", "Bad key.", Label{Key: "a:b", Value: "v"})
+	})
+	r.CounterFunc("pull_total", "Pull.", func() uint64 { return 1 })
+	mustPanic(t, "owned and pull-style", func() { r.Counter("pull_total", "Owned.") })
+}
+
+func TestRegistryFuncReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("g", "Gauge.", func() float64 { return 1 })
+	r.GaugeFunc("g", "Gauge.", func() float64 { return 2 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "\ng 2\n") {
+		t.Fatalf("fn replacement not effective:\n%s", b.String())
+	}
+}
+
+func TestRegistryOnScrape(t *testing.T) {
+	r := NewRegistry()
+	scrapes := 0
+	r.OnScrape(func() {
+		scrapes++
+		n := uint64(scrapes)
+		// Fresh closure per scrape — the fairserved pattern.
+		r.CounterFunc("scrapes_total", "Scrapes.", func() uint64 { return n })
+	})
+	var b strings.Builder
+	for i := 1; i <= 3; i++ {
+		b.Reset()
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		want := "scrapes_total " + string(rune('0'+i)) + "\n"
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("scrape %d: missing %q in:\n%s", i, want, b.String())
+		}
+	}
+	if scrapes != 3 {
+		t.Fatalf("hook ran %d times, want 3", scrapes)
+	}
+}

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func testTracer(t *testing.T, keep int) (*Registry, *RequestTracer) {
+	t.Helper()
+	r := NewRegistry()
+	return r, NewRequestTracer(r, "trace_stage_seconds", "Per-stage latency.", "m", keep)
+}
+
+func TestRequestTracerStageHistograms(t *testing.T) {
+	_, tr := testTracer(t, 0)
+	tr.Observe(Trace{
+		Rows: 4, Outcome: OutcomeOK,
+		Admission: 2 * time.Microsecond, Queue: time.Microsecond,
+		Score: 10 * time.Microsecond, Total: 12 * time.Microsecond,
+	})
+	tr.Observe(Trace{Rows: 1, Outcome: OutcomeShed, Admission: time.Microsecond, Total: time.Microsecond})
+	// OK requests only in the stage histograms...
+	for _, tc := range []struct {
+		stage string
+		h     HistogramMetric
+		min   time.Duration
+	}{
+		{StageAdmission, tr.admission, 2 * time.Microsecond},
+		{StageQueue, tr.queue, time.Microsecond},
+		{StageScore, tr.score, 10 * time.Microsecond},
+		{StageTotal, tr.total, 12 * time.Microsecond},
+	} {
+		snap := tc.h.Snapshot()
+		if snap.Count() != 1 || snap.Min() != tc.min {
+			t.Fatalf("stage %s: count=%d min=%v, want 1 obs of %v", tc.stage, snap.Count(), snap.Min(), tc.min)
+		}
+	}
+	// ...but the flight recorder keeps every outcome, stamped.
+	slow := tr.Slowest()
+	if len(slow) != 2 {
+		t.Fatalf("recorder has %d traces, want 2", len(slow))
+	}
+	if slow[0].Outcome != OutcomeOK || slow[0].Total != 12*time.Microsecond {
+		t.Fatalf("slowest[0] = %+v", slow[0])
+	}
+	if slow[1].Outcome != OutcomeShed {
+		t.Fatalf("slowest[1] = %+v", slow[1])
+	}
+	for i, s := range slow {
+		if s.Model != "m" || s.Seq == 0 {
+			t.Fatalf("trace %d not stamped: %+v", i, s)
+		}
+	}
+}
+
+func TestFlightRecorderKeepsSlowest(t *testing.T) {
+	_, tr := testTracer(t, 4)
+	// 100 observations, totals 1..100ns in a scrambled fixed order.
+	for i := 0; i < 100; i++ {
+		total := time.Duration((i*37)%100+1) * time.Nanosecond
+		tr.Observe(Trace{Outcome: OutcomeOK, Total: total})
+	}
+	slow := tr.Slowest()
+	if len(slow) != 4 {
+		t.Fatalf("kept %d, want 4", len(slow))
+	}
+	for i, want := range []time.Duration{100, 99, 98, 97} {
+		if slow[i].Total != want {
+			t.Fatalf("slowest[%d].Total = %v, want %vns", i, slow[i].Total, want)
+		}
+	}
+}
+
+func TestFlightRecorderWindowRotation(t *testing.T) {
+	_, tr := testTracer(t, 2)
+	window := uint64(2 * traceWindowPerKeep)
+	// First window: totals 1..window-1; the window-th observation
+	// triggers rotation and seeds the fresh current window.
+	for i := uint64(1); i <= window; i++ {
+		tr.Observe(Trace{Outcome: OutcomeOK, Total: time.Duration(i)})
+	}
+	slow := tr.Slowest()
+	want := []time.Duration{time.Duration(window), time.Duration(window - 1), time.Duration(window - 2)}
+	if len(slow) != 3 {
+		t.Fatalf("after rotation: %d traces, want 3 (cur 1 + prev 2)", len(slow))
+	}
+	for i := range want {
+		if slow[i].Total != want[i] {
+			t.Fatalf("slowest[%d].Total = %v, want %v", i, slow[i].Total, want[i])
+		}
+	}
+	// Keep filling the new window; prev still contributes.
+	tr.Observe(Trace{Outcome: OutcomeOK, Total: time.Duration(window + 1)})
+	tr.Observe(Trace{Outcome: OutcomeOK, Total: 1})
+	slow = tr.Slowest()
+	if len(slow) != 4 || slow[0].Total != time.Duration(window+1) {
+		t.Fatalf("post-rotation merge wrong: %+v", slow)
+	}
+}
+
+// TestFlightRecorderFastReject: once the current window's slowest set
+// is full, traces at or below the floor never enter the recorder.
+func TestFlightRecorderFastReject(t *testing.T) {
+	_, tr := testTracer(t, 2)
+	tr.Observe(Trace{Outcome: OutcomeOK, Total: 100})
+	tr.Observe(Trace{Outcome: OutcomeOK, Total: 200})
+	if fl := tr.rec.floor.Load(); fl != 100 {
+		t.Fatalf("floor = %d, want 100", fl)
+	}
+	for i := 0; i < 50; i++ {
+		tr.Observe(Trace{Outcome: OutcomeOK, Total: 50})
+	}
+	slow := tr.Slowest()
+	if len(slow) != 2 || slow[0].Total != 200 || slow[1].Total != 100 {
+		t.Fatalf("below-floor traces leaked in: %+v", slow)
+	}
+	tr.Observe(Trace{Outcome: OutcomeOK, Total: 300})
+	if fl := tr.rec.floor.Load(); fl != 200 {
+		t.Fatalf("floor after displacement = %d, want 200", fl)
+	}
+}
+
+// TestRequestTracerConcurrent exercises Observe and Slowest under the
+// race detector and checks nothing is lost from the histograms.
+func TestRequestTracerConcurrent(t *testing.T) {
+	_, tr := testTracer(t, 8)
+	const goroutines = 4
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Cyclic values: the maximum (100ns) recurs every 100
+				// observations per goroutine, so regardless of window
+				// rotation timing the retained set always has one.
+				tr.Observe(Trace{
+					Outcome: OutcomeOK,
+					Total:   time.Duration(i%100+1) * time.Nanosecond,
+				})
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			tr.Slowest()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if n := tr.total.Snapshot().Count(); n != goroutines*perG {
+		t.Fatalf("total histogram count = %d, want %d", n, goroutines*perG)
+	}
+	slow := tr.Slowest()
+	if len(slow) == 0 {
+		t.Fatal("recorder empty after load")
+	}
+	if slow[0].Total != 100*time.Nanosecond {
+		t.Fatalf("slowest = %v, want 100ns", slow[0].Total)
+	}
+}
