@@ -24,12 +24,23 @@ lint: vet
 	$(GO) run ./cmd/fairvet ./...
 
 # fairvet-selfcheck proves the linter still bites: the selfcheck
-# fixture seeds one known violation per pass, so fairvet accepting it
-# means a pass has gone blind.
+# fixture seeds one known violation per pass, and each pass is run
+# alone against it — a pass that accepts the fixture, or fires without
+# naming itself in the finding, has gone blind.
 fairvet-selfcheck:
-	@if $(GO) run ./cmd/fairvet ./internal/analysis/testdata/src/selfcheck >/dev/null 2>&1; then \
-		echo "fairvet passed the seeded-violation fixture; a pass has gone blind"; exit 1; \
-	else echo "fairvet self-check ok: seeded violations still detected"; fi
+	@$(GO) build -o .fairvet-selfcheck-bin ./cmd/fairvet
+	@status=0; \
+	for p in nodeterminism atomicfield ctxflow cliexit floateq lockcheck errflow hotalloc; do \
+		out=$$(./.fairvet-selfcheck-bin -passes $$p ./internal/analysis/testdata/src/selfcheck 2>&1); \
+		if [ $$? -eq 0 ]; then \
+			echo "pass $$p accepted the seeded-violation fixture; it has gone blind"; status=1; \
+		elif ! echo "$$out" | grep -q "\[$$p\]"; then \
+			echo "pass $$p failed the fixture without a [$$p] finding:"; echo "$$out"; status=1; \
+		fi; \
+	done; \
+	rm -f .fairvet-selfcheck-bin; \
+	if [ $$status -eq 0 ]; then echo "fairvet self-check ok: every pass still detects its seeded violation"; fi; \
+	exit $$status
 
 # race runs every concurrency-sensitive suite under the race detector —
 # the single source of truth for what CI exercises with -race. The -run

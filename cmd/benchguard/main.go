@@ -101,7 +101,7 @@ func parseFile(path string) (map[string]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //fairvet:ignore errflow -- file opened read-only; nothing was buffered to lose
 	res, err := parseStream(f)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)

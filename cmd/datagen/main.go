@@ -24,8 +24,10 @@ import (
 func main() { cli.Main("datagen", run) }
 
 // run executes the tool against the given arguments, writing progress
-// to out. Split from main for testability.
-func run(args []string, out io.Writer) error {
+// to out. Split from main for testability. The named result lets the
+// deferred close of the written CSV fold its error in: Close is the
+// final flush, and a silent failure there is silent data loss.
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -45,7 +47,6 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var ds *dataset.Dataset
-	var err error
 	switch *which {
 	case "adult":
 		ds, err = adult.Generate(adult.Config{Seed: *seed, Rows: *rows})
@@ -65,7 +66,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer cli.CloseCapture(&err, f)
 	if err := dataset.WriteCSV(f, ds); err != nil {
 		return err
 	}
@@ -74,12 +75,12 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-func writeTexts(path string, seed int64) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+func writeTexts(path string, seed int64) (err error) {
+	f, cerr := os.Create(path)
+	if cerr != nil {
+		return cerr
 	}
-	defer f.Close()
+	defer cli.CloseCapture(&err, f)
 	for _, p := range kinematics.Problems(seed) {
 		if _, err := fmt.Fprintf(f, "Type-%d\t%s\n", p.Type, p.Text); err != nil {
 			return err

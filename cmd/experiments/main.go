@@ -91,7 +91,11 @@ func main() { cli.Main("experiments", run) }
 
 // run executes the selected experiments, writing rendered results to
 // out (and to the -out file if given). Split from main for testability.
-func run(args []string, out io.Writer) error {
+// run's named result lets the deferred closes of written outputs (CPU
+// profile, telemetry journal, results file) report a failed final
+// flush instead of dropping it. Inner Create calls bind distinct
+// error names so &err below always means the function result.
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -114,11 +118,11 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-reps must be at least 1 (got %d)", *reps)
 	}
 	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
-		if err != nil {
-			return err
+		f, cerr := os.Create(*cpuProf)
+		if cerr != nil {
+			return cerr
 		}
-		defer f.Close()
+		defer cli.CloseCapture(&err, f)
 		if err := pprof.StartCPUProfile(f); err != nil {
 			return err
 		}
@@ -134,12 +138,12 @@ func run(args []string, out io.Writer) error {
 		opts.Trace = os.Stderr
 	}
 	if *telem != "" {
-		journal, err := telemetry.CreateRunLog(*telem)
-		if err != nil {
-			return err
+		journal, cerr := telemetry.CreateRunLog(*telem)
+		if cerr != nil {
+			return cerr
 		}
 		opts.Journal = journal
-		defer journal.Close()
+		defer cli.CloseCapture(&err, journal)
 	}
 
 	selected, err := selectExperiments(*exp)
@@ -149,11 +153,11 @@ func run(args []string, out io.Writer) error {
 
 	w := out
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			return err
+		f, cerr := os.Create(*outPath)
+		if cerr != nil {
+			return cerr
 		}
-		defer f.Close()
+		defer cli.CloseCapture(&err, f)
 		w = io.MultiWriter(out, f)
 	}
 

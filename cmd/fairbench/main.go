@@ -79,7 +79,7 @@ func run(args []string, out io.Writer) error {
 		Features:             splitList(*features),
 		CategoricalSensitive: splitList(*sensitive),
 	})
-	f.Close()
+	f.Close() //fairvet:ignore errflow -- file opened read-only; nothing was buffered to lose
 	if err != nil {
 		return err
 	}

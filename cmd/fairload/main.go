@@ -60,7 +60,9 @@ func run(args []string, out io.Writer) error {
 	return runCtx(ctx, args, out)
 }
 
-func runCtx(ctx context.Context, args []string, out io.Writer) error {
+// runCtx's named result lets the deferred close of the written CPU
+// profile report a failed final flush instead of dropping it.
+func runCtx(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("fairload", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var artifacts, modelNames repeatable
@@ -103,11 +105,11 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("-dim must be >= 0, got %d", *dim)
 	}
 	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
-		if err != nil {
-			return err
+		f, cerr := os.Create(*cpuProf)
+		if cerr != nil {
+			return cerr
 		}
-		defer f.Close()
+		defer cli.CloseCapture(&err, f)
 		if err := pprof.StartCPUProfile(f); err != nil {
 			return err
 		}

@@ -165,7 +165,8 @@ func serveCtx(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 		debugSrv := &http.Server{Handler: newDebugMux()}
-		defer debugSrv.Close()
+		defer debugSrv.Close() //fairvet:ignore errflow -- best-effort debug server teardown at process exit
+		//fairvet:ignore errflow -- Serve always returns non-nil on shutdown; the debug listener is best-effort
 		go func() { _ = debugSrv.Serve(dln) }() // best-effort; dies with the process
 		fmt.Fprintf(out, "pprof on http://%s/debug/pprof/\n", dln.Addr())
 	}
@@ -350,7 +351,7 @@ func newHandler(reg *serve.Registry, ts *telemetryState, opts handlerOptions) ht
 			return
 		}
 		w.Header().Set("Content-Type", telemetry.ContentType)
-		_ = ts.reg.WritePrometheus(w)
+		_ = ts.reg.WritePrometheus(w) //fairvet:ignore errflow -- write failure means the scraper hung up; no channel left to report on
 	})
 	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -516,7 +517,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	enc.Encode(v) //fairvet:ignore errflow -- status line already sent; an encode error has no channel back to the client
 }
 
 func httpError(w http.ResponseWriter, status int, msg string) {

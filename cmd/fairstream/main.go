@@ -52,8 +52,10 @@ import (
 func main() { cli.Main("fairstream", run) }
 
 // run executes the tool against the given arguments, writing the report
-// to out. Split from main for testability.
-func run(args []string, out io.Writer) error {
+// to out. Split from main for testability. The named result lets the
+// deferred close of the telemetry journal report a failed final flush
+// instead of dropping it.
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("fairstream", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -112,7 +114,7 @@ func run(args []string, out io.Writer) error {
 		}
 		src, err := dataset.NewCSVStream(f, spec, *chunk)
 		if err != nil {
-			f.Close()
+			f.Close() //fairvet:ignore errflow -- read-only file closed on the error path; the stream error wins
 			return nil, nil, err
 		}
 		if scaleMins != nil {
@@ -129,11 +131,11 @@ func run(args []string, out io.Writer) error {
 		}
 		src, err := dataset.NewCSVStream(f, spec, *chunk)
 		if err != nil {
-			f.Close()
+			f.Close() //fairvet:ignore errflow -- read-only file closed on the error path; the stream error wins
 			return err
 		}
 		scaleMins, scaleRanges, err = scanMinMax(src)
-		f.Close()
+		f.Close() //fairvet:ignore errflow -- file opened read-only; nothing was buffered to lose
 		if err != nil {
 			return err
 		}
@@ -156,12 +158,12 @@ func run(args []string, out io.Writer) error {
 	}
 	var journal *telemetry.RunLog
 	if *telem != "" {
-		var err error
-		journal, err = telemetry.CreateRunLog(*telem)
-		if err != nil {
-			return err
+		var cerr error
+		journal, cerr = telemetry.CreateRunLog(*telem)
+		if cerr != nil {
+			return cerr
 		}
-		defer journal.Close()
+		defer cli.CloseCapture(&retErr, journal)
 		pcfg.Observer = journal.Observer("fairstream")
 	}
 	started := time.Now()
@@ -175,7 +177,7 @@ func run(args []string, out io.Writer) error {
 		closers := make([]io.Closer, 0, split.Shards())
 		closeAll := func() {
 			for _, c := range closers {
-				c.Close()
+				c.Close() //fairvet:ignore errflow -- shard readers are opened read-only; nothing was buffered to lose
 			}
 		}
 		for i := range srcs {
@@ -206,7 +208,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		res, err = pipeline.FitStream(src, pcfg)
-		f.Close()
+		f.Close() //fairvet:ignore errflow -- file opened read-only; nothing was buffered to lose
 		if err != nil {
 			return err
 		}
@@ -271,7 +273,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	ev, err := pipeline.Evaluate(src2, res.Solve.Centroids, res.Lambda)
-	f2.Close()
+	f2.Close() //fairvet:ignore errflow -- file opened read-only; nothing was buffered to lose
 	if err != nil {
 		return err
 	}

@@ -2,7 +2,7 @@
 // machine-checked form of the determinism, concurrency and CLI
 // contracts DESIGN.md states in prose:
 //
-//	fairvet [-passes p1,p2] [packages...]
+//	fairvet [-passes p1,p2] [-json] [packages...]
 //
 // With no arguments it analyzes every package in the module (./...).
 // Arguments may be package patterns (./internal/..., repro/cmd/fairkm)
@@ -10,15 +10,19 @@
 // packages under testdata/ — which wildcard patterns never match —
 // can be named explicitly (the CI self-check does exactly that).
 //
-// Passes: nodeterminism, atomicfield, ctxflow, cliexit, floateq (see
-// internal/analysis). Findings print one per line as
-// file:line:col: [pass] message, and any finding makes the command
-// fail with the standard exit-2 contract, so `make lint` stays red
-// until the tree is clean or every exception carries a justified
-// //fairvet:ignore directive.
+// Passes: nodeterminism, atomicfield, ctxflow, cliexit, floateq,
+// lockcheck, errflow, hotalloc (see internal/analysis). Findings print
+// one per line as file:line:col: [pass] message — or, with -json, as
+// one JSON object per line with file/line/col/pass/message fields for
+// machine consumers — and any finding makes the command fail with the
+// standard exit-2 contract, so `make lint` stays red until the tree is
+// clean or every exception carries a justified //fairvet:ignore
+// directive. The suite runs together per package (RunSuite), which
+// also reports stale directives that no longer suppress anything.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -37,8 +41,9 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fairvet", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		passes = fs.String("passes", "", "comma-separated subset of passes to run (default: all)")
-		list   = fs.Bool("list", false, "list available passes and exit")
+		passes  = fs.String("passes", "", "comma-separated subset of passes to run (default: all)")
+		list    = fs.Bool("list", false, "list available passes and exit")
+		jsonOut = fs.Bool("json", false, "emit findings as JSON, one object per line")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -116,28 +121,49 @@ func run(args []string, out io.Writer) error {
 		pkgs = append(pkgs, loaded...)
 	}
 
+	enc := json.NewEncoder(out)
 	findings := 0
 	for _, pkg := range pkgs {
-		for _, a := range suite {
-			diags, err := analysis.RunPass(a, pkg)
-			if err != nil {
-				return err
+		diags, err := analysis.RunSuite(suite, pkg)
+		if err != nil {
+			return err
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			rel := pos.Filename
+			if r, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+				rel = r
 			}
-			for _, d := range diags {
-				pos := pkg.Fset.Position(d.Pos)
-				rel := pos.Filename
-				if r, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-					rel = r
+			if *jsonOut {
+				if err := enc.Encode(jsonFinding{
+					File:    rel,
+					Line:    pos.Line,
+					Col:     pos.Column,
+					Pass:    d.Pass,
+					Message: d.Message,
+				}); err != nil {
+					return err
 				}
+			} else {
 				fmt.Fprintf(out, "%s:%d:%d: [%s] %s\n", rel, pos.Line, pos.Column, d.Pass, d.Message)
-				findings++
 			}
+			findings++
 		}
 	}
 	if findings > 0 {
 		return fmt.Errorf("%d finding(s); fix them or add //fairvet:ignore <pass> -- <reason>", findings)
 	}
 	return nil
+}
+
+// jsonFinding is the -json line format: a stable machine contract,
+// one object per finding per line.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
 }
 
 var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)

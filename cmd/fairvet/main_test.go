@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -35,6 +37,10 @@ func fixture(t *testing.T) string {
 	return modRel(t, "internal/analysis/testdata/src/selfcheck")
 }
 
+// allPasses is the full suite, mirrored in -list order; the selfcheck
+// fixture seeds one violation for each.
+var allPasses = []string{"nodeterminism", "atomicfield", "ctxflow", "cliexit", "floateq", "lockcheck", "errflow", "hotalloc"}
+
 // TestSelfCheck mirrors the CI step: fairvet against the selfcheck
 // fixture must fail and report at least one finding from every pass.
 func TestSelfCheck(t *testing.T) {
@@ -44,9 +50,55 @@ func TestSelfCheck(t *testing.T) {
 		t.Fatalf("fairvet passed the selfcheck fixture; output:\n%s", buf.String())
 	}
 	out := buf.String()
-	for _, pass := range []string{"nodeterminism", "atomicfield", "ctxflow", "cliexit", "floateq"} {
+	for _, pass := range allPasses {
 		if !strings.Contains(out, "["+pass+"]") {
 			t.Errorf("self-check output missing a [%s] finding:\n%s", pass, out)
+		}
+	}
+}
+
+// TestJSONOutput pins the -json machine contract: one JSON object per
+// line with file/line/col/pass/message, equivalent to the text mode
+// finding-for-finding, and no stray non-JSON output.
+func TestJSONOutput(t *testing.T) {
+	var text, jsonBuf bytes.Buffer
+	if err := run([]string{fixture(t)}, &text); err == nil {
+		t.Fatal("selfcheck fixture must fail in text mode")
+	}
+	if err := run([]string{"-json", fixture(t)}, &jsonBuf); err == nil {
+		t.Fatal("selfcheck fixture must fail in -json mode")
+	}
+	textLines := strings.Split(strings.TrimSpace(text.String()), "\n")
+	jsonLines := strings.Split(strings.TrimSpace(jsonBuf.String()), "\n")
+	if len(textLines) != len(jsonLines) {
+		t.Fatalf("text mode emitted %d findings, -json %d; modes must agree\ntext:\n%s\njson:\n%s",
+			len(textLines), len(jsonLines), text.String(), jsonBuf.String())
+	}
+	seenPasses := map[string]bool{}
+	for i, line := range jsonLines {
+		var f struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Pass    string `json:"pass"`
+			Message string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line %d is not a JSON finding: %v\n%s", i+1, err, line)
+		}
+		if f.File == "" || f.Line == 0 || f.Col == 0 || f.Pass == "" || f.Message == "" {
+			t.Errorf("line %d has empty fields: %+v", i+1, f)
+		}
+		seenPasses[f.Pass] = true
+		// The corresponding text line carries the same position and pass.
+		want := fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Pass, f.Message)
+		if textLines[i] != want {
+			t.Errorf("finding %d diverges between modes:\ntext: %s\njson: %s", i+1, textLines[i], want)
+		}
+	}
+	for _, pass := range allPasses {
+		if !seenPasses[pass] {
+			t.Errorf("-json output missing a %s finding", pass)
 		}
 	}
 }
@@ -85,7 +137,7 @@ func TestList(t *testing.T) {
 	if err := run([]string{"-list"}, &buf); err != nil {
 		t.Fatal(err)
 	}
-	for _, pass := range []string{"nodeterminism", "atomicfield", "ctxflow", "cliexit", "floateq"} {
+	for _, pass := range allPasses {
 		if !strings.Contains(buf.String(), pass) {
 			t.Errorf("-list output missing %s:\n%s", pass, buf.String())
 		}

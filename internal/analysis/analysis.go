@@ -6,7 +6,7 @@
 // without adding a module dependency the build environment may not
 // have.
 //
-// The five passes promote contracts that DESIGN.md previously stated
+// The eight passes promote contracts that DESIGN.md previously stated
 // only in prose:
 //
 //   - nodeterminism: no time.Now / global math/rand / map-range into
@@ -20,16 +20,30 @@
 //     internal/cli.Main — no os.Exit / log.Fatal* / panic.
 //   - floateq: no ==/!= on floating-point operands outside files that
 //     opt in with a //fairvet:floateq marker.
+//   - lockcheck: a struct field annotated `guarded by <mutex>` must
+//     only be touched while that mutex is held on every path
+//     (flow-sensitive over the per-function CFG; defer-aware).
+//   - errflow: error results must not be blank-assigned, dropped at
+//     statement position, or overwritten/abandoned before any use on
+//     some path (flow-sensitive).
+//   - hotalloc: functions marked //fairvet:hotpath must contain no
+//     allocating constructs.
+//
+// The last three run on a shared flow-sensitive layer: a per-function
+// control-flow graph (cfg.go) and a generic forward worklist solver
+// (dataflow.go), both stdlib-only.
 //
 // Escape hatch: a finding can be suppressed with an inline
 // justification comment on the same line or the line above:
 //
 //	//fairvet:ignore <pass>[,<pass>...] -- <why this is sound>
 //
-// A suppression without a justification is itself reported. File-level
-// markers (//fairvet:deterministic, //fairvet:climain,
-// //fairvet:floateq) opt a file in or out of scope-limited passes; see
-// each pass's Doc.
+// A suppression without a justification is itself reported, and — when
+// the full suite runs (RunSuite) — so is a directive that suppresses
+// nothing, so stale suppressions cannot linger after the code they
+// excused is fixed. File-level markers (//fairvet:deterministic,
+// //fairvet:climain, //fairvet:floateq) opt a file in or out of
+// scope-limited passes; see each pass's Doc.
 package analysis
 
 import (
@@ -81,20 +95,44 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // RunPass executes one analyzer over one loaded package, applies the
 // //fairvet:ignore suppression filter, and returns the surviving
-// diagnostics sorted by position.
+// diagnostics sorted by position. Zero-match directive warnings are
+// not emitted here — a single pass cannot know whether a directive
+// aimed at another pass is stale; use RunSuite for that.
 func RunPass(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
-	pass := &Pass{
-		Analyzer:  a,
-		Path:      pkg.Path,
-		Fset:      pkg.Fset,
-		Files:     pkg.Files,
-		Pkg:       pkg.Types,
-		TypesInfo: pkg.Info,
+	return runAnalyzers([]*Analyzer{a}, pkg, false)
+}
+
+// RunSuite executes every analyzer in as over one loaded package,
+// applies the //fairvet:ignore filter once across the combined
+// findings, and additionally reports directives that matched nothing —
+// a suppression that no longer suppresses is stale and must go.
+func RunSuite(as []*Analyzer, pkg *Package) ([]Diagnostic, error) {
+	return runAnalyzers(as, pkg, true)
+}
+
+func runAnalyzers(as []*Analyzer, pkg *Package, wantZeroMatch bool) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, a := range as {
+		pass := &Pass{
+			Analyzer:  a,
+			Path:      pkg.Path,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		all = append(all, pass.diags...)
 	}
-	if err := a.Run(pass); err != nil {
-		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	var ranPasses []string
+	if wantZeroMatch {
+		for _, a := range as {
+			ranPasses = append(ranPasses, a.Name)
+		}
 	}
-	diags := applySuppressions(pkg, pass.diags)
+	diags := applySuppressions(pkg, all, ranPasses)
 	sort.SliceStable(diags, func(i, j int) bool {
 		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
 		if pi.Filename != pj.Filename {
@@ -119,6 +157,9 @@ func Analyzers() []*Analyzer {
 		CtxFlow,
 		CLIExit,
 		FloatEq,
+		LockCheck,
+		ErrFlow,
+		HotAlloc,
 	}
 }
 
@@ -135,24 +176,33 @@ type ignoreDirective struct {
 	passes []string
 	reason string
 	pos    token.Pos
+	// matched counts suppressed findings; bareHit marks an unjustified
+	// directive that would have suppressed something. Both feed the
+	// stale-directive warning, and sharing one *ignoreDirective between
+	// the two covered lines keeps the counts unified.
+	matched int
+	bareHit bool
 }
 
 // fileIgnores maps source line -> directives that apply to findings on
-// that line. A directive on its own line covers the next line; a
-// trailing directive covers its own line.
-func fileIgnores(fset *token.FileSet, f *ast.File) map[int][]ignoreDirective {
-	out := map[int][]ignoreDirective{}
+// that line, and returns all directives in source order. A directive
+// on its own line covers the next line; a trailing directive covers
+// its own line.
+func fileIgnores(fset *token.FileSet, f *ast.File) (map[int][]*ignoreDirective, []*ignoreDirective) {
+	out := map[int][]*ignoreDirective{}
+	var all []*ignoreDirective
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			m := ignoreRe.FindStringSubmatch(c.Text)
 			if m == nil {
 				continue
 			}
-			d := ignoreDirective{
+			d := &ignoreDirective{
 				passes: strings.Split(m[1], ","),
 				reason: strings.TrimSpace(m[2]),
 				pos:    c.Pos(),
 			}
+			all = append(all, d)
 			line := fset.Position(c.Pos()).Line
 			// Trailing comment: the line holds code before the comment.
 			// Own-line comment: the comment starts the line. Covering both
@@ -164,10 +214,10 @@ func fileIgnores(fset *token.FileSet, f *ast.File) map[int][]ignoreDirective {
 			out[line+1] = append(out[line+1], d)
 		}
 	}
-	return out
+	return out, all
 }
 
-func (d ignoreDirective) matches(pass string) bool {
+func (d *ignoreDirective) matches(pass string) bool {
 	for _, p := range d.passes {
 		if p == pass {
 			return true
@@ -178,12 +228,17 @@ func (d ignoreDirective) matches(pass string) bool {
 
 // applySuppressions drops diagnostics covered by a justified
 // //fairvet:ignore directive and reports unjustified directives that
-// would otherwise have suppressed something.
-func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
-	ignores := map[string]map[int][]ignoreDirective{}
+// would otherwise have suppressed something. When ranPasses is
+// non-empty (full-suite mode), a directive naming at least one pass
+// that ran but matching zero findings is reported as stale.
+func applySuppressions(pkg *Package, diags []Diagnostic, ranPasses []string) []Diagnostic {
+	ignores := map[string]map[int][]*ignoreDirective{}
+	var directives []*ignoreDirective
 	for _, f := range pkg.Files {
 		name := pkg.Fset.Position(f.Pos()).Filename
-		ignores[name] = fileIgnores(pkg.Fset, f)
+		byLine, all := fileIgnores(pkg.Fset, f)
+		ignores[name] = byLine
+		directives = append(directives, all...)
 	}
 	var out []Diagnostic
 	flaggedBare := map[token.Pos]bool{}
@@ -195,6 +250,7 @@ func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
 				continue
 			}
 			if dir.reason == "" {
+				dir.bareHit = true
 				if !flaggedBare[dir.pos] {
 					flaggedBare[dir.pos] = true
 					out = append(out, Diagnostic{
@@ -205,12 +261,38 @@ func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
 				}
 				continue
 			}
+			dir.matched++
 			suppressed = true
 			break
 		}
 		if !suppressed {
 			out = append(out, d)
 		}
+	}
+	for _, dir := range directives {
+		if dir.matched > 0 || dir.bareHit {
+			continue
+		}
+		ran := ""
+		for _, p := range dir.passes {
+			for _, r := range ranPasses {
+				if p == r {
+					ran = p
+					break
+				}
+			}
+			if ran != "" {
+				break
+			}
+		}
+		if ran == "" {
+			continue // can't judge staleness: none of its passes ran
+		}
+		out = append(out, Diagnostic{
+			Pos:     dir.pos,
+			Pass:    ran,
+			Message: "fairvet:ignore " + strings.Join(dir.passes, ",") + " suppresses no finding; delete the stale directive",
+		})
 	}
 	return out
 }

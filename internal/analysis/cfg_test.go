@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// The CFG tests build graphs from bare syntax (the builder is
+// type-free) and check the shapes the flow-sensitive passes depend on:
+// every return routes through the defer prelude, early returns leave
+// the fallthrough arm live, goto loops terminate, and the solver's
+// must-join takes the weakest state across merging paths.
+
+func parseFuncBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// lockDepthLattice is a miniature must-analysis: the state is the
+// guaranteed lock depth, joins take the minimum.
+var lockDepthLattice = Lattice[int]{
+	Clone: func(s int) int { return s },
+	Join: func(dst, src int) int {
+		if src < dst {
+			return src
+		}
+		return dst
+	},
+	Equal: func(a, b int) bool { return a == b },
+}
+
+// lockDepth interprets calls to the identifiers lock/unlock, including
+// replayed deferred calls.
+func lockDepth(s int, n ast.Node) int {
+	if d, ok := n.(*DeferredNode); ok {
+		return lockDepth(s, d.Call)
+	}
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return s // effect replays at exit
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if call, ok := c.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "lock":
+					s++
+				case "unlock":
+					s--
+				}
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// probeBlock finds the block holding the `probe()` statement.
+func probeBlock(t *testing.T, g *CFG) *Block {
+	t.Helper()
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "probe" {
+					return blk
+				}
+			}
+		}
+	}
+	t.Fatal("no probe() statement in CFG")
+	return nil
+}
+
+func solveDepth(g *CFG) FlowResult[int] {
+	return Solve(g, lockDepthLattice, 0, lockDepth)
+}
+
+func TestCFGExitSinglePrelude(t *testing.T) {
+	g := NewCFG(parseFuncBody(t, `
+		x := 1
+		_ = x
+	`))
+	if len(g.Exit.Preds) != 1 {
+		t.Fatalf("Exit has %d preds, want exactly the prelude", len(g.Exit.Preds))
+	}
+	if len(g.Exit.Nodes) != 0 {
+		t.Errorf("Exit block is not empty: %d nodes", len(g.Exit.Nodes))
+	}
+}
+
+func TestCFGEarlyReturn(t *testing.T) {
+	g := NewCFG(parseFuncBody(t, `
+		lock()
+		if c {
+			unlock()
+			return
+		}
+		probe()
+		unlock()
+	`))
+	res := solveDepth(g)
+	for _, blk := range g.Blocks {
+		if len(blk.Nodes) > 0 && !res.Reached[blk.Index] {
+			t.Errorf("block %d with nodes is unreached", blk.Index)
+		}
+	}
+	// The early return peeled off the unlocked path; the fallthrough
+	// arm still holds the lock.
+	pb := probeBlock(t, g)
+	if got := res.In[pb.Index]; got != 1 {
+		t.Errorf("lock depth at probe() = %d, want 1 (early return must not drain the fallthrough arm)", got)
+	}
+	// Both arms unlock, so the exit is balanced.
+	if got := res.In[g.Exit.Index]; got != 0 {
+		t.Errorf("lock depth at exit = %d, want 0", got)
+	}
+}
+
+func TestCFGBranchMustJoin(t *testing.T) {
+	g := NewCFG(parseFuncBody(t, `
+		if c {
+			lock()
+		}
+		probe()
+	`))
+	res := solveDepth(g)
+	pb := probeBlock(t, g)
+	if got := res.In[pb.Index]; got != 0 {
+		t.Errorf("lock depth at probe() = %d, want 0 (held on one path only is not held)", got)
+	}
+}
+
+func TestCFGDeferUnlock(t *testing.T) {
+	g := NewCFG(parseFuncBody(t, `
+		lock()
+		defer unlock()
+		if c {
+			return
+		}
+		probe()
+	`))
+	if len(g.Defers) != 1 {
+		t.Fatalf("recorded %d defers, want 1", len(g.Defers))
+	}
+	prelude := g.Exit.Preds[0]
+	deferred := 0
+	for _, n := range prelude.Nodes {
+		if _, ok := n.(*DeferredNode); ok {
+			deferred++
+		}
+	}
+	if deferred != 1 {
+		t.Fatalf("prelude replays %d deferred calls, want 1", deferred)
+	}
+	if len(prelude.Preds) < 2 {
+		t.Errorf("prelude has %d preds, want >=2 (early return and fall-off end)", len(prelude.Preds))
+	}
+	res := solveDepth(g)
+	// The deferred unlock has not run yet at probe()...
+	pb := probeBlock(t, g)
+	if got := res.In[pb.Index]; got != 1 {
+		t.Errorf("lock depth at probe() = %d, want 1 (defer must not release early)", got)
+	}
+	// ...but has on entry to Exit, on every path.
+	if got := res.In[g.Exit.Index]; got != 0 {
+		t.Errorf("lock depth at exit = %d, want 0 (prelude must replay the deferred unlock)", got)
+	}
+}
+
+func TestCFGDefersReplayInReverse(t *testing.T) {
+	g := NewCFG(parseFuncBody(t, `
+		defer first()
+		defer second()
+	`))
+	prelude := g.Exit.Preds[0]
+	var order []string
+	for _, n := range prelude.Nodes {
+		if d, ok := n.(*DeferredNode); ok {
+			order = append(order, d.Call.Fun.(*ast.Ident).Name)
+		}
+	}
+	if len(order) != 2 || order[0] != "second" || order[1] != "first" {
+		t.Errorf("deferred replay order = %v, want [second first] (LIFO)", order)
+	}
+}
+
+func TestCFGGotoLoop(t *testing.T) {
+	// The restart-loop shape of stats.CentroidIndex.Nearest: a backward
+	// goto forming a loop and a forward goto jumping out.
+	g := NewCFG(parseFuncBody(t, `
+	restart:
+		n++
+		if n < k {
+			goto restart
+		}
+		if d {
+			goto out
+		}
+		probe()
+	out:
+		return
+	`))
+	res := solveDepth(g)
+	for _, blk := range g.Blocks {
+		if len(blk.Nodes) > 0 && !res.Reached[blk.Index] {
+			t.Errorf("block %d with nodes is unreached", blk.Index)
+		}
+	}
+	if !res.Reached[g.Exit.Index] {
+		t.Error("exit unreached: goto loop did not terminate in the solver")
+	}
+}
+
+func TestCFGDeadCodeUnreached(t *testing.T) {
+	g := NewCFG(parseFuncBody(t, `
+		return
+		probe()
+	`))
+	res := solveDepth(g)
+	pb := probeBlock(t, g)
+	if res.Reached[pb.Index] {
+		t.Error("statements after return must land in an unreached block")
+	}
+}
+
+func TestCFGLoopBackEdgeKeepsState(t *testing.T) {
+	g := NewCFG(parseFuncBody(t, `
+		lock()
+		for i := 0; i < k; i++ {
+			probe()
+		}
+		unlock()
+	`))
+	res := solveDepth(g)
+	pb := probeBlock(t, g)
+	if got := res.In[pb.Index]; got != 1 {
+		t.Errorf("lock depth in loop body = %d, want 1 (back edge re-enters held)", got)
+	}
+	if got := res.In[g.Exit.Index]; got != 0 {
+		t.Errorf("lock depth at exit = %d, want 0", got)
+	}
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import "go/ast"
+
+// Lattice describes one dataflow domain for the forward solver. There
+// is no explicit bottom element: an edge is either reached (and
+// carries a state) or not, tracked separately in FlowResult.Reached.
+// The ownership contract keeps state copies explicit and cheap:
+//
+//   - Clone returns an independent copy; the solver clones before
+//     handing a state to a transfer chain, so transfers may mutate
+//     their argument and return it.
+//   - Join merges its second argument INTO its first and returns the
+//     result; it must not mutate the second argument.
+//   - Equal reports lattice-value equality (fixpoint detection).
+//
+// Both solver clients are standard finite-height domains: lockcheck's
+// held-mutex set is a must-analysis (Join = intersection), errflow's
+// unused-error map is a may-analysis (Join = union, min position), so
+// termination is by monotonicity as usual.
+type Lattice[S any] struct {
+	Clone func(S) S
+	Join  func(dst, src S) S
+	Equal func(S, S) bool
+}
+
+// FlowResult carries the solved in-states: In[b.Index] is the state on
+// entry to block b, valid only where Reached[b.Index]. Unreached
+// blocks are dead code (no path from entry); passes skip them rather
+// than diagnose from a fabricated state.
+type FlowResult[S any] struct {
+	In      []S
+	Reached []bool
+}
+
+// Solve runs transfer forward over g to fixpoint, starting from
+// boundary at the entry block. The worklist is drained in block-index
+// order, so iteration — and therefore any diagnostic produced while
+// replaying transfers — is deterministic.
+func Solve[S any](g *CFG, lat Lattice[S], boundary S, transfer func(S, ast.Node) S) FlowResult[S] {
+	n := len(g.Blocks)
+	res := FlowResult[S]{In: make([]S, n), Reached: make([]bool, n)}
+	inQueue := make([]bool, n)
+
+	res.In[g.Entry.Index] = boundary
+	res.Reached[g.Entry.Index] = true
+
+	queue := []int{g.Entry.Index}
+	inQueue[g.Entry.Index] = true
+	for len(queue) > 0 {
+		// Pop the lowest block index: deterministic and close to
+		// reverse post-order for the structured CFGs the builder emits.
+		bi, mi := queue[0], 0
+		for i, q := range queue[1:] {
+			if q < bi {
+				bi, mi = q, i+1
+			}
+		}
+		queue[mi] = queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		inQueue[bi] = false
+
+		blk := g.Blocks[bi]
+		out := lat.Clone(res.In[bi])
+		for _, nd := range blk.Nodes {
+			out = transfer(out, nd)
+		}
+		for _, succ := range blk.Succs {
+			si := succ.Index
+			if !res.Reached[si] {
+				res.In[si] = lat.Clone(out)
+				res.Reached[si] = true
+			} else {
+				merged := lat.Join(lat.Clone(res.In[si]), out)
+				if lat.Equal(merged, res.In[si]) {
+					continue
+				}
+				res.In[si] = merged
+			}
+			if !inQueue[si] {
+				queue = append(queue, si)
+				inQueue[si] = true
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,451 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrFlow flags error values that never reach a handler:
+//
+//   - an error result assigned to _ (`v, _ := f()`, `_ = f()`),
+//   - a call statement (plain, go or defer) whose error result is
+//     discarded entirely,
+//   - flow-sensitively, an error variable assigned and then
+//     overwritten — or still unread at function exit — before ANY use
+//     on some path. "Use" is any read: a comparison, an argument, a
+//     return, an errors.Is target.
+//
+// The flow analysis runs on the per-function CFG as a may-analysis
+// (a drop on one branch is a finding even if another branch handles
+// the error), and a use in a branch condition covers every path the
+// condition dominates, so the `err := f(); if err != nil { ... }`
+// idiom is clean by construction.
+//
+// Deliberately out of scope, to keep the signal tight: named error
+// results (assigning one IS the handling — the return uses it),
+// variables captured by a closure or address-taken (aliased uses are
+// invisible to an intra-procedural pass), and callees whose error is
+// dead by API contract — the fmt print family and the Write methods
+// of bytes.Buffer / strings.Builder, which are documented to never
+// return a meaningful error. Test files never reach this pass: the
+// loader analyzes non-test sources only.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "error results must not be discarded, dropped, or overwritten before use",
+	Run:  runErrFlow,
+}
+
+func runErrFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkErrBody(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkErrBody(pass, fl.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// errFlow is the per-function context: tracked error-typed locals and
+// the syntactic finding sites.
+type errFlow struct {
+	pass    *Pass
+	tracked map[*types.Var]bool
+	vetoes  map[*types.Var]bool
+}
+
+// errState maps a tracked variable to the position of its outstanding
+// (not yet used) assignment. Absence means clean: unassigned, reset to
+// nil, or used since the last assignment.
+type errState map[*types.Var]token.Pos
+
+var errLattice = Lattice[errState]{
+	Clone: func(s errState) errState {
+		out := make(errState, len(s))
+		for k, v := range s {
+			out[k] = v
+		}
+		return out
+	},
+	// May-analysis: an assignment unused on either path stays
+	// outstanding; ties keep the earliest position for determinism.
+	Join: func(dst, src errState) errState {
+		for k, p := range src {
+			if q, ok := dst[k]; !ok || p < q {
+				dst[k] = p
+			}
+		}
+		return dst
+	},
+	Equal: func(a, b errState) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if b[k] != v {
+				return false
+			}
+		}
+		return true
+	},
+}
+
+func checkErrBody(pass *Pass, body *ast.BlockStmt) {
+	ef := &errFlow{pass: pass, tracked: map[*types.Var]bool{}}
+	ef.syntactic(body)
+	ef.collectTracked(body)
+	if len(ef.tracked) == 0 {
+		return
+	}
+	g := NewCFG(body)
+	res := Solve(g, errLattice, errState{}, func(s errState, n ast.Node) errState {
+		ef.transfer(s, n, false)
+		return s
+	})
+	for _, blk := range g.Blocks {
+		if !res.Reached[blk.Index] {
+			continue
+		}
+		s := errLattice.Clone(res.In[blk.Index])
+		for _, nd := range blk.Nodes {
+			ef.transfer(s, nd, true)
+		}
+	}
+	// Exit: anything still outstanding was dropped on some path. The
+	// exit in-state is the prelude's out-state (deferred uses counted).
+	if res.Reached[g.Exit.Index] {
+		exit := res.In[g.Exit.Index]
+		var vars []*types.Var
+		for v := range exit {
+			vars = append(vars, v)
+		}
+		// map-range over tracked vars: order the report positions.
+		for _, v := range sortVarsByPos(exit, vars) {
+			pass.Reportf(exit[v], "error assigned to %s is never used on some path to return; handle it or return it", v.Name())
+		}
+	}
+}
+
+func sortVarsByPos(s errState, vars []*types.Var) []*types.Var {
+	for i := 1; i < len(vars); i++ {
+		for j := i; j > 0 && s[vars[j]] < s[vars[j-1]]; j-- {
+			vars[j], vars[j-1] = vars[j-1], vars[j]
+		}
+	}
+	return vars
+}
+
+// syntactic reports blank-assigned and wholly dropped error results;
+// these need no flow analysis.
+func (ef *errFlow) syntactic(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return n == nil // nested literals get their own checkErrBody
+		case *ast.AssignStmt:
+			ef.checkBlank(n)
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				ef.checkDropped(call, "")
+			}
+		case *ast.GoStmt:
+			ef.checkDropped(n.Call, "go ")
+		case *ast.DeferStmt:
+			ef.checkDropped(n.Call, "defer ")
+		}
+		return true
+	})
+}
+
+// checkBlank flags `_` receiving an error from a call: `v, _ := f()`,
+// `_ = f()`. Assigning an existing variable to _ is not flagged — that
+// is an explicit discard of a value, not of a fresh result.
+func (ef *errFlow) checkBlank(as *ast.AssignStmt) {
+	fromCall := len(as.Rhs) == 1 && isCallExpr(as.Rhs[0])
+	if !fromCall && len(as.Rhs) != len(as.Lhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		var t types.Type
+		if len(as.Rhs) == len(as.Lhs) {
+			if !isCallExpr(as.Rhs[i]) {
+				continue
+			}
+			t = ef.pass.TypesInfo.Types[as.Rhs[i]].Type
+		} else {
+			tup, ok := ef.pass.TypesInfo.Types[as.Rhs[0]].Type.(*types.Tuple)
+			if !ok || i >= tup.Len() {
+				continue
+			}
+			t = tup.At(i).Type()
+		}
+		if isErrorType(t) {
+			ef.pass.Reportf(id.Pos(), "error result assigned to _; handle it, or suppress with //fairvet:ignore errflow -- <why it cannot fail>")
+		}
+	}
+}
+
+func isCallExpr(e ast.Expr) bool {
+	c, ok := e.(*ast.CallExpr)
+	return ok && c != nil
+}
+
+// checkDropped flags a statement-position call that returns an error
+// nobody receives.
+func (ef *errFlow) checkDropped(call *ast.CallExpr, prefix string) {
+	tv, ok := ef.pass.TypesInfo.Types[call.Fun]
+	if ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	t := ef.pass.TypesInfo.Types[call].Type
+	if t == nil {
+		return
+	}
+	hasErr := false
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				hasErr = true
+			}
+		}
+	default:
+		hasErr = isErrorType(t)
+	}
+	if !hasErr || ef.dropExempt(call) {
+		return
+	}
+	ef.pass.Reportf(call.Pos(), "%scall drops its error result; assign and handle it, or suppress with //fairvet:ignore errflow -- <why it cannot fail>", prefix)
+}
+
+// dropExempt lists callees whose error is dead by documented contract:
+// the fmt print family, and writes into in-memory sinks
+// (bytes.Buffer, strings.Builder) which always return a nil error.
+func (ef *errFlow) dropExempt(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if selectsPackage(ef.pass.TypesInfo, sel) == "fmt" {
+		return true
+	}
+	fn, ok := ef.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}
+
+// collectTracked gathers error-typed variables declared in this body,
+// excluding any captured by a nested closure or address-taken — their
+// uses are invisible to an intra-procedural analysis.
+func (ef *errFlow) collectTracked(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n != nil {
+				ast.Inspect(n.Body, func(inner ast.Node) bool {
+					if id, ok := inner.(*ast.Ident); ok {
+						if v, ok := ef.pass.TypesInfo.Uses[id].(*types.Var); ok {
+							delete(ef.tracked, v)
+							ef.trackedVeto(v)
+						}
+					}
+					return true
+				})
+				return false
+			}
+		case *ast.Ident:
+			if v, ok := ef.pass.TypesInfo.Defs[n].(*types.Var); ok && isErrorType(v.Type()) {
+				if !ef.vetoed(v) {
+					ef.tracked[v] = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := unparen(n.X).(*ast.Ident); ok {
+					if v, ok := ef.pass.TypesInfo.Uses[id].(*types.Var); ok {
+						delete(ef.tracked, v)
+						ef.trackedVeto(v)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// veto bookkeeping: a var removed for capture/aliasing must not be
+// re-added when its Def is visited later in the walk.
+func (ef *errFlow) trackedVeto(v *types.Var) {
+	if ef.vetoes == nil {
+		ef.vetoes = map[*types.Var]bool{}
+	}
+	ef.vetoes[v] = true
+}
+
+func (ef *errFlow) vetoed(v *types.Var) bool { return ef.vetoes[v] }
+
+// transfer applies one CFG node: reads clear outstanding assignments,
+// assignments report overwrites (in the replay phase) and become
+// outstanding.
+func (ef *errFlow) transfer(s errState, n ast.Node, report bool) {
+	switch n := n.(type) {
+	case *DeferredNode:
+		return // arguments were evaluated at the DeferStmt
+	case *ast.DeferStmt:
+		ef.scanUses(s, n.Call)
+		return
+	case *ast.AssignStmt:
+		ef.assign(s, n, report)
+		return
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					ef.valueSpec(s, vs, report)
+				}
+			}
+		}
+		return
+	}
+	ef.scanUses(s, n)
+}
+
+// scanUses clears the outstanding mark of every tracked variable read
+// inside n (skipping nested function literals).
+func (ef *errFlow) scanUses(s errState, n ast.Node) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok {
+			if v, ok := ef.pass.TypesInfo.Uses[id].(*types.Var); ok && ef.tracked[v] {
+				delete(s, v)
+			}
+		}
+		return true
+	})
+}
+
+func (ef *errFlow) assign(s errState, as *ast.AssignStmt, report bool) {
+	for _, rhs := range as.Rhs {
+		ef.scanUses(s, rhs)
+	}
+	// Index/selector writes (m[k] = err is not tracked) still read
+	// their operands.
+	for _, lhs := range as.Lhs {
+		if _, ok := lhs.(*ast.Ident); !ok {
+			ef.scanUses(s, lhs)
+		}
+	}
+	tuple := len(as.Rhs) == 1 && len(as.Lhs) > 1
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		var v *types.Var
+		if vd, ok := ef.pass.TypesInfo.Defs[id].(*types.Var); ok {
+			v = vd
+		} else if vu, ok := ef.pass.TypesInfo.Uses[id].(*types.Var); ok {
+			v = vu
+		}
+		if v == nil || !ef.tracked[v] {
+			continue
+		}
+		var rhs ast.Expr
+		if !tuple && i < len(as.Rhs) {
+			rhs = as.Rhs[i]
+		}
+		ef.assignEvent(s, v, id.Pos(), rhs, report)
+	}
+}
+
+func (ef *errFlow) valueSpec(s errState, vs *ast.ValueSpec, report bool) {
+	for _, val := range vs.Values {
+		ef.scanUses(s, val)
+	}
+	tuple := len(vs.Values) == 1 && len(vs.Names) > 1
+	for i, id := range vs.Names {
+		v, ok := ef.pass.TypesInfo.Defs[id].(*types.Var)
+		if !ok || !ef.tracked[v] {
+			continue
+		}
+		if len(vs.Values) == 0 {
+			delete(s, v) // var err error — zero value, clean
+			continue
+		}
+		var rhs ast.Expr
+		if !tuple && i < len(vs.Values) {
+			rhs = vs.Values[i]
+		}
+		ef.assignEvent(s, v, id.Pos(), rhs, report)
+	}
+}
+
+// assignEvent processes one assignment to a tracked error variable.
+// rhs is nil for tuple assignments (always a call — never nil-able).
+func (ef *errFlow) assignEvent(s errState, v *types.Var, pos token.Pos, rhs ast.Expr, report bool) {
+	if rhs != nil && ef.pass.TypesInfo.Types[rhs].IsNil() {
+		delete(s, v) // err = nil resets, it does not carry a new error
+		return
+	}
+	// prev == pos is the same statement reached around a loop back edge
+	// ("remember the last error" idiom) — overwriting oneself across
+	// iterations is deliberate retention, not a drop, and the exit check
+	// still fires if the retained error is never read after the loop.
+	if prev, outstanding := s[v]; outstanding && report && prev != pos {
+		ef.pass.Reportf(pos, "this assignment overwrites the error %s assigned at line %d before any use of it", v.Name(), ef.pass.Fset.Position(prev).Line)
+	}
+	s[v] = pos
+}

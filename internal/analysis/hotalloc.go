@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc enforces zero-allocation discipline in functions whose doc
+// comment carries the //fairvet:hotpath marker — the per-row serving
+// kernels, the telemetry record path and the Lloyd sweep inner loops,
+// where one heap allocation per call turns into millions per run and
+// the allocs/op benchmarks gate the build.
+//
+// Inside a marked function the pass rejects every construct the
+// compiler may lower to a heap allocation:
+//
+//   - append (growth reallocates; the one sanctioned shape is
+//     appending into a reslice of an existing backing array, x[:0]),
+//   - slice, map and struct composite literals, &composite, closures,
+//   - make and new,
+//   - fmt calls and non-constant string concatenation,
+//   - string <-> []byte / []rune conversions,
+//   - interface conversions of non-pointer-shaped values (boxing);
+//     pointers, maps, chans and funcs box without allocating.
+//
+// The pass is deliberately conservative in the other direction: it
+// does not attempt escape analysis, so a construct the compiler would
+// stack-allocate is still rejected — hot-path code should not rely on
+// escape analysis staying clever across compiler versions. The marker
+// is the contract; TestHotPathAllocs measures the same functions
+// dynamically and the two must agree.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//fairvet:hotpath functions must not contain allocating constructs",
+	Run:  runHotAlloc,
+}
+
+const hotpathMarker = "//fairvet:hotpath"
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			ha := &hotAlloc{pass: pass, fn: fd.Name.Name}
+			ha.check(fd.Body)
+		}
+	}
+	return nil
+}
+
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), hotpathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+type hotAlloc struct {
+	pass *Pass
+	fn   string
+}
+
+func (ha *hotAlloc) reportf(n ast.Node, format string, args ...any) {
+	args = append(args, ha.fn)
+	ha.pass.Reportf(n.Pos(), format+" in hotpath function %s; hoist it out of the hot path or drop the //fairvet:hotpath marker", args...)
+}
+
+func (ha *hotAlloc) check(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ha.reportf(n, "closure literal allocates")
+			return false // the finding covers the whole literal
+		case *ast.CompositeLit:
+			ha.compositeLit(n)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := unparen(n.X).(*ast.CompositeLit); ok {
+					ha.reportf(n, "&composite literal allocates")
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			return ha.call(n)
+		case *ast.BinaryExpr:
+			ha.binary(n)
+		case *ast.GoStmt:
+			ha.reportf(n, "go statement allocates a goroutine")
+		}
+		return true
+	})
+}
+
+// compositeLit flags literals whose backing store lives on the heap:
+// slices and maps. Value struct and array literals are stack values
+// and pass (taking their address is flagged at the & instead).
+func (ha *hotAlloc) compositeLit(lit *ast.CompositeLit) {
+	t := ha.pass.TypesInfo.Types[lit].Type
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		ha.reportf(lit, "slice literal allocates")
+	case *types.Map:
+		ha.reportf(lit, "map literal allocates")
+	}
+}
+
+// call handles builtins, conversions and fmt; returns whether the
+// walk should descend into the call's children.
+func (ha *hotAlloc) call(call *ast.CallExpr) bool {
+	if tv, ok := ha.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		ha.conversion(call, tv.Type)
+		return true
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := ha.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				if !ha.isReslice(call.Args) {
+					ha.reportf(call, "append may grow its backing array")
+				}
+			case "make":
+				ha.reportf(call, "make allocates")
+			case "new":
+				ha.reportf(call, "new allocates")
+			}
+			return true
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if selectsPackage(ha.pass.TypesInfo, sel) == "fmt" {
+			ha.reportf(call, "fmt.%s allocates its formatted output", sel.Sel.Name)
+			return true
+		}
+	}
+	ha.boxedArgs(call)
+	return true
+}
+
+// isReslice recognises the sanctioned append target append(x[:0], ...):
+// reuse of an existing backing array, allocation-free while the
+// result fits the original capacity.
+func (ha *hotAlloc) isReslice(args []ast.Expr) bool {
+	if len(args) == 0 {
+		return false
+	}
+	sl, ok := unparen(args[0]).(*ast.SliceExpr)
+	if !ok {
+		return false
+	}
+	if sl.Low != nil && !ha.isZeroConst(sl.Low) {
+		return false
+	}
+	return sl.High != nil && ha.isZeroConst(sl.High)
+}
+
+func (ha *hotAlloc) isZeroConst(e ast.Expr) bool {
+	tv, ok := ha.pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil && tv.Value.String() == "0"
+}
+
+func (ha *hotAlloc) conversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := ha.pass.TypesInfo.Types[call.Args[0]].Type
+	if from == nil {
+		return
+	}
+	toU, fromU := to.Underlying(), from.Underlying()
+	if isString(toU) && isByteOrRuneSlice(fromU) {
+		ha.reportf(call, "[]byte/[]rune to string conversion copies")
+		return
+	}
+	if isByteOrRuneSlice(toU) && isString(fromU) {
+		ha.reportf(call, "string to []byte/[]rune conversion copies")
+		return
+	}
+	if types.IsInterface(toU) && !types.IsInterface(fromU) && !pointerShaped(fromU) {
+		ha.reportf(call, "conversion to interface boxes a %s value", from.String())
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// pointerShaped reports whether values of t fit an interface word
+// without boxing: pointers, channels, maps, funcs, unsafe.Pointer.
+func pointerShaped(t types.Type) bool {
+	switch t.(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// boxedArgs flags non-pointer-shaped concrete values passed to
+// interface-typed parameters — each such call boxes its argument.
+func (ha *hotAlloc) boxedArgs(call *ast.CallExpr) {
+	tv, ok := ha.pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = sig.Params().At(sig.Params().Len() - 1).Type()
+			if sl, ok := pt.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		} else if i < sig.Params().Len() {
+			pt = sig.Params().At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := ha.pass.TypesInfo.Types[arg].Type
+		if at == nil || types.IsInterface(at.Underlying()) || pointerShaped(at.Underlying()) {
+			continue
+		}
+		if ha.pass.TypesInfo.Types[arg].IsNil() {
+			continue
+		}
+		ha.reportf(arg, "passing %s to an interface parameter boxes it", at.String())
+	}
+}
+
+func (ha *hotAlloc) binary(b *ast.BinaryExpr) {
+	if b.Op != token.ADD {
+		return
+	}
+	tv := ha.pass.TypesInfo.Types[b]
+	if tv.Type == nil || !isString(tv.Type.Underlying()) {
+		return
+	}
+	if tv.Value != nil {
+		return // constant-folded at compile time
+	}
+	ha.reportf(b, "non-constant string concatenation allocates")
+}

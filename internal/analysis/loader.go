@@ -14,8 +14,10 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed and fully type-checked package ready
@@ -33,6 +35,14 @@ type Package struct {
 // one shared source importer, so the (expensive) from-source
 // type-check of common dependencies happens once per process, not once
 // per analyzed package.
+//
+// LoadPatterns type-checks the listed packages concurrently in a
+// bounded worker pool. The shared pieces are safe for that: the
+// FileSet serializes internally, and the source importer is wrapped in
+// a single-flight mutex (it is not concurrency-safe, and serializing
+// it also means a dependency is only ever type-checked once). The
+// returned package order is the `go list` order regardless of which
+// worker finishes first.
 type Loader struct {
 	fset *token.FileSet
 	imp  types.Importer
@@ -43,13 +53,27 @@ type Loader struct {
 // through the go command, which needs a module context).
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	return &Loader{fset: fset, imp: &lockedImporter{imp: importer.ForCompiler(fset, "source", nil)}}
+}
+
+// lockedImporter makes the stdlib source importer usable from the
+// concurrent type-check workers: Import calls are serialized, and the
+// importer's own package cache keeps repeat imports cheap.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (li *lockedImporter) Import(path string) (*types.Package, error) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	return li.imp.Import(path)
 }
 
 // LoadDir loads the single package rooted at dir (non-test .go files
-// only) under the given import path. It does not consult the go
-// command, so it also works for fixture packages under testdata/ that
-// package patterns never match.
+// only, honoring build constraints) under the given import path. It
+// does not consult the go command, so it also works for fixture
+// packages under testdata/ that package patterns never match.
 func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -59,6 +83,14 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	for _, e := range ents {
 		n := e.Name()
 		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		// Honor //go:build constraints and GOOS/GOARCH file suffixes the
+		// same way the go command would; a constrained-out file must not
+		// leak findings (or type errors) into the analysis.
+		if match, err := build.Default.MatchFile(dir, n); err != nil {
+			return nil, fmt.Errorf("%s: %w", filepath.Join(dir, n), err)
+		} else if !match {
 			continue
 		}
 		names = append(names, n)
@@ -83,16 +115,46 @@ func (l *Loader) LoadPatterns(patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var pkgs []*Package
-	for _, m := range metas {
+	// Parse and type-check concurrently: each worker owns one package,
+	// results land in go-list order so downstream output is stable. The
+	// pool is bounded — package loading is CPU-bound, and past NumCPU
+	// extra workers only contend on the importer lock.
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type result struct {
+		pkg *Package
+		err error
+	}
+	results := make([]result, len(metas))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, m := range metas {
 		if len(m.GoFiles) == 0 {
 			continue
 		}
-		p, err := l.load(m.ImportPath, m.Dir, m.GoFiles)
-		if err != nil {
-			return nil, err
+		wg.Add(1)
+		go func(i int, m listMeta) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			p, err := l.load(m.ImportPath, m.Dir, m.GoFiles)
+			results[i] = result{pkg: p, err: err}
+		}(i, m)
+	}
+	wg.Wait()
+	var pkgs []*Package
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
 		}
-		pkgs = append(pkgs, p)
+		if results[i].pkg != nil {
+			pkgs = append(pkgs, results[i].pkg)
+		}
 	}
 	return pkgs, nil
 }

@@ -1,0 +1,67 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// The loader edge cases: build-constrained files stay out, a package
+// with only test files is a clean error, and a type-check failure is a
+// diagnostic — never a panic or a half-checked package.
+
+func TestLoadDirBuildTagExcluded(t *testing.T) {
+	pkg, err := analysis.NewLoader().LoadDir("testdata/src/buildtags", "fairvettest/buildtags")
+	if err != nil {
+		t.Fatalf("LoadDir: %v (the constrained-out file leaked into the type-check?)", err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (excluded.go carries a //go:build constraint)", len(pkg.Files))
+	}
+}
+
+func TestLoadDirTestOnlyPackage(t *testing.T) {
+	_, err := analysis.NewLoader().LoadDir("testdata/src/testonly", "fairvettest/testonly")
+	if err == nil {
+		t.Fatal("LoadDir succeeded on a package with only _test.go files")
+	}
+	if !strings.Contains(err.Error(), "no non-test .go files") {
+		t.Errorf("error %q does not name the cause", err)
+	}
+}
+
+func TestLoadDirTypeCheckFailure(t *testing.T) {
+	_, err := analysis.NewLoader().LoadDir("testdata/src/broken", "fairvettest/broken")
+	if err == nil {
+		t.Fatal("LoadDir succeeded on a package that cannot type-check")
+	}
+	if !strings.Contains(err.Error(), "typecheck") {
+		t.Errorf("error %q is not the typecheck diagnostic", err)
+	}
+}
+
+// TestLoadPatternsOrderStable pins the concurrency contract: however
+// the worker pool schedules, results come back in go-list order.
+func TestLoadPatternsOrderStable(t *testing.T) {
+	loader := analysis.NewLoader()
+	dirs := []string{"./testdata/src/buildtags", "./testdata/src/stale"}
+	var prev []string
+	for round := 0; round < 2; round++ {
+		pkgs, err := loader.LoadPatterns(dirs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		for _, p := range pkgs {
+			got = append(got, p.Path)
+		}
+		if len(got) != 2 {
+			t.Fatalf("round %d: loaded %d packages, want 2", round, len(got))
+		}
+		if round > 0 && (got[0] != prev[0] || got[1] != prev[1]) {
+			t.Fatalf("package order changed across runs: %v then %v", prev, got)
+		}
+		prev = got
+	}
+}

@@ -1,0 +1,494 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// LockCheck enforces annotated lock discipline flow-sensitively: a
+// struct field carrying a
+//
+//	guarded by <mutex>
+//
+// comment (on the field's line or in its doc comment, naming a sibling
+// sync.Mutex or sync.RWMutex field) may only be read while the mutex
+// is held (Lock or RLock) and only written under the full Lock. Held
+// regions are computed on the per-function CFG with a must-analysis —
+// a mutex counts as held at a point only if every path to that point
+// holds it — so an early return that skips an Unlock, or a branch that
+// unlocks on one arm only, is modeled exactly. `defer mu.Unlock()`
+// keeps the mutex held through every subsequent access (the unlock
+// replays on the exit prelude).
+//
+// Exemptions: fields whose type comes from sync/atomic need no guard
+// and are skipped; accesses through a variable constructed locally
+// (`t := &T{...}`; `var t T`; `t := new(T)`) are constructor-local —
+// the value is unpublished, so no lock can be required yet.
+//
+// Known imprecision, deliberate for v2: the held-set keys on the
+// mutex FIELD, not the instance path, so a function that locks a.mu
+// and then touches b.n (same field, different instance) is not
+// flagged. Functions in this repository operate on one receiver, which
+// is the case the analysis is precise for.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "fields annotated 'guarded by <mu>' must only be accessed while the mutex is held",
+	Run:  runLockCheck,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// lockState maps a held mutex field/variable to the strength it is
+// held with.
+const (
+	heldRead  = 1 // RLock
+	heldWrite = 2 // Lock
+)
+
+type lockState map[*types.Var]int
+
+var lockLattice = Lattice[lockState]{
+	Clone: func(s lockState) lockState {
+		out := make(lockState, len(s))
+		for k, v := range s {
+			out[k] = v
+		}
+		return out
+	},
+	// Must-analysis: held only if held on every joined path, at the
+	// weaker of the two strengths.
+	Join: func(dst, src lockState) lockState {
+		for k, v := range dst {
+			sv, ok := src[k]
+			if !ok {
+				delete(dst, k)
+			} else if sv < v {
+				dst[k] = sv
+			}
+		}
+		return dst
+	},
+	Equal: func(a, b lockState) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if b[k] != v {
+				return false
+			}
+		}
+		return true
+	},
+}
+
+func runLockCheck(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockFunc(pass, guards, fd.Body)
+			// Function literals get their own CFG with an empty held
+			// set: a closure must acquire the lock itself (or be
+			// constructor-local) — inheriting the creation site's locks
+			// would be unsound for closures that outlive them.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkLockFunc(pass, guards, fl.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectGuards parses `guarded by <name>` field annotations into a
+// guarded-field -> mutex-field map, reporting malformed annotations
+// (unknown sibling, non-mutex guard).
+func collectGuards(pass *Pass) map[*types.Var]*types.Var {
+	guards := map[*types.Var]*types.Var{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guardName := fieldGuardName(field)
+				if guardName == "" {
+					continue
+				}
+				guard := findSiblingField(pass, st, guardName)
+				if guard == nil {
+					pass.Reportf(field.Pos(), "guarded by %s: struct has no field %s", guardName, guardName)
+					continue
+				}
+				if !isMutexType(guard.Type()) {
+					pass.Reportf(field.Pos(), "guarded by %s: %s is %s, not a sync.Mutex or sync.RWMutex", guardName, guardName, guard.Type())
+					continue
+				}
+				for _, name := range field.Names {
+					v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if fromAtomicPkg(v.Type()) {
+						continue // atomic-typed fields need no guard
+					}
+					guards[v] = guard
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// fieldGuardName extracts the mutex name from a field's line or doc
+// comment, "" when unannotated.
+func fieldGuardName(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := guardedByRe.FindStringSubmatch(c.Text); m != nil {
+				return m[1]
+			}
+		}
+	}
+	return ""
+}
+
+func findSiblingField(pass *Pass, st *ast.StructType, name string) *types.Var {
+	for _, field := range st.Fields.List {
+		for _, id := range field.Names {
+			if id.Name == name {
+				v, _ := pass.TypesInfo.Defs[id].(*types.Var)
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func fromAtomicPkg(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// lockFunc is the per-function analysis context.
+type lockFunc struct {
+	pass    *Pass
+	guards  map[*types.Var]*types.Var
+	writes  map[*ast.SelectorExpr]bool // selectors in write position
+	lockFun map[*ast.SelectorExpr]bool // the mu.Lock selector of lock/unlock calls
+	locals  map[types.Object]bool      // constructor-local bases (exempt)
+}
+
+func checkLockFunc(pass *Pass, guards map[*types.Var]*types.Var, body *ast.BlockStmt) {
+	// Fast path: skip functions that never touch a guarded field.
+	touches := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && !touches {
+			if v := fieldVar(pass.TypesInfo, sel); v != nil {
+				if _, ok := guards[v]; ok {
+					touches = true
+				}
+			}
+		}
+		return !touches
+	})
+	if !touches {
+		return
+	}
+
+	lf := &lockFunc{
+		pass:    pass,
+		guards:  guards,
+		writes:  map[*ast.SelectorExpr]bool{},
+		lockFun: map[*ast.SelectorExpr]bool{},
+		locals:  map[types.Object]bool{},
+	}
+	lf.prescan(body)
+
+	g := NewCFG(body)
+	res := Solve(g, lockLattice, lockState{}, func(s lockState, n ast.Node) lockState {
+		lf.transfer(s, n, false)
+		return s
+	})
+	// Replay with reporting, deterministically by block index.
+	for _, blk := range g.Blocks {
+		if !res.Reached[blk.Index] {
+			continue
+		}
+		s := lockLattice.Clone(res.In[blk.Index])
+		for _, nd := range blk.Nodes {
+			lf.transfer(s, nd, true)
+		}
+	}
+}
+
+// prescan classifies write-position selectors, marks the receivers of
+// Lock/Unlock calls (so they are not themselves treated as accesses),
+// and collects constructor-local variables.
+func (lf *lockFunc) prescan(body *ast.BlockStmt) {
+	markWrite := func(e ast.Expr) {
+		for {
+			switch x := e.(type) {
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				lf.writes[x] = true
+				return
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				markWrite(lhs)
+			}
+			// Constructor-local collection: v := &T{...} / T{} / new(T).
+			if n.Tok == token.DEFINE && len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if isFreshValue(n.Rhs[i]) {
+						if obj := lf.pass.TypesInfo.Defs[id]; obj != nil {
+							lf.locals[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if len(n.Values) == 0 || (i < len(n.Values) && isFreshValue(n.Values[i])) {
+					if obj := lf.pass.TypesInfo.Defs[id]; obj != nil {
+						// `var t T` zero values are fresh; `var t *T` is
+						// nil until assigned, and any later non-fresh
+						// assignment is not tracked — acceptable, the
+						// variable then crashes before it races.
+						lf.locals[obj] = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			markWrite(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				markWrite(n.X)
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if _, kind := lf.lockEffect(n); kind != 0 {
+					lf.lockFun[sel] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isFreshValue reports whether e constructs a brand-new value
+// (composite literal, &composite, new(T)).
+func isFreshValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := e.X.(*ast.CompositeLit)
+		return e.Op == token.AND && ok
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		return ok && id.Name == "new"
+	}
+	return false
+}
+
+// lockEffect classifies call as a Lock/RLock (+strength) or
+// Unlock/RUnlock (-strength) on a resolvable mutex variable. kind 0
+// means not a lock call.
+func (lf *lockFunc) lockEffect(call *ast.CallExpr) (mu *types.Var, kind int) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, 0
+	}
+	fn, ok := lf.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, 0
+	}
+	switch fn.Name() {
+	case "Lock":
+		kind = heldWrite
+	case "RLock":
+		kind = heldRead
+	case "Unlock", "RUnlock":
+		kind = -1
+	default:
+		return nil, 0
+	}
+	mu = mutexVarOf(lf.pass.TypesInfo, sel.X)
+	if mu == nil {
+		return nil, 0
+	}
+	return mu, kind
+}
+
+// mutexVarOf resolves the receiver expression of a Lock call to the
+// variable or field holding the mutex.
+func mutexVarOf(info *types.Info, e ast.Expr) *types.Var {
+	switch e := e.(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if v := fieldVar(info, e); v != nil {
+			return v
+		}
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	case *ast.ParenExpr:
+		return mutexVarOf(info, e.X)
+	case *ast.UnaryExpr:
+		return mutexVarOf(info, e.X)
+	}
+	return nil
+}
+
+// transfer applies one CFG node's lock effects to s, reporting guarded
+// accesses outside their lock when report is set (the post-fixpoint
+// replay).
+func (lf *lockFunc) transfer(s lockState, n ast.Node, report bool) {
+	switch n := n.(type) {
+	case *DeferredNode:
+		// Deferred lock-call effects replay at exit (the usual case is
+		// `defer mu.Unlock()`); arguments were already evaluated.
+		if mu, kind := lf.lockEffect(n.Call); kind != 0 {
+			applyLock(s, mu, kind)
+		}
+		return
+	case *ast.DeferStmt:
+		// Arguments are evaluated now; the call's effect is not.
+		for _, arg := range n.Call.Args {
+			lf.scan(s, arg, report)
+		}
+		return
+	}
+	lf.scan(s, n, report)
+}
+
+func applyLock(s lockState, mu *types.Var, kind int) {
+	if kind < 0 {
+		delete(s, mu)
+	} else {
+		s[mu] = kind
+	}
+}
+
+func (lf *lockFunc) scan(s lockState, n ast.Node, report bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			return false // analyzed separately with its own CFG
+		case *ast.CallExpr:
+			if mu, kind := lf.lockEffect(c); kind != 0 {
+				applyLock(s, mu, kind)
+			}
+			return true
+		case *ast.SelectorExpr:
+			if lf.lockFun[c] {
+				return false // the mu.Lock receiver is not an access
+			}
+			if report {
+				lf.checkAccess(s, c)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+func (lf *lockFunc) checkAccess(s lockState, sel *ast.SelectorExpr) {
+	v := fieldVar(lf.pass.TypesInfo, sel)
+	if v == nil {
+		return
+	}
+	mu, guarded := lf.guards[v]
+	if !guarded {
+		return
+	}
+	if base := lf.selectorBase(sel); base != nil && lf.locals[base] {
+		return // constructor-local: unpublished value
+	}
+	need, verb := heldRead, "read"
+	if lf.writes[sel] {
+		need, verb = heldWrite, "written"
+	}
+	held := s[mu]
+	switch {
+	case held == 0:
+		lf.pass.Reportf(sel.Pos(), "field %s is %s without holding %s (annotated 'guarded by %s'; lock on every path to this access)", v.Name(), verb, mu.Name(), mu.Name())
+	case held < need:
+		lf.pass.Reportf(sel.Pos(), "field %s is written while %s is only read-locked; writes need the full Lock", v.Name(), mu.Name())
+	}
+}
+
+// selectorBase walks to the root object of a selector chain
+// (s.a.b -> object of s), nil when the root is not a simple
+// identifier.
+func (lf *lockFunc) selectorBase(sel *ast.SelectorExpr) types.Object {
+	e := sel.X
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			return lf.pass.TypesInfo.Uses[x]
+		default:
+			return nil
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/analysis"
@@ -31,11 +32,53 @@ func TestFloatEq(t *testing.T) {
 	analysistest.Run(t, "testdata/src/floateq", analysis.FloatEq)
 }
 
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src/lockcheck", analysis.LockCheck)
+}
+
+func TestErrFlow(t *testing.T) {
+	analysistest.Run(t, "testdata/src/errflow", analysis.ErrFlow)
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata/src/hotalloc", analysis.HotAlloc)
+}
+
 // TestSuppression pins the //fairvet:ignore contract: justified
 // directives silence, unjustified ones add a finding, mismatched pass
 // names do nothing, own-line directives cover the next line.
 func TestSuppression(t *testing.T) {
 	analysistest.Run(t, "testdata/src/suppress", analysis.FloatEq)
+}
+
+// TestStaleDirective pins the RunSuite-only staleness rule: a
+// justified directive that suppresses nothing is itself a finding,
+// while one that earns its keep — or one naming a pass outside the
+// suite — is not. Single-pass RunPass must never warn: it cannot know
+// whether another pass would have matched.
+func TestStaleDirective(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkg, err := loader.LoadDir("testdata/src/stale", "fairvettest/stale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunSuite(analysis.Analyzers(), pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("RunSuite got %d diagnostics, want exactly the stale-directive warning: %+v", len(diags), diags)
+	}
+	if want := "suppresses no finding"; !strings.Contains(diags[0].Message, want) {
+		t.Errorf("diagnostic %q does not contain %q", diags[0].Message, want)
+	}
+	single, err := analysis.RunPass(analysis.FloatEq, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single) != 0 {
+		t.Errorf("RunPass warned about staleness it cannot judge: %+v", single)
+	}
 }
 
 // TestSelfCheckFixtureTripsEveryPass mirrors the CI self-check
@@ -61,7 +104,7 @@ func TestSelfCheckFixtureTripsEveryPass(t *testing.T) {
 // TestAnalyzersStable pins the suite composition: renaming or dropping
 // a pass silently would also silence its suppression directives.
 func TestAnalyzersStable(t *testing.T) {
-	want := []string{"nodeterminism", "atomicfield", "ctxflow", "cliexit", "floateq"}
+	want := []string{"nodeterminism", "atomicfield", "ctxflow", "cliexit", "floateq", "lockcheck", "errflow", "hotalloc"}
 	got := analysis.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(got), len(want))

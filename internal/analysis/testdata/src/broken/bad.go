@@ -1,0 +1,5 @@
+package broken
+
+// Deliberately does not type-check: the loader must surface a
+// diagnostic error, not panic or return a half-checked package.
+func Bad() string { return 42 }

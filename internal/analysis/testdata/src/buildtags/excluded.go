@@ -1,0 +1,8 @@
+//go:build fairvet_never_enabled
+
+package buildtags
+
+// This file must be excluded by its build constraint: it references an
+// identifier that exists nowhere, so including it breaks the
+// type-check and the loader test fails loudly.
+func Broken() int { return definitelyNotDefined }

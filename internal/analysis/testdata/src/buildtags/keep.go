@@ -1,0 +1,5 @@
+package buildtags
+
+// Keep is the only declaration visible under the default build
+// context; excluded.go would fail to type-check if it leaked in.
+func Keep() int { return 1 }

@@ -1,0 +1,117 @@
+package hotalloc
+
+import "fmt"
+
+//fairvet:hotpath
+func hotAppend(xs []int) []int {
+	return append(xs, 1) // want `append may grow its backing array`
+}
+
+// append into a reslice of an existing backing array is the sanctioned
+// allocation-free shape.
+//
+//fairvet:hotpath
+func hotResliceOK(buf []int, n int) []int {
+	return append(buf[:0], n)
+}
+
+//fairvet:hotpath
+func hotLiterals() int {
+	xs := []int{1, 2}     // want `slice literal allocates`
+	m := map[string]int{} // want `map literal allocates`
+	return len(xs) + len(m)
+}
+
+type point struct{ x, y int }
+
+//fairvet:hotpath
+func hotAddr() *point {
+	return &point{x: 1, y: 2} // want `&composite literal allocates`
+}
+
+// A value struct literal is a stack value: clean.
+//
+//fairvet:hotpath
+func hotValueOK() point {
+	return point{x: 1, y: 2}
+}
+
+//fairvet:hotpath
+func hotClosure() func() int {
+	return func() int { return 1 } // want `closure literal allocates`
+}
+
+//fairvet:hotpath
+func hotMake() []int {
+	return make([]int, 4) // want `make allocates`
+}
+
+//fairvet:hotpath
+func hotNew() *point {
+	return new(point) // want `new allocates`
+}
+
+//fairvet:hotpath
+func hotFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want `fmt\.Sprintf allocates its formatted output`
+}
+
+//fairvet:hotpath
+func hotConcat(a, b string) string {
+	return a + b // want `non-constant string concatenation allocates`
+}
+
+// Constant-folded concatenation is free.
+//
+//fairvet:hotpath
+func hotConstConcatOK() string {
+	return "a" + "b"
+}
+
+//fairvet:hotpath
+func hotBytes(s string) []byte {
+	return []byte(s) // want `string to \[\]byte/\[\]rune conversion copies`
+}
+
+//fairvet:hotpath
+func hotString(b []byte) string {
+	return string(b) // want `\[\]byte/\[\]rune to string conversion copies`
+}
+
+//fairvet:hotpath
+func hotBox(x int) any {
+	return any(x) // want `conversion to interface boxes a int value`
+}
+
+func sink(v any) int { return 0 }
+
+func sinkv(vs ...any) int { return len(vs) }
+
+//fairvet:hotpath
+func hotBoxedArg(x int) int {
+	return sink(x) // want `passing int to an interface parameter boxes it`
+}
+
+// Pointer-shaped values fit the interface word without boxing.
+//
+//fairvet:hotpath
+func hotPtrArgOK(p *point) int {
+	return sink(p)
+}
+
+//fairvet:hotpath
+func hotVariadic(xs []any) int {
+	a := sinkv(xs...) // slice passed through: no per-element boxing
+	b := sinkv(7)     // want `passing int to an interface parameter boxes it`
+	return a + b
+}
+
+//fairvet:hotpath
+func hotGo() {
+	go hotValueOK() // want `go statement allocates a goroutine`
+}
+
+// Unmarked functions may allocate freely.
+func coldAllocOK() []int {
+	return append([]int{}, 1, 2)
+}

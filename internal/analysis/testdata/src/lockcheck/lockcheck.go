@@ -1,0 +1,128 @@
+package lockcheck
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) deferredOK() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) racyRead() int {
+	return c.n // want `field n is read without holding mu`
+}
+
+func (c *counter) racyWrite() {
+	c.n = 0 // want `field n is written without holding mu`
+}
+
+// Lock on one branch only: the access is not protected on every path.
+func (c *counter) branchUnlocked(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want `field n is written without holding mu`
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+// Early return under the lock: the fallthrough path still holds it.
+func (c *counter) earlyReturnOK(b bool) int {
+	c.mu.Lock()
+	if b {
+		c.mu.Unlock()
+		return 0
+	}
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// Held across a loop: the back edge re-enters with the lock held.
+func (c *counter) loopHeldOK(k int) {
+	c.mu.Lock()
+	for i := 0; i < k; i++ {
+		c.n++
+	}
+	c.mu.Unlock()
+}
+
+// A closure does not inherit the creation site's held set.
+func (c *counter) closure() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.n // want `field n is read without holding mu`
+	}
+}
+
+// Constructor-local values are unpublished: no lock required yet.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 7
+	return c
+}
+
+func newCounterVar() counter {
+	var c counter
+	c.n = 1
+	return c
+}
+
+type gauge struct {
+	rw  sync.RWMutex
+	val int // guarded by rw
+}
+
+func (g *gauge) readOK() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.val
+}
+
+func (g *gauge) writeUnderRLock() {
+	g.rw.RLock()
+	g.val = 1 // want `field val is written while rw is only read-locked`
+	g.rw.RUnlock()
+}
+
+func (g *gauge) writeOK() {
+	g.rw.Lock()
+	g.val = 2
+	g.rw.Unlock()
+}
+
+// Typed atomics need no guard even when annotated.
+type mixed struct {
+	mu   sync.Mutex
+	hits atomic.Int64 // guarded by mu
+}
+
+func (m *mixed) load() int64 {
+	return m.hits.Load()
+}
+
+// Malformed annotations are themselves findings.
+type broken struct {
+	n int // guarded by missing // want `guarded by missing: struct has no field missing`
+}
+
+type notMutex struct {
+	g int
+	n int // guarded by g // want `guarded by g: g is int, not a sync\.Mutex or sync\.RWMutex`
+}

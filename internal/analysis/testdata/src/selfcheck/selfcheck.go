@@ -1,5 +1,5 @@
 // CI runs fairvet against this package and asserts a nonzero exit
-// with all five pass names present, proving the installed binary
+// with all eight pass names present, proving the installed binary
 // still detects each contract violation end to end.
 //
 //fairvet:deterministic self-check fixture: one known violation per pass
@@ -9,6 +9,7 @@ package selfcheck
 import (
 	"context"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -44,4 +45,26 @@ func same(a, b float64) bool {
 // cliexit: hard exit outside internal/cli.Main.
 func bail() {
 	os.Exit(3)
+}
+
+// lockcheck: guarded field touched without the mutex.
+type box struct {
+	mu sync.Mutex
+	v  int // guarded by mu
+}
+
+func (b *box) peek() int {
+	return b.v
+}
+
+// errflow: error result dropped at statement position.
+func scrub() {
+	os.Remove("nope")
+}
+
+// hotalloc: growth append on a declared hot path.
+//
+//fairvet:hotpath
+func churn(xs []int) []int {
+	return append(xs, 1)
 }

@@ -1,0 +1,19 @@
+package stale
+
+// A directive that suppresses a real finding earns its keep: the
+// full-suite run must not warn about it.
+func live(a, b float64) bool {
+	return a == b //fairvet:ignore floateq -- pinned bitwise comparison
+}
+
+// A directive with nothing to suppress is stale: the code it excused
+// was fixed, so the directive must go with it.
+func stale(a, b int) bool {
+	return a == b //fairvet:ignore floateq -- ints compare exactly
+}
+
+// A directive naming a pass outside the running suite cannot be judged
+// stale; it is left alone.
+func foreign(a, b int) bool {
+	return a == b //fairvet:ignore otherlinter -- not a fairvet pass
+}

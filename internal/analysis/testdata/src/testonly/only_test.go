@@ -1,0 +1,7 @@
+package testonly
+
+import "testing"
+
+// The only file in this package is a test file; the loader must report
+// that cleanly instead of fabricating an empty package.
+func TestNothing(t *testing.T) {}

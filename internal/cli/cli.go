@@ -41,6 +41,29 @@ func Main(name string, run func(args []string, out io.Writer) error) {
 	}
 }
 
+// CloseCapture closes c and, when the surrounding function is
+// otherwise succeeding, folds a close failure into *errp. This is the
+// deferred-close idiom for files opened for WRITING, where Close is
+// the final flush and its error means data loss:
+//
+//	func write(path string) (err error) {
+//		f, cerr := os.Create(path) // distinct name: do not shadow err
+//		if cerr != nil {
+//			return cerr
+//		}
+//		defer cli.CloseCapture(&err, f)
+//		...
+//	}
+//
+// An earlier error wins — the close failure is then almost always a
+// consequence of it. Read-only closes do not need this: a justified
+// //fairvet:ignore errflow on the plain defer is the audited shape.
+func CloseCapture(errp *error, c io.Closer) {
+	if cerr := c.Close(); cerr != nil && *errp == nil {
+		*errp = cerr
+	}
+}
+
 // FirstLine reduces an error to its first non-empty line, keeping the
 // one-line contract even for wrapped multi-line errors.
 func FirstLine(err error) string {

@@ -183,6 +183,8 @@ func (st *state) bestMove(i, from int) int { return st.bestMoveAgainst(i, from, 
 // term stays live — the Section 6.1 mini-batch heuristic. The two
 // variants differ only in the K-Means delta, so the candidate loop is
 // specialized per variant to keep the branch out of the hot path.
+//
+//fairvet:hotpath
 func (st *state) bestMoveAgainst(i, from int, frozen [][]float64) int {
 	// Leaving `from` costs the same regardless of destination; compute
 	// those pieces once.

@@ -177,6 +177,8 @@ func (p *pruner) refresh(frozen [][]float64, assign []int) {
 // — exactly nearestCentroid(features[i], frozen), but skipping the
 // k-way scan whenever the bounds prove the current assignment a still
 // wins strictly.
+//
+//fairvet:hotpath
 func (p *pruner) bestMove(i, a int, frozen [][]float64) int {
 	m := p.l[i]
 	if s := p.sep[a]; s > m {

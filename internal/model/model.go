@@ -482,9 +482,9 @@ func Save(path string, m *Model) error {
 	if err != nil {
 		return fmt.Errorf("model: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	defer os.Remove(tmp.Name()) //fairvet:ignore errflow -- best-effort temp cleanup; after a successful rename the name is gone
 	if err := env.Encode(tmp); err != nil {
-		tmp.Close()
+		tmp.Close() //fairvet:ignore errflow -- close on the encode error path; the encode error wins
 		return err
 	}
 	if err := tmp.Close(); err != nil {
@@ -502,7 +502,7 @@ func Load(path string) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("model: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //fairvet:ignore errflow -- file opened read-only; nothing was buffered to lose
 	m, err := Decode(f)
 	if err != nil {
 		return nil, fmt.Errorf("loading %s: %w", path, err)

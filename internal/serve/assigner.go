@@ -268,6 +268,8 @@ func (a *Assigner) invite(j *batchJob, n int) {
 // score labels rows into the caller's slots via the pruned fused
 // kernel — the exact kernel single queries use, so batch and single
 // results are identical bit for bit.
+//
+//fairvet:hotpath
 func (a *Assigner) score(rows [][]float64, out []int, dists []float64) {
 	if h := a.opts.ScoreHook; h != nil {
 		h(len(rows))

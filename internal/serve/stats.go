@@ -55,7 +55,7 @@ type tracker struct {
 	lat *telemetry.AtomicHistogram
 
 	driftMu sync.Mutex
-	attrs   []*driftAttr
+	attrs   []*driftAttr // guarded by driftMu
 }
 
 // driftAttr accumulates the observed sensitive-value mix per cluster
@@ -105,6 +105,10 @@ func newTracker(m *model.Model) *tracker {
 	return t
 }
 
+// record counts one completed request on the wait-free counters; it is
+// on the per-request serving path.
+//
+//fairvet:hotpath
 func (t *tracker) record(rows int, d time.Duration) {
 	t.requests.Add(1)
 	t.rows.Add(uint64(rows))

@@ -86,6 +86,8 @@ func CentroidNorms(centroids [][]float64) []float64 {
 //
 // The returned distance is the fused value clamped at zero (the fused
 // form can round a few ulps below zero when x sits on a centroid).
+//
+//fairvet:hotpath
 func NearestCentroid(x []float64, centroids [][]float64, norms []float64) (int, float64) {
 	xn := Dot(x, x)
 	best := 0
@@ -122,6 +124,8 @@ func NearestCentroid(x []float64, centroids [][]float64, norms []float64) (int, 
 // are reused nearestBlock times. The candidate order and arithmetic
 // per row are identical either way (per-row state never crosses
 // rows), so results are independent of the blocking.
+//
+//fairvet:hotpath
 func NearestCentroids(rows [][]float64, centroids [][]float64, norms []float64, out []int, dists []float64) {
 	if len(centroids) == 0 {
 		return
@@ -316,6 +320,8 @@ func (ix *CentroidIndex) NewScratch() *CentroidScratch {
 // neighbor distance 0, first in the sorted list, and are always
 // evaluated; on-centroid queries (bestD ≈ 0) keep every centroid
 // within rounding range un-pruned via the additive floor.
+//
+//fairvet:hotpath
 func (ix *CentroidIndex) Nearest(x []float64, sc *CentroidScratch) (int, float64) {
 	flat, dim, norms := ix.flat, ix.dim, ix.norms
 	sc.epoch++
@@ -381,6 +387,8 @@ done:
 // data-dependent call sites leave the dot behind an opaque call, which
 // is a measurable fraction of a candidate's cost at this width (the
 // same reason dot8/sqDist8 exist).
+//
+//fairvet:hotpath
 func (ix *CentroidIndex) nearest8(x []float64, sc *CentroidScratch) (int, float64) {
 	flat, norms := ix.flat, ix.norms
 	x = x[:8:8]

@@ -43,6 +43,8 @@ func NewAtomicHistogram() *AtomicHistogram {
 // Record adds one observation. Safe for any number of concurrent
 // callers; wait-free apart from the min/max CAS loops, which only
 // retry while the extremes are actually moving.
+//
+//fairvet:hotpath
 func (h *AtomicHistogram) Record(d time.Duration) {
 	v := d.Nanoseconds()
 	if v < 0 {

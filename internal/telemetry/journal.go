@@ -99,13 +99,17 @@ func (l *RunLog) write(rec any) {
 	line, err := json.Marshal(rec)
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.closed {
-		return
-	}
+	// Check the marshal error before the closed gate: a record arriving
+	// after Close is dropped, but its marshal failure must still latch
+	// only on a live log — checking err first keeps the error consumed
+	// on every path.
 	if err != nil {
-		if l.err == nil {
+		if l.err == nil && !l.closed {
 			l.err = err
 		}
+		return
+	}
+	if l.closed {
 		return
 	}
 	if _, werr := l.w.Write(append(line, '\n')); werr != nil && l.err == nil {
